@@ -1,0 +1,54 @@
+//! # AP3ESM AI physics library (`ap3esm-ai`)
+//!
+//! The paper's §5.2.1 AI-powered, resolution-adaptive physics suite is built
+//! from two networks:
+//!
+//! * an **AI tendency module**: a 1-D CNN along the vertical column — five
+//!   ResUnits inside an 11-layer deep CNN, ≈ 5×10⁵ trainable parameters —
+//!   taking (U, V, T, Q, P) profiles and returning physics tendencies,
+//! * an **AI radiation diagnosis module**: a 7-layer MLP with residual
+//!   connections taking the atmospheric inputs plus skin temperature and
+//!   the cosine of the solar zenith angle, estimating surface downward
+//!   shortwave (`gsw`) and longwave (`glw`) fluxes.
+//!
+//! No ML framework is available offline, so this crate implements the whole
+//! stack from scratch: FP32 tensors, conv1d/dense layers with hand-written
+//! backward passes, Adam, MSE training, and the two physics-facing modules
+//! with the paper's training protocol (80 days of high-resolution model
+//! output, 7:1 train:test split, three random steps per day for validation).
+
+pub mod layers;
+pub mod modules;
+pub mod net;
+pub mod optim;
+pub mod tensor;
+pub mod train;
+
+pub use modules::{RadiationModule, TendencyModule};
+pub use net::{RadiationMlp, TendencyCnn};
+pub use optim::Adam;
+pub use tensor::Tensor;
+pub use train::{train_test_split, TrainConfig, Trainer};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_architectures_have_paper_sizes() {
+        // §5.2.1: "five ResUnits within an 11-layer deep CNN totaling
+        // approximately 5×10^5 trainable parameters".
+        let cnn = TendencyCnn::paper(30);
+        let p = cnn.num_parameters();
+        assert!(
+            (450_000..=550_000).contains(&p),
+            "CNN has {p} params, expected ≈5e5"
+        );
+        assert_eq!(cnn.conv_layers(), 11);
+        assert_eq!(cnn.res_units(), 5);
+
+        // "A 7-layer multi-layer perceptron (MLP) with residual connections".
+        let mlp = RadiationMlp::paper(30);
+        assert_eq!(mlp.layers(), 7);
+    }
+}

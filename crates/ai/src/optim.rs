@@ -1,0 +1,101 @@
+//! Adam optimizer.
+
+use crate::tensor::Tensor;
+
+/// Adam with bias correction; state is held per parameter tensor in
+/// registration order.
+pub struct Adam {
+    pub lr: f32,
+    pub beta1: f32,
+    pub beta2: f32,
+    pub eps: f32,
+    m: Vec<Vec<f32>>,
+    v: Vec<Vec<f32>>,
+    t: i32,
+}
+
+impl Adam {
+    pub fn new(lr: f32) -> Self {
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            m: Vec::new(),
+            v: Vec::new(),
+            t: 0,
+        }
+    }
+
+    /// Apply one update step to `(param, grad)` pairs. Must be called with
+    /// the same parameter list (same order and sizes) every step.
+    pub fn step(&mut self, params: &mut [(&mut Tensor, &mut Tensor)]) {
+        if self.m.is_empty() {
+            self.m = params.iter().map(|(p, _)| vec![0.0; p.len()]).collect();
+            self.v = params.iter().map(|(p, _)| vec![0.0; p.len()]).collect();
+        }
+        assert_eq!(self.m.len(), params.len(), "parameter list changed");
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t);
+        let bc2 = 1.0 - self.beta2.powi(self.t);
+        for (slot, (p, g)) in params.iter_mut().enumerate() {
+            assert_eq!(self.m[slot].len(), p.len(), "parameter size changed");
+            let m = &mut self.m[slot];
+            let v = &mut self.v[slot];
+            for i in 0..p.len() {
+                let grad = g.data[i];
+                m[i] = self.beta1 * m[i] + (1.0 - self.beta1) * grad;
+                v[i] = self.beta2 * v[i] + (1.0 - self.beta2) * grad * grad;
+                let mhat = m[i] / bc1;
+                let vhat = v[i] / bc2;
+                p.data[i] -= self.lr * mhat / (vhat.sqrt() + self.eps);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adam_minimises_quadratic() {
+        // minimise (x - 3)²; gradient 2(x - 3).
+        let mut x = Tensor::from_vec(vec![0.0], &[1]);
+        let mut g = Tensor::zeros(&[1]);
+        let mut opt = Adam::new(0.1);
+        for _ in 0..200 {
+            g.data[0] = 2.0 * (x.data[0] - 3.0);
+            opt.step(&mut [(&mut x, &mut g)]);
+        }
+        assert!((x.data[0] - 3.0).abs() < 0.05, "x = {}", x.data[0]);
+    }
+
+    #[test]
+    fn adam_handles_multiple_params() {
+        let mut a = Tensor::from_vec(vec![5.0, -5.0], &[2]);
+        let mut ga = Tensor::zeros(&[2]);
+        let mut b = Tensor::from_vec(vec![1.0], &[1]);
+        let mut gb = Tensor::zeros(&[1]);
+        let mut opt = Adam::new(0.2);
+        for _ in 0..300 {
+            for i in 0..2 {
+                ga.data[i] = 2.0 * a.data[i];
+            }
+            gb.data[0] = 2.0 * (b.data[0] + 2.0);
+            opt.step(&mut [(&mut a, &mut ga), (&mut b, &mut gb)]);
+        }
+        assert!(a.data.iter().all(|v| v.abs() < 0.1));
+        assert!((b.data[0] + 2.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn first_step_is_lr_sized() {
+        // With bias correction, the first Adam step has magnitude ≈ lr.
+        let mut x = Tensor::from_vec(vec![0.0], &[1]);
+        let mut g = Tensor::from_vec(vec![123.0], &[1]);
+        let mut opt = Adam::new(0.01);
+        opt.step(&mut [(&mut x, &mut g)]);
+        assert!((x.data[0].abs() - 0.01).abs() < 1e-4, "step {}", x.data[0]);
+    }
+}

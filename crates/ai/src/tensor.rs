@@ -1,0 +1,220 @@
+//! Minimal FP32 tensor with the operations the physics networks need.
+
+/// A dense row-major FP32 tensor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tensor {
+    pub data: Vec<f32>,
+    pub shape: Vec<usize>,
+}
+
+impl Tensor {
+    pub fn zeros(shape: &[usize]) -> Self {
+        Tensor {
+            data: vec![0.0; shape.iter().product()],
+            shape: shape.to_vec(),
+        }
+    }
+
+    pub fn from_vec(data: Vec<f32>, shape: &[usize]) -> Self {
+        assert_eq!(
+            data.len(),
+            shape.iter().product::<usize>(),
+            "tensor shape mismatch"
+        );
+        Tensor {
+            data,
+            shape: shape.to_vec(),
+        }
+    }
+
+    /// Xavier/Glorot-uniform initialisation with a deterministic xorshift
+    /// stream (reproducible training runs, as the coupled-model validation
+    /// requires).
+    pub fn xavier(shape: &[usize], fan_in: usize, fan_out: usize, seed: u64) -> Self {
+        let n: usize = shape.iter().product();
+        let bound = (6.0 / (fan_in + fan_out) as f64).sqrt() as f32;
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        let mut data = Vec::with_capacity(n);
+        for _ in 0..n {
+            // xorshift64*
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            let r = (state.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 11) as f64
+                / (1u64 << 53) as f64;
+            data.push(((r * 2.0 - 1.0) as f32) * bound);
+        }
+        Tensor {
+            data,
+            shape: shape.to_vec(),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Mean squared difference against another tensor.
+    pub fn mse(&self, other: &Tensor) -> f32 {
+        assert_eq!(self.shape, other.shape);
+        let n = self.len().max(1);
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f32>()
+            / n as f32
+    }
+}
+
+/// `out[m×n] = a[m×k] · b[k×n]` (row-major), accumulated in f32 with a
+/// blocked loop ordering that vectorises well.
+pub fn matmul(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    assert_eq!(a.len(), m * k);
+    assert_eq!(b.len(), k * n);
+    assert_eq!(out.len(), m * n);
+    out.fill(0.0);
+    for i in 0..m {
+        for p in 0..k {
+            let aip = a[i * k + p];
+            if aip == 0.0 {
+                continue;
+            }
+            let bro = &b[p * n..(p + 1) * n];
+            let oro = &mut out[i * n..(i + 1) * n];
+            for j in 0..n {
+                oro[j] += aip * bro[j];
+            }
+        }
+    }
+}
+
+/// `out[k×n] += aᵀ[k×m] · b[m×n]` — gradient helper (accumulates).
+pub fn matmul_at_b(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    assert_eq!(a.len(), m * k);
+    assert_eq!(b.len(), m * n);
+    assert_eq!(out.len(), k * n);
+    for i in 0..m {
+        for p in 0..k {
+            let aip = a[i * k + p];
+            if aip == 0.0 {
+                continue;
+            }
+            let bro = &b[i * n..(i + 1) * n];
+            let oro = &mut out[p * n..(p + 1) * n];
+            for j in 0..n {
+                oro[j] += aip * bro[j];
+            }
+        }
+    }
+}
+
+/// `out[m×k] = a[m×n] · bᵀ[n×k]` where b is row-major `[k×n]`.
+pub fn matmul_a_bt(a: &[f32], b: &[f32], out: &mut [f32], m: usize, n: usize, k: usize) {
+    assert_eq!(a.len(), m * n);
+    assert_eq!(b.len(), k * n);
+    assert_eq!(out.len(), m * k);
+    for i in 0..m {
+        let aro = &a[i * n..(i + 1) * n];
+        for p in 0..k {
+            let bro = &b[p * n..(p + 1) * n];
+            let mut acc = 0.0;
+            for j in 0..n {
+                acc += aro[j] * bro[j];
+            }
+            out[i * k + p] = acc;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_identity() {
+        let a = vec![1.0, 2.0, 3.0, 4.0]; // 2x2
+        let eye = vec![1.0, 0.0, 0.0, 1.0];
+        let mut out = vec![0.0; 4];
+        matmul(&a, &eye, &mut out, 2, 2, 2);
+        assert_eq!(out, a);
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        // [1 2; 3 4] · [5 6; 7 8] = [19 22; 43 50]
+        let a = vec![1.0, 2.0, 3.0, 4.0];
+        let b = vec![5.0, 6.0, 7.0, 8.0];
+        let mut out = vec![0.0; 4];
+        matmul(&a, &b, &mut out, 2, 2, 2);
+        assert_eq!(out, vec![19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn transposed_variants_agree_with_explicit_transpose() {
+        let m = 3;
+        let k = 4;
+        let n = 2;
+        let a: Vec<f32> = (0..m * k).map(|i| i as f32 * 0.5 - 2.0).collect();
+        let b: Vec<f32> = (0..m * n).map(|i| (i as f32).sin()).collect();
+        // at_b: aᵀ(k×m)·b(m×n)
+        let mut got = vec![0.0; k * n];
+        matmul_at_b(&a, &b, &mut got, m, k, n);
+        let mut at = vec![0.0; k * m];
+        for i in 0..m {
+            for p in 0..k {
+                at[p * m + i] = a[i * k + p];
+            }
+        }
+        let mut want = vec![0.0; k * n];
+        matmul(&at, &b, &mut want, k, m, n);
+        for (g, w) in got.iter().zip(&want) {
+            assert!((g - w).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn a_bt_matches_reference() {
+        let m = 2;
+        let n = 3;
+        let k = 4;
+        let a: Vec<f32> = (0..m * n).map(|i| i as f32).collect();
+        let b: Vec<f32> = (0..k * n).map(|i| (i as f32) * 0.1).collect();
+        let mut got = vec![0.0; m * k];
+        matmul_a_bt(&a, &b, &mut got, m, n, k);
+        let mut bt = vec![0.0; n * k];
+        for p in 0..k {
+            for j in 0..n {
+                bt[j * k + p] = b[p * n + j];
+            }
+        }
+        let mut want = vec![0.0; m * k];
+        matmul(&a, &bt, &mut want, m, n, k);
+        for (g, w) in got.iter().zip(&want) {
+            assert!((g - w).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn xavier_is_deterministic_and_bounded() {
+        let t1 = Tensor::xavier(&[16, 16], 16, 16, 7);
+        let t2 = Tensor::xavier(&[16, 16], 16, 16, 7);
+        assert_eq!(t1, t2);
+        let bound = (6.0f32 / 32.0).sqrt();
+        assert!(t1.data.iter().all(|v| v.abs() <= bound));
+        let t3 = Tensor::xavier(&[16, 16], 16, 16, 8);
+        assert_ne!(t1, t3);
+    }
+
+    #[test]
+    fn mse_of_identical_is_zero() {
+        let t = Tensor::from_vec(vec![1.0, 2.0], &[2]);
+        assert_eq!(t.mse(&t), 0.0);
+        let u = Tensor::from_vec(vec![1.0, 4.0], &[2]);
+        assert_eq!(t.mse(&u), 2.0);
+    }
+}

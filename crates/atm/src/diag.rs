@@ -1,0 +1,121 @@
+//! Atmosphere diagnostics for the figure-regeneration binaries: cloud
+//! fraction (Fig. 1b), kinetic-energy statistics, and field summaries.
+
+use ap3esm_physics::constants::temperature_from_theta;
+use ap3esm_physics::saturation_specific_humidity;
+
+use crate::state::AtmState;
+
+/// Per-cell total cloud fraction proxy: the maximum relative humidity over
+/// the column mapped through a smooth ramp (RH 0.8 → 0, RH 1.0 → 1).
+pub fn cloud_fraction(state: &AtmState) -> Vec<f64> {
+    let n = state.ncells();
+    let mut out = vec![0.0; n];
+    for i in 0..n {
+        let mut max_rh = 0.0f64;
+        for k in 0..state.nlev {
+            let p = state.sigma[k] * state.ps[i];
+            let t = temperature_from_theta(state.theta[k * n + i], p);
+            let qsat = saturation_specific_humidity(t, p);
+            max_rh = max_rh.max(state.q[k * n + i] / qsat.max(1e-12));
+        }
+        out[i] = ((max_rh - 0.8) / 0.2).clamp(0.0, 1.0);
+    }
+    out
+}
+
+/// Area-weighted global mean of a per-cell field.
+pub fn area_mean(state: &AtmState, field: &[f64]) -> f64 {
+    let num: f64 = field
+        .iter()
+        .zip(&state.grid.cell_areas)
+        .map(|(f, a)| f * a)
+        .sum();
+    let den: f64 = state.grid.cell_areas.iter().sum();
+    num / den
+}
+
+/// Surface kinetic energy per cell (m²/s²) from reconstructed winds.
+pub fn surface_kinetic_energy(state: &AtmState) -> Vec<f64> {
+    state
+        .surface_wind()
+        .iter()
+        .map(|&(u, v)| 0.5 * (u * u + v * v))
+        .collect()
+}
+
+/// Simple histogram over fixed bins; returns (bin_edges, counts).
+pub fn histogram(values: &[f64], lo: f64, hi: f64, nbins: usize) -> (Vec<f64>, Vec<usize>) {
+    assert!(nbins >= 1 && hi > lo);
+    let mut counts = vec![0usize; nbins];
+    let w = (hi - lo) / nbins as f64;
+    for &v in values {
+        if v.is_finite() {
+            let b = (((v - lo) / w).floor() as i64).clamp(0, nbins as i64 - 1) as usize;
+            counts[b] += 1;
+        }
+    }
+    let edges = (0..=nbins).map(|b| lo + b as f64 * w).collect();
+    (edges, counts)
+}
+
+/// Variance of a field — the "resolved fine-scale variance" statistic used
+/// to compare 3v2 against 25v10 in the Fig. 6 reproduction.
+pub fn variance(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mean = values.iter().sum::<f64>() / values.len() as f64;
+    values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / values.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ap3esm_grid::GeodesicGrid;
+    use std::sync::Arc;
+
+    #[test]
+    fn cloud_fraction_bounds() {
+        let grid = Arc::new(GeodesicGrid::new(2));
+        let mut state = AtmState::isothermal(Arc::clone(&grid), 5, 290.0);
+        let cf = cloud_fraction(&state);
+        assert!(cf.iter().all(|&c| (0.0..=1.0).contains(&c)));
+        // Saturate one column: its cloud fraction must reach 1.
+        let n = state.ncells();
+        for k in 0..state.nlev {
+            state.q[k * n] = 0.05;
+        }
+        let cf = cloud_fraction(&state);
+        assert_eq!(cf[0], 1.0);
+    }
+
+    #[test]
+    fn area_mean_of_ones_is_one() {
+        let grid = Arc::new(GeodesicGrid::new(2));
+        let state = AtmState::isothermal(grid, 3, 280.0);
+        let f = vec![1.0; state.ncells()];
+        assert!((area_mean(&state, &f) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_counts_everything() {
+        let vals = vec![0.1, 0.5, 0.9, 1.5, -2.0];
+        let (edges, counts) = histogram(&vals, 0.0, 1.0, 4);
+        assert_eq!(edges.len(), 5);
+        assert_eq!(counts.iter().sum::<usize>(), 5); // clamped into range
+    }
+
+    #[test]
+    fn variance_of_constant_is_zero() {
+        assert_eq!(variance(&[3.0, 3.0, 3.0]), 0.0);
+        assert!((variance(&[1.0, -1.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn surface_ke_zero_at_rest() {
+        let grid = Arc::new(GeodesicGrid::new(2));
+        let state = AtmState::isothermal(grid, 3, 280.0);
+        assert!(surface_kinetic_energy(&state).iter().all(|&k| k == 0.0));
+    }
+}

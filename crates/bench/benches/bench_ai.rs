@@ -1,0 +1,83 @@
+//! AI-physics vs conventional-physics cost per column (the Fig. 4 /
+//! §5.2.1 claim: the AI suite turns parameterizations into tensor kernels).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use ap3esm_ai::modules::{ColumnState, Normalizer, TendencyModule};
+use ap3esm_ai::net::TendencyCnn;
+use ap3esm_physics::suite::{hydrostatic_thickness, Column, ConventionalSuite, SurfaceProperties};
+
+fn make_columns(n: usize, nlev: usize) -> (Vec<Column>, Vec<ColumnState>) {
+    let sigma: Vec<f64> = (0..nlev)
+        .map(|k| 1.0 - (k as f64 + 0.5) / nlev as f64)
+        .collect();
+    let ds = vec![1.0 / nlev as f64; nlev];
+    let mut phys = Vec::with_capacity(n);
+    let mut ai = Vec::with_capacity(n);
+    for c in 0..n {
+        let t: Vec<f64> = (0..nlev)
+            .map(|k| 295.0 - 5.0 * k as f64 + (c as f64 * 0.1).sin())
+            .collect();
+        let (p, dp, dz) = hydrostatic_thickness(&sigma, &ds, 1.0e5, &t);
+        let q: Vec<f64> = (0..nlev).map(|k| 0.01 * (-0.4 * k as f64).exp()).collect();
+        phys.push(Column {
+            u: vec![5.0; nlev],
+            v: vec![1.0; nlev],
+            t: t.clone(),
+            q: q.clone(),
+            p: p.clone(),
+            dp,
+            dz,
+        });
+        ai.push(ColumnState {
+            u: vec![5.0; nlev],
+            v: vec![1.0; nlev],
+            t,
+            q,
+            p,
+        });
+    }
+    (phys, ai)
+}
+
+fn bench_suites(c: &mut Criterion) {
+    let nlev = 30;
+    let batch = 64;
+    let (phys_cols, ai_cols) = make_columns(batch, nlev);
+    let suite = ConventionalSuite::default();
+    let sfc = SurfaceProperties {
+        tskin: 300.0,
+        coszr: 0.6,
+        wetness: 1.0,
+    };
+
+    let mut group = c.benchmark_group("physics_suite_per_batch");
+    group.sample_size(20);
+    group.bench_function("conventional", |b| {
+        b.iter(|| {
+            for col in &phys_cols {
+                criterion::black_box(suite.step_column(col, &sfc));
+            }
+        });
+    });
+
+    // Paper-sized CNN (≈5e5 params) in batched inference.
+    let mut module = TendencyModule::new(
+        TendencyCnn::paper(nlev),
+        Normalizer {
+            mean: vec![0.0, 0.0, 280.0, 0.005, 5.0e4],
+            std: vec![10.0, 10.0, 30.0, 0.01, 4.0e4],
+        },
+        Normalizer {
+            mean: vec![0.0; 4],
+            std: vec![1e-5; 4],
+        },
+    );
+    group.bench_function("ai_cnn_paper_size", |b| {
+        b.iter(|| criterion::black_box(module.predict(&ai_cols)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_suites);
+criterion_main!(benches);

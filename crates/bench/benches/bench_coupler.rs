@@ -1,0 +1,72 @@
+//! Coupler ablations (§5.2.4): all-to-all vs non-blocking point-to-point
+//! rearrangement, and online Router construction vs offline load.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use ap3esm_comm::World;
+use ap3esm_cpl::gsmap::GSMap;
+use ap3esm_cpl::rearrange::{RearrangeStrategy, Rearranger};
+use ap3esm_cpl::router::Router;
+
+fn bench_rearrange(c: &mut Criterion) {
+    let nranks = 8;
+    let nglobal = 200_000;
+    let src = GSMap::even(nglobal, nranks);
+    // Destination: a shifted decomposition so every rank talks to ~2 peers.
+    let shift = nglobal / (2 * nranks);
+    let ranges: Vec<(usize, usize)> = (0..nranks)
+        .map(|r| {
+            let s = (r * nglobal / nranks + shift).min(nglobal);
+            let e = (((r + 1) * nglobal) / nranks + shift).min(nglobal);
+            (s, e)
+        })
+        .map(|(s, e)| (s, e))
+        .collect();
+    // Fix coverage: prepend the wrapped head to rank 0.
+    let mut ranges = ranges;
+    ranges[0].0 = 0;
+    ranges[nranks - 1].1 = nglobal;
+    let dst = GSMap::from_ranges(nglobal, &ranges);
+
+    let mut group = c.benchmark_group("coupler_rearrange");
+    group.sample_size(20);
+    for strategy in [RearrangeStrategy::AllToAll, RearrangeStrategy::NonBlockingP2p] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{strategy:?}")),
+            &strategy,
+            |b, &strategy| {
+                b.iter(|| {
+                    let world = World::new(nranks);
+                    world.run(|rank| {
+                        let rearranger = Rearranger::new(Router::build(&src, &dst), 1);
+                        let local: Vec<f64> =
+                            vec![1.0; src.local_size(rank.id())];
+                        rearranger.rearrange(
+                            rank,
+                            strategy,
+                            &local,
+                            dst.local_size(rank.id()),
+                        )
+                    })
+                });
+            },
+        );
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("coupler_router");
+    group.sample_size(20);
+    let src = GSMap::even(500_000, 64);
+    let dst = GSMap::even(500_000, 48);
+    group.bench_function("online_build", |b| {
+        b.iter(|| Router::build(&src, &dst));
+    });
+    let bytes = Router::build(&src, &dst).to_bytes();
+    group.bench_function("offline_load", |b| {
+        b.iter(|| Router::from_bytes(&bytes).unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_rearrange);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Parallel-I/O ablation (§5.2.5): one monolithic file vs sub-file sets.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use ap3esm_io::subfile::{SubfileReader, SubfileWriter};
+
+fn bench_subfiles(c: &mut Criterion) {
+    let n = 1_000_000;
+    let field: Vec<f64> = (0..n).map(|i| (i as f64).sqrt()).collect();
+    let dir = std::env::temp_dir().join(format!("ap3esm-bench-io-{}", std::process::id()));
+
+    let mut group = c.benchmark_group("io_write");
+    group.sample_size(10);
+    for nsub in [1usize, 4, 16] {
+        group.bench_with_input(BenchmarkId::from_parameter(nsub), &nsub, |b, &nsub| {
+            let w = SubfileWriter::new(&dir, "field", &[n], nsub);
+            b.iter(|| w.write_all(&field).unwrap());
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("io_read");
+    group.sample_size(10);
+    for nsub in [1usize, 4, 16] {
+        let name = format!("field{nsub}");
+        SubfileWriter::new(&dir, &name, &[n], nsub)
+            .write_all(&field)
+            .unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(nsub), &nsub, |b, _| {
+            let r = SubfileReader::new(&dir, &name);
+            b.iter(|| r.read_all().unwrap());
+        });
+    }
+    group.finish();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+criterion_group!(benches, bench_subfiles);
+criterion_main!(benches);

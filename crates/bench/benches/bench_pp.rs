@@ -1,0 +1,62 @@
+//! Performance-portability backend micro-bench: the same kernel on the
+//! Serial ("MPE"), Threads (host-parallel) and SimulatedCpe backends —
+//! the per-kernel version of the paper's MPE vs CPE+OPT comparison.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use ap3esm_pp::{ExecSpace, Serial, SharedSlice, SimulatedCpe, Threads};
+
+fn saxpy_kernel(space: &dyn ExecSpace, x: &[f64], y: &mut [f64], a: f64) {
+    let n = x.len();
+    let out = SharedSlice::new(y);
+    space.for_each(n, &|i| unsafe {
+        let v = *out.get(i) + a * x[i];
+        out.set(i, v);
+    });
+}
+
+fn stencil_kernel(space: &dyn ExecSpace, x: &[f64], y: &mut [f64]) {
+    let n = x.len();
+    let out = SharedSlice::new(y);
+    space.for_each(n, &|i| unsafe {
+        let l = x[if i == 0 { n - 1 } else { i - 1 }];
+        let r = x[if i + 1 == n { 0 } else { i + 1 }];
+        out.set(i, 0.25 * l + 0.5 * x[i] + 0.25 * r);
+    });
+}
+
+fn bench_backends(c: &mut Criterion) {
+    let n = 1 << 18;
+    let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.001).sin()).collect();
+    let threads = Threads::auto();
+    let cpe = SimulatedCpe::default();
+
+    let mut group = c.benchmark_group("pp_saxpy");
+    for (name, space) in [
+        ("serial-mpe", &Serial as &dyn ExecSpace),
+        ("threads", &threads as &dyn ExecSpace),
+        ("simulated-cpe", &cpe as &dyn ExecSpace),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &space, |b, space| {
+            let mut y = vec![0.0; n];
+            b.iter(|| saxpy_kernel(*space, &x, &mut y, 1.0001));
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("pp_stencil");
+    for (name, space) in [
+        ("serial-mpe", &Serial as &dyn ExecSpace),
+        ("threads", &threads as &dyn ExecSpace),
+        ("simulated-cpe", &cpe as &dyn ExecSpace),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &space, |b, space| {
+            let mut y = vec![0.0; n];
+            b.iter(|| stencil_kernel(*space, &x, &mut y));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_backends);
+criterion_main!(benches);

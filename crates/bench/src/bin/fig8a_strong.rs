@@ -1,0 +1,41 @@
+//! Regenerates Fig. 8a: strong-scaling SYPD-vs-nodes curves for every
+//! configuration, as dense sweeps of the calibrated machine model (the
+//! paper's markers are the Table 2 points; the curves here add the
+//! intermediate node counts).
+
+use ap3esm_bench::{banner, write_csv};
+use ap3esm_esm::scaling::reproduce_table2;
+use ap3esm_machine::perf::ScalingModel;
+use ap3esm_machine::topology::MachineSpec;
+
+fn main() {
+    banner("fig8a_strong", "Fig. 8a: strong scaling curves");
+    let mut rows = Vec::new();
+    for cfg in reproduce_table2() {
+        // Re-fit to obtain the model object, then sweep densely between the
+        // smallest and largest measured node counts.
+        let cal = ap3esm_machine::calibration::paper_table2()
+            .into_iter()
+            .find(|c| c.label == cfg.label)
+            .expect("calibration");
+        let machine = if cal.sunway {
+            MachineSpec::sunway_oceanlight()
+        } else {
+            MachineSpec::orise()
+        };
+        let model = ScalingModel::fit(machine, &cal);
+        let n0 = cal.points.first().unwrap().nodes as f64;
+        let n1 = cal.points.last().unwrap().nodes as f64;
+        println!("\n--- {} ---", cfg.label);
+        println!("{:>10} {:>12} {:>10}", "nodes", "model SYPD", "eff");
+        let steps = 12;
+        for s in 0..=steps {
+            let nodes = (n0 * (n1 / n0).powf(s as f64 / steps as f64)).round() as usize;
+            let sypd = model.sypd(nodes);
+            let eff = model.efficiency(nodes);
+            println!("{:>10} {:>12.4} {:>9.1}%", nodes, sypd, eff * 100.0);
+            rows.push(format!("{},{},{},{}", cfg.label, nodes, sypd, eff));
+        }
+    }
+    write_csv("fig8a_strong", "config,nodes,model_sypd,efficiency", &rows);
+}

@@ -1,0 +1,29 @@
+//! Regenerates Fig. 8b: weak-scaling efficiency of the atmosphere
+//! (25→10→6→3 km on 683→43691 nodes; paper: 87.85 % final) and the ocean
+//! (10→5→3→2 km on 2107→50035 nodes; paper: 96.57 % final).
+
+use ap3esm_bench::{banner, write_csv};
+use ap3esm_esm::scaling::reproduce_fig8b;
+
+fn main() {
+    banner("fig8b_weak", "Fig. 8b: weak scaling efficiencies");
+    let mut rows = Vec::new();
+    for series in reproduce_fig8b() {
+        println!(
+            "\n--- {} (paper final efficiency {:.2}%) ---",
+            series.label,
+            series.paper_final_efficiency * 100.0
+        );
+        println!("{:>9} {:>10} {:>12}", "res (km)", "nodes", "model eff");
+        for ((res, nodes), eff) in series
+            .resolutions_km
+            .iter()
+            .zip(&series.nodes)
+            .zip(&series.efficiency)
+        {
+            println!("{:>9} {:>10} {:>11.2}%", res, nodes, eff * 100.0);
+            rows.push(format!("{},{},{},{}", series.label, res, nodes, eff));
+        }
+    }
+    write_csv("fig8b_weak", "series,res_km,nodes,efficiency", &rows);
+}

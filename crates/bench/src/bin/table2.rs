@@ -1,0 +1,76 @@
+//! Regenerates Table 2: strong-scaling SYPD of AP3ESM and its components
+//! on ORISE and Sunway OceanLight, from the calibrated machine model
+//! (DESIGN.md substitution: the machines are modeled, the model is fitted
+//! to the paper's own measurements and reproduces their shape).
+
+use ap3esm_bench::{banner, write_csv};
+use ap3esm_esm::scaling::reproduce_table2;
+
+fn main() {
+    banner("table2", "Table 2: strong-scaling SYPD, all configurations");
+
+    let rows = reproduce_table2();
+    let mut csv = Vec::new();
+    for cfg in &rows {
+        println!("\n--- {} (fit error {:.1}%) ---", cfg.label, cfg.fit_error * 100.0);
+        println!(
+            "{:>10} {:>12} {:>12} {:>12} {:>10}",
+            "nodes", cfg.unit_name, "paper SYPD", "model SYPD", "model eff"
+        );
+        for ((nodes, units, paper_sypd), model) in cfg.paper.iter().zip(&cfg.model) {
+            println!(
+                "{:>10} {:>12} {:>12.4} {:>12.4} {:>9.1}%",
+                nodes,
+                units,
+                paper_sypd,
+                model.sypd,
+                model.efficiency * 100.0
+            );
+            csv.push(format!(
+                "{},{},{},{},{},{}",
+                cfg.label, nodes, units, paper_sypd, model.sypd, model.efficiency
+            ));
+        }
+    }
+    write_csv(
+        "table2",
+        "config,nodes,units,paper_sypd,model_sypd,model_efficiency",
+        &csv,
+    );
+
+    // The §7.2 speedup claims: CPE+OPT vs MPE.
+    println!("\nMPE → CPE+OPT speedups (paper: ATM 112–184×, OCN 84–150×):");
+    let pick = |label: &str| rows.iter().find(|r| r.label.contains(label)).unwrap();
+    let atm_mpe = pick("ATM 3km MPE");
+    let atm_cpe = pick("ATM 3km CPE");
+    let ocn_mpe = pick("OCN 2km MPE");
+    let ocn_cpe = pick("OCN 2km CPE");
+    println!(
+        "  ATM 3km: paper {:.0}× … {:.0}×, model {:.0}× … {:.0}×",
+        atm_cpe.paper[0].2 / atm_mpe.paper[0].2,
+        atm_cpe.paper.last().unwrap().2 / atm_mpe.paper.last().unwrap().2,
+        atm_cpe.model[0].sypd / atm_mpe.model[0].sypd,
+        atm_cpe.model.last().unwrap().sypd / atm_mpe.model.last().unwrap().sypd,
+    );
+    println!(
+        "  OCN 2km: paper {:.0}× … {:.0}×, model {:.0}× … {:.0}×",
+        ocn_cpe.paper[0].2 / ocn_mpe.paper[0].2,
+        ocn_cpe.paper.last().unwrap().2 / ocn_mpe.paper.last().unwrap().2,
+        ocn_cpe.model[0].sypd / ocn_mpe.model[0].sypd,
+        ocn_cpe.model.last().unwrap().sypd / ocn_mpe.model.last().unwrap().sypd,
+    );
+
+    println!("\nHeadlines:");
+    for (label, expect) in [
+        ("ATM 1km", 0.85),
+        ("OCN 1km OPT", 1.98),
+        ("AP3ESM 1v1", 0.54),
+    ] {
+        let cfg = pick(label);
+        let last = cfg.model.last().unwrap();
+        println!(
+            "  {label}: paper {:.2} SYPD, model {:.2} SYPD at {} {}",
+            expect, last.sypd, last.units, cfg.unit_name
+        );
+    }
+}

@@ -1,0 +1,78 @@
+//! Traffic accounting.
+//!
+//! Every send in a [`crate::World`] is tallied here. The per-rank-pair
+//! volumes let the `ap3esm-machine` network model charge fat-tree hops and
+//! oversubscription for an equivalent run on Sunway OceanLight.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+
+/// Counters for one world. All methods are thread-safe and lock-free on the
+/// hot path (totals); the pair matrix takes a short lock.
+#[derive(Default)]
+pub struct CommStats {
+    messages: AtomicU64,
+    bytes: AtomicU64,
+    pairs: Mutex<std::collections::HashMap<(usize, usize), u64>>,
+}
+
+impl CommStats {
+    pub fn record_send(&self, src: usize, dst: usize, bytes: usize) {
+        self.messages.fetch_add(1, Ordering::Relaxed);
+        self.bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+        *self.pairs.lock().entry((src, dst)).or_insert(0) += bytes as u64;
+    }
+
+    /// Total messages sent in the world so far.
+    pub fn total_messages(&self) -> u64 {
+        self.messages.load(Ordering::Relaxed)
+    }
+
+    /// Total payload bytes sent in the world so far.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes.load(Ordering::Relaxed)
+    }
+
+    /// Bytes sent from `src` to `dst`.
+    pub fn pair_bytes(&self, src: usize, dst: usize) -> u64 {
+        self.pairs.lock().get(&(src, dst)).copied().unwrap_or(0)
+    }
+
+    /// Snapshot of the full (src, dst) → bytes matrix.
+    pub fn pair_matrix(&self) -> Vec<((usize, usize), u64)> {
+        let mut v: Vec<_> = self.pairs.lock().iter().map(|(k, b)| (*k, *b)).collect();
+        v.sort();
+        v
+    }
+
+    /// Reset all counters (between measurement phases).
+    pub fn reset(&self) {
+        self.messages.store(0, Ordering::Relaxed);
+        self.bytes.store(0, Ordering::Relaxed);
+        self.pairs.lock().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_accumulate_and_reset() {
+        let s = CommStats::default();
+        s.record_send(0, 1, 100);
+        s.record_send(0, 1, 50);
+        s.record_send(1, 0, 8);
+        assert_eq!(s.total_messages(), 3);
+        assert_eq!(s.total_bytes(), 158);
+        assert_eq!(s.pair_bytes(0, 1), 150);
+        assert_eq!(s.pair_bytes(1, 0), 8);
+        assert_eq!(s.pair_bytes(1, 2), 0);
+        assert_eq!(s.pair_matrix().len(), 2);
+        s.reset();
+        assert_eq!(s.total_messages(), 0);
+        assert_eq!(s.total_bytes(), 0);
+        assert!(s.pair_matrix().is_empty());
+    }
+}

@@ -1,0 +1,491 @@
+//! The rank world: thread-backed ranks, mailboxes, and communicators.
+
+use std::any::Any;
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::stats::CommStats;
+use crate::CommError;
+
+/// How long a blocking receive waits before declaring deadlock. Generous for
+/// slow CI machines but finite so test hangs turn into diagnostics.
+const RECV_TIMEOUT: Duration = Duration::from_secs(120);
+
+struct Message {
+    payload: Box<dyn Any + Send>,
+}
+
+#[derive(Default)]
+struct MailboxInner {
+    queues: HashMap<(usize, u64), VecDeque<Message>>,
+}
+
+/// One per rank: a tag/source-addressed queue with a wakeup condvar.
+#[derive(Default)]
+struct Mailbox {
+    inner: Mutex<MailboxInner>,
+    notify: Condvar,
+}
+
+struct BarrierState {
+    arrived: usize,
+    generation: u64,
+}
+
+struct WorldShared {
+    n: usize,
+    mailboxes: Vec<Mailbox>,
+    barrier: Mutex<BarrierState>,
+    barrier_cv: Condvar,
+    stats: CommStats,
+}
+
+/// A communication world of `n` ranks, each running on its own OS thread.
+///
+/// `World::run` mirrors `mpirun -np N`: it spawns the ranks, hands each a
+/// [`Rank`] handle, and joins them, returning each rank's result in rank
+/// order.
+pub struct World {
+    shared: Arc<WorldShared>,
+}
+
+impl World {
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "world needs at least one rank");
+        World {
+            shared: Arc::new(WorldShared {
+                n,
+                mailboxes: (0..n).map(|_| Mailbox::default()).collect(),
+                barrier: Mutex::new(BarrierState {
+                    arrived: 0,
+                    generation: 0,
+                }),
+                barrier_cv: Condvar::new(),
+                stats: CommStats::default(),
+            }),
+        }
+    }
+
+    /// Number of ranks.
+    pub fn size(&self) -> usize {
+        self.shared.n
+    }
+
+    /// Traffic accounting for everything sent in this world.
+    pub fn stats(&self) -> &CommStats {
+        &self.shared.stats
+    }
+
+    /// Run `f` on every rank concurrently; returns per-rank results in rank
+    /// order. Panics in any rank propagate after all threads are joined.
+    pub fn run<R: Send>(&self, f: impl Fn(&Rank) -> R + Sync) -> Vec<R> {
+        let shared = &self.shared;
+        let mut results: Vec<Option<R>> = (0..shared.n).map(|_| None).collect();
+        crossbeam::scope(|s| {
+            let mut handles = Vec::with_capacity(shared.n);
+            for (id, slot) in results.iter_mut().enumerate() {
+                let f = &f;
+                handles.push(s.spawn(move |_| {
+                    let rank = Rank {
+                        id,
+                        shared: Arc::clone(shared),
+                    };
+                    *slot = Some(f(&rank));
+                }));
+            }
+            for h in handles {
+                h.join().expect("rank panicked");
+            }
+        })
+        .expect("world scope");
+        results.into_iter().map(|r| r.expect("rank result")).collect()
+    }
+}
+
+/// A handle to one rank inside a [`World::run`] closure.
+pub struct Rank {
+    id: usize,
+    shared: Arc<WorldShared>,
+}
+
+/// Handle returned by [`Rank::irecv`]; `wait` blocks until the message lands.
+pub struct RecvHandle<'a, T> {
+    rank: &'a Rank,
+    src: usize,
+    tag: u64,
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T: Send + 'static> RecvHandle<'_, T> {
+    /// Block until the message arrives.
+    pub fn wait(self) -> Result<Vec<T>, CommError> {
+        self.rank.recv(self.src, self.tag)
+    }
+
+    /// Non-blocking probe: returns the message if already delivered.
+    pub fn test(&self) -> Option<Result<Vec<T>, CommError>> {
+        self.rank.try_recv(self.src, self.tag)
+    }
+}
+
+impl Rank {
+    /// This rank's id in `0..size`.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// World size.
+    pub fn size(&self) -> usize {
+        self.shared.n
+    }
+
+    /// Traffic statistics shared by the world.
+    pub fn stats(&self) -> &CommStats {
+        &self.shared.stats
+    }
+
+    /// Send `data` to `dst` under `tag`. Non-blocking in the MPI "buffered"
+    /// sense: the payload is moved into the destination mailbox immediately.
+    pub fn send<T: Send + 'static>(&self, dst: usize, tag: u64, data: Vec<T>) {
+        assert!(dst < self.shared.n, "send to invalid rank {dst}");
+        self.shared
+            .stats
+            .record_send(self.id, dst, std::mem::size_of::<T>() * data.len());
+        let mailbox = &self.shared.mailboxes[dst];
+        {
+            let mut inner = mailbox.inner.lock();
+            inner
+                .queues
+                .entry((self.id, tag))
+                .or_default()
+                .push_back(Message {
+                    payload: Box::new(data),
+                });
+        }
+        mailbox.notify.notify_all();
+    }
+
+    /// Non-blocking send — identical to [`Rank::send`] (kept for API parity
+    /// with the paper's non-blocking point-to-point rearranger, §5.2.4).
+    pub fn isend<T: Send + 'static>(&self, dst: usize, tag: u64, data: Vec<T>) {
+        self.send(dst, tag, data);
+    }
+
+    /// Blocking receive of a `Vec<T>` from `src` under `tag`.
+    pub fn recv<T: Send + 'static>(&self, src: usize, tag: u64) -> Result<Vec<T>, CommError> {
+        assert!(src < self.shared.n, "recv from invalid rank {src}");
+        let mailbox = &self.shared.mailboxes[self.id];
+        let mut inner = mailbox.inner.lock();
+        loop {
+            if let Some(queue) = inner.queues.get_mut(&(src, tag)) {
+                if let Some(msg) = queue.pop_front() {
+                    return msg.payload.downcast::<Vec<T>>().map(|b| *b).map_err(|_| {
+                        CommError::TypeMismatch {
+                            rank: self.id,
+                            src,
+                            tag,
+                        }
+                    });
+                }
+            }
+            if mailbox
+                .notify
+                .wait_for(&mut inner, RECV_TIMEOUT)
+                .timed_out()
+            {
+                return Err(CommError::Timeout {
+                    rank: self.id,
+                    src,
+                    tag,
+                });
+            }
+        }
+    }
+
+    /// Non-blocking receive returning `None` when no message is queued yet.
+    pub fn try_recv<T: Send + 'static>(
+        &self,
+        src: usize,
+        tag: u64,
+    ) -> Option<Result<Vec<T>, CommError>> {
+        let mailbox = &self.shared.mailboxes[self.id];
+        let mut inner = mailbox.inner.lock();
+        let queue = inner.queues.get_mut(&(src, tag))?;
+        let msg = queue.pop_front()?;
+        Some(msg.payload.downcast::<Vec<T>>().map(|b| *b).map_err(|_| {
+            CommError::TypeMismatch {
+                rank: self.id,
+                src,
+                tag,
+            }
+        }))
+    }
+
+    /// Post a non-blocking receive; the returned handle can be waited later,
+    /// letting callers overlap communication and computation (the paper's
+    /// rearranger optimisation, §5.2.4).
+    pub fn irecv<T: Send + 'static>(&self, src: usize, tag: u64) -> RecvHandle<'_, T> {
+        RecvHandle {
+            rank: self,
+            src,
+            tag,
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Global synchronisation across every rank of the world.
+    pub fn barrier(&self) {
+        let shared = &self.shared;
+        let mut state = shared.barrier.lock();
+        let gen = state.generation;
+        state.arrived += 1;
+        if state.arrived == shared.n {
+            state.arrived = 0;
+            state.generation += 1;
+            shared.barrier_cv.notify_all();
+        } else {
+            while state.generation == gen {
+                shared.barrier_cv.wait(&mut state);
+            }
+        }
+    }
+
+    /// Split the world into sub-communicators by `color`; ranks sharing a
+    /// color form one [`SubComm`], ordered by world rank. Mirrors
+    /// `MPI_Comm_split`, which AP3ESM uses to carve the two task domains
+    /// (ATM+ICE+LND+CPL | OCN) of §7.2.
+    pub fn split(&self, color: u64) -> SubComm<'_> {
+        // Exchange colors via allgather so every rank learns the grouping.
+        let colors = crate::collectives::allgather(self, crate::collectives::TAG_SPLIT, vec![
+            color,
+        ]);
+        let members: Vec<usize> = colors
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| **c == color)
+            .map(|(r, _)| r)
+            .collect();
+        let local = members
+            .iter()
+            .position(|&r| r == self.id)
+            .expect("rank missing from its own split group");
+        SubComm {
+            rank: self,
+            members,
+            local,
+            color,
+        }
+    }
+}
+
+/// A subset communicator produced by [`Rank::split`].
+pub struct SubComm<'a> {
+    rank: &'a Rank,
+    members: Vec<usize>,
+    local: usize,
+    color: u64,
+}
+
+impl SubComm<'_> {
+    /// Rank within the sub-communicator.
+    pub fn id(&self) -> usize {
+        self.local
+    }
+
+    /// Sub-communicator size.
+    pub fn size(&self) -> usize {
+        self.members.len()
+    }
+
+    /// The split color that formed this communicator.
+    pub fn color(&self) -> u64 {
+        self.color
+    }
+
+    /// World rank of sub-rank `i`.
+    pub fn world_rank(&self, i: usize) -> usize {
+        self.members[i]
+    }
+
+    /// Underlying world rank handle.
+    pub fn world(&self) -> &Rank {
+        self.rank
+    }
+
+    fn scoped_tag(&self, tag: u64) -> u64 {
+        // Partition the tag space per color so concurrent sub-communicators
+        // never alias each other's messages.
+        (self.color.wrapping_add(1) << 32) ^ tag
+    }
+
+    /// Send to sub-rank `dst`.
+    pub fn send<T: Send + 'static>(&self, dst: usize, tag: u64, data: Vec<T>) {
+        self.rank
+            .send(self.members[dst], self.scoped_tag(tag), data);
+    }
+
+    /// Receive from sub-rank `src`.
+    pub fn recv<T: Send + 'static>(&self, src: usize, tag: u64) -> Result<Vec<T>, CommError> {
+        self.rank.recv(self.members[src], self.scoped_tag(tag))
+    }
+
+    /// Barrier across this sub-communicator only (dissemination algorithm on
+    /// point-to-point messages).
+    pub fn barrier(&self) {
+        let n = self.size();
+        let mut round = 1usize;
+        while round < n {
+            let dst = (self.local + round) % n;
+            let src = (self.local + n - round % n) % n;
+            self.send::<u8>(dst, crate::collectives::TAG_SUB_BARRIER + round as u64, vec![]);
+            self.recv::<u8>(src, crate::collectives::TAG_SUB_BARRIER + round as u64)
+                .expect("sub-barrier");
+            round <<= 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ping_pong_two_ranks() {
+        let world = World::new(2);
+        let out = world.run(|rank| {
+            if rank.id() == 0 {
+                rank.send(1, 7, vec![1.0f64, 2.0, 3.0]);
+                rank.recv::<f64>(1, 8).unwrap()
+            } else {
+                let got = rank.recv::<f64>(0, 7).unwrap();
+                let doubled: Vec<f64> = got.iter().map(|x| x * 2.0).collect();
+                rank.send(0, 8, doubled.clone());
+                doubled
+            }
+        });
+        assert_eq!(out[0], vec![2.0, 4.0, 6.0]);
+        assert_eq!(out[1], vec![2.0, 4.0, 6.0]);
+    }
+
+    #[test]
+    fn messages_keep_fifo_order_per_tag() {
+        let world = World::new(2);
+        world.run(|rank| {
+            if rank.id() == 0 {
+                for i in 0..100u32 {
+                    rank.send(1, 1, vec![i]);
+                }
+            } else {
+                for i in 0..100u32 {
+                    let got = rank.recv::<u32>(0, 1).unwrap();
+                    assert_eq!(got, vec![i]);
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn tags_are_independent_channels() {
+        let world = World::new(2);
+        world.run(|rank| {
+            if rank.id() == 0 {
+                rank.send(1, 10, vec![10u8]);
+                rank.send(1, 20, vec![20u8]);
+            } else {
+                // Receive in reverse tag order.
+                assert_eq!(rank.recv::<u8>(0, 20).unwrap(), vec![20]);
+                assert_eq!(rank.recv::<u8>(0, 10).unwrap(), vec![10]);
+            }
+        });
+    }
+
+    #[test]
+    fn type_mismatch_detected() {
+        let world = World::new(2);
+        world.run(|rank| {
+            if rank.id() == 0 {
+                rank.send(1, 5, vec![1u64]);
+            } else {
+                let err = rank.recv::<f32>(0, 5).unwrap_err();
+                assert!(matches!(err, CommError::TypeMismatch { .. }));
+            }
+        });
+    }
+
+    #[test]
+    fn irecv_overlaps_with_work() {
+        let world = World::new(2);
+        world.run(|rank| {
+            if rank.id() == 0 {
+                rank.send(1, 3, vec![42i32]);
+            } else {
+                let handle = rank.irecv::<i32>(0, 3);
+                // "Compute" while the message is (already) in flight.
+                let local: i64 = (0..1000).sum();
+                assert_eq!(local, 499_500);
+                assert_eq!(handle.wait().unwrap(), vec![42]);
+            }
+        });
+    }
+
+    #[test]
+    fn barrier_orders_phases() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let world = World::new(8);
+        let phase1 = AtomicUsize::new(0);
+        world.run(|rank| {
+            phase1.fetch_add(1, Ordering::SeqCst);
+            rank.barrier();
+            // After the barrier every rank must observe all 8 arrivals.
+            assert_eq!(phase1.load(Ordering::SeqCst), 8);
+        });
+    }
+
+    #[test]
+    fn split_forms_correct_groups() {
+        let world = World::new(6);
+        let infos = world.run(|rank| {
+            let comm = rank.split(if rank.id() < 4 { 0 } else { 1 });
+            (comm.color(), comm.id(), comm.size())
+        });
+        assert_eq!(infos[0], (0, 0, 4));
+        assert_eq!(infos[3], (0, 3, 4));
+        assert_eq!(infos[4], (1, 0, 2));
+        assert_eq!(infos[5], (1, 1, 2));
+    }
+
+    #[test]
+    fn subcomm_p2p_and_barrier() {
+        let world = World::new(5);
+        world.run(|rank| {
+            // Domain 0: ranks 0..3 (like ATM+CPL); domain 1: ranks 3..5 (OCN).
+            let comm = rank.split(if rank.id() < 3 { 0 } else { 1 });
+            if comm.size() == 3 {
+                if comm.id() == 0 {
+                    comm.send(2, 1, vec![99u16]);
+                } else if comm.id() == 2 {
+                    assert_eq!(comm.recv::<u16>(0, 1).unwrap(), vec![99]);
+                }
+            }
+            comm.barrier();
+        });
+    }
+
+    #[test]
+    fn stats_count_bytes() {
+        let world = World::new(2);
+        world.run(|rank| {
+            if rank.id() == 0 {
+                rank.send(1, 1, vec![0f64; 100]);
+            } else {
+                rank.recv::<f64>(0, 1).unwrap();
+            }
+        });
+        assert_eq!(world.stats().total_messages(), 1);
+        assert_eq!(world.stats().total_bytes(), 800);
+    }
+}

@@ -1,0 +1,134 @@
+//! Attribute vectors (MCT `AttrVect` analogue): named field bundles on a
+//! local decomposition slice, with the §5.2.4 trimming of "unnecessary
+//! communication variables that are registered in MCT and are not used in
+//! GRIST and LICOM".
+
+use std::collections::BTreeMap;
+
+/// A bundle of named fields over `npoints` local points.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttrVect {
+    npoints: usize,
+    fields: BTreeMap<String, Vec<f64>>,
+}
+
+impl AttrVect {
+    pub fn new(npoints: usize, field_names: &[&str]) -> Self {
+        AttrVect {
+            npoints,
+            fields: field_names
+                .iter()
+                .map(|n| (n.to_string(), vec![0.0; npoints]))
+                .collect(),
+        }
+    }
+
+    pub fn npoints(&self) -> usize {
+        self.npoints
+    }
+
+    pub fn field_names(&self) -> Vec<&str> {
+        self.fields.keys().map(|s| s.as_str()).collect()
+    }
+
+    pub fn num_fields(&self) -> usize {
+        self.fields.len()
+    }
+
+    pub fn get(&self, name: &str) -> &[f64] {
+        self.fields
+            .get(name)
+            .unwrap_or_else(|| panic!("no field {name:?} in attribute vector"))
+    }
+
+    pub fn get_mut(&mut self, name: &str) -> &mut [f64] {
+        self.fields
+            .get_mut(name)
+            .unwrap_or_else(|| panic!("no field {name:?} in attribute vector"))
+    }
+
+    pub fn set(&mut self, name: &str, data: &[f64]) {
+        assert_eq!(data.len(), self.npoints, "field length mismatch");
+        self.get_mut(name).copy_from_slice(data);
+    }
+
+    /// Drop every field not in `used` — the paper's removal of registered-
+    /// but-unused coupling variables. Returns how many were trimmed.
+    pub fn retain_used(&mut self, used: &[&str]) -> usize {
+        let before = self.fields.len();
+        self.fields.retain(|name, _| used.contains(&name.as_str()));
+        before - self.fields.len()
+    }
+
+    /// Bytes of payload this bundle contributes to one rearrangement.
+    pub fn payload_bytes(&self) -> usize {
+        self.fields.len() * self.npoints * 8
+    }
+
+    /// Pack all fields (in name order) into one flat buffer for a single
+    /// rearrangement message, and the unpack inverse.
+    pub fn pack(&self) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.fields.len() * self.npoints);
+        for data in self.fields.values() {
+            out.extend_from_slice(data);
+        }
+        out
+    }
+
+    pub fn unpack(&mut self, buf: &[f64]) {
+        assert_eq!(buf.len(), self.fields.len() * self.npoints, "unpack size");
+        for (k, data) in self.fields.values_mut().enumerate() {
+            data.copy_from_slice(&buf[k * self.npoints..(k + 1) * self.npoints]);
+        }
+    }
+}
+
+/// The standard atmosphere→ocean export fields of the coupled model.
+pub const ATM_TO_OCN_FIELDS: &[&str] = &["taux", "tauy", "qnet", "precip"];
+/// The ocean→atmosphere export fields.
+pub const OCN_TO_ATM_FIELDS: &[&str] = &["sst", "ssu", "ssv"];
+/// The ice exports merged into the ocean forcing.
+pub const ICE_TO_OCN_FIELDS: &[&str] = &["fresh", "heat", "ifrac"];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut av = AttrVect::new(4, ATM_TO_OCN_FIELDS);
+        av.set("taux", &[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(av.get("taux"), &[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(av.get("tauy"), &[0.0; 4]);
+        assert_eq!(av.num_fields(), 4);
+    }
+
+    #[test]
+    fn trim_unused_variables() {
+        let mut av = AttrVect::new(8, &["taux", "tauy", "qnet", "dust", "co2", "isotopes"]);
+        let bytes_before = av.payload_bytes();
+        let trimmed = av.retain_used(&["taux", "tauy", "qnet"]);
+        assert_eq!(trimmed, 3);
+        assert_eq!(av.num_fields(), 3);
+        assert_eq!(av.payload_bytes() * 2, bytes_before);
+    }
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        let mut av = AttrVect::new(3, &["a", "b"]);
+        av.set("a", &[1.0, 2.0, 3.0]);
+        av.set("b", &[-1.0, -2.0, -3.0]);
+        let packed = av.pack();
+        assert_eq!(packed.len(), 6);
+        let mut other = AttrVect::new(3, &["a", "b"]);
+        other.unpack(&packed);
+        assert_eq!(av, other);
+    }
+
+    #[test]
+    #[should_panic(expected = "no field")]
+    fn unknown_field_panics() {
+        let av = AttrVect::new(2, &["x"]);
+        let _ = av.get("y");
+    }
+}

@@ -1,0 +1,97 @@
+//! Flux merging on the exchange grid: combining atmosphere-computed air–sea
+//! fluxes with ice cover into the net forcing each surface component
+//! receives — the coupler's flux module.
+
+/// Per-point merged surface forcing for the ocean.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MergedOcnForcing {
+    pub taux: f64,
+    pub tauy: f64,
+    /// Net heat into the ocean (W/m²).
+    pub qnet: f64,
+    /// Virtual salt flux (psu·m/s).
+    pub salt_flux: f64,
+}
+
+/// Merge atmosphere fluxes with ice exports over one exchange point.
+///
+/// * open-water fraction gets the atmosphere's stress/heat directly,
+/// * the ice-covered fraction transmits a reduced stress (ice–ocean drag)
+///   and the ice model's basal heat flux,
+/// * ice melt fresh water appears as a negative salt flux (dilution),
+///   using the reference salinity convention.
+pub fn merge_ocean_forcing(
+    taux_atm: f64,
+    tauy_atm: f64,
+    qnet_atm: f64,
+    evap_minus_precip: f64,
+    ice_fraction: f64,
+    ice_heat: f64,
+    ice_fresh: f64,
+) -> MergedOcnForcing {
+    let f = ice_fraction.clamp(0.0, 1.0);
+    let open = 1.0 - f;
+    const ICE_STRESS_TRANSMISSION: f64 = 0.4;
+    const S_REF: f64 = 35.0;
+    const RHO_FRESH: f64 = 1000.0;
+    let taux = open * taux_atm + f * ICE_STRESS_TRANSMISSION * taux_atm;
+    let tauy = open * tauy_atm + f * ICE_STRESS_TRANSMISSION * tauy_atm;
+    let qnet = open * qnet_atm + f * ice_heat;
+    // Salt flux: evaporation concentrates, precipitation + melt dilute.
+    let water_flux = evap_minus_precip - ice_fresh / RHO_FRESH; // m/s equivalent
+    let salt_flux = water_flux * S_REF;
+    MergedOcnForcing {
+        taux,
+        tauy,
+        qnet,
+        salt_flux,
+    }
+}
+
+/// Blend SST and ice surface temperature into the surface temperature the
+/// atmosphere's lowest level sees (°C in, K out).
+pub fn blended_surface_temperature(sst_c: f64, ice_tsfc_c: f64, ice_fraction: f64) -> f64 {
+    let f = ice_fraction.clamp(0.0, 1.0);
+    273.15 + (1.0 - f) * sst_c + f * ice_tsfc_c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn open_water_passes_atmosphere_fluxes() {
+        let m = merge_ocean_forcing(0.1, -0.05, 50.0, 0.0, 0.0, -30.0, 0.0);
+        assert_eq!(m.taux, 0.1);
+        assert_eq!(m.tauy, -0.05);
+        assert_eq!(m.qnet, 50.0);
+        assert_eq!(m.salt_flux, 0.0);
+    }
+
+    #[test]
+    fn full_ice_cover_reduces_stress_and_uses_ice_heat() {
+        let m = merge_ocean_forcing(0.1, 0.0, 80.0, 0.0, 1.0, -25.0, 0.0);
+        assert!((m.taux - 0.04).abs() < 1e-12);
+        assert_eq!(m.qnet, -25.0);
+    }
+
+    #[test]
+    fn melt_freshwater_freshens() {
+        let m = merge_ocean_forcing(0.0, 0.0, 0.0, 0.0, 0.5, 0.0, 1e-3);
+        assert!(m.salt_flux < 0.0, "melt must freshen: {}", m.salt_flux);
+    }
+
+    #[test]
+    fn evaporation_salts() {
+        let m = merge_ocean_forcing(0.0, 0.0, 0.0, 2e-8, 0.0, 0.0, 0.0);
+        assert!(m.salt_flux > 0.0);
+    }
+
+    #[test]
+    fn blended_temperature_interpolates() {
+        let t = blended_surface_temperature(10.0, -10.0, 0.5);
+        assert!((t - 273.15).abs() < 1e-12);
+        assert_eq!(blended_surface_temperature(20.0, -5.0, 0.0), 293.15);
+        assert_eq!(blended_surface_temperature(20.0, -5.0, 1.0), 268.15);
+    }
+}

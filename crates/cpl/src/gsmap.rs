@@ -1,0 +1,275 @@
+//! The global segment map (MCT `GlobalSegMap` analogue): which rank owns
+//! which contiguous runs of the global index space.
+
+use serde::{Deserialize, Serialize};
+
+/// One contiguous run of global indices owned by a rank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Segment {
+    pub start: usize,
+    pub length: usize,
+    pub owner: usize,
+}
+
+/// A decomposition of `0..nglobal` into rank-owned segments.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GSMap {
+    pub nglobal: usize,
+    pub nranks: usize,
+    /// Sorted by `start`; disjoint; covering exactly `0..nglobal`.
+    pub segments: Vec<Segment>,
+}
+
+impl GSMap {
+    /// Build from per-rank index ranges `[start, end)` (one per rank, in
+    /// rank order; ranges may be empty).
+    pub fn from_ranges(nglobal: usize, ranges: &[(usize, usize)]) -> Self {
+        let mut segments: Vec<Segment> = ranges
+            .iter()
+            .enumerate()
+            .filter(|(_, &(s, e))| e > s)
+            .map(|(owner, &(s, e))| Segment {
+                start: s,
+                length: e - s,
+                owner,
+            })
+            .collect();
+        segments.sort_by_key(|s| s.start);
+        let map = GSMap {
+            nglobal,
+            nranks: ranges.len(),
+            segments,
+        };
+        map.validate().expect("invalid ranges");
+        map
+    }
+
+    /// Even contiguous split of `0..nglobal` over `nranks`.
+    pub fn even(nglobal: usize, nranks: usize) -> Self {
+        let base = nglobal / nranks;
+        let rem = nglobal % nranks;
+        let mut ranges = Vec::with_capacity(nranks);
+        let mut start = 0;
+        for r in 0..nranks {
+            let len = base + usize::from(r < rem);
+            ranges.push((start, start + len));
+            start += len;
+        }
+        Self::from_ranges(nglobal, &ranges)
+    }
+
+    /// All indices on one rank (the root), as CESM uses for a
+    /// single-process component in an M×N coupling.
+    pub fn all_on_rank(nglobal: usize, nranks: usize, root: usize) -> Self {
+        let mut ranges = vec![(0, 0); nranks];
+        ranges[root] = (0, nglobal);
+        Self::from_ranges(nglobal, &ranges)
+    }
+
+    /// Build from an arbitrary owner-per-index assignment (segments are
+    /// coalesced; this is how a 2-D block decomposition becomes a GSMap).
+    pub fn from_owners(owners: &[usize], nranks: usize) -> Self {
+        let mut segments = Vec::new();
+        let mut i = 0;
+        while i < owners.len() {
+            let owner = owners[i];
+            assert!(owner < nranks, "owner {owner} out of range");
+            let start = i;
+            while i < owners.len() && owners[i] == owner {
+                i += 1;
+            }
+            segments.push(Segment {
+                start,
+                length: i - start,
+                owner,
+            });
+        }
+        let map = GSMap {
+            nglobal: owners.len(),
+            nranks,
+            segments,
+        };
+        map.validate().expect("owners produced invalid map");
+        map
+    }
+
+    /// Check the invariant: sorted, disjoint, complete coverage.
+    pub fn validate(&self) -> Result<(), String> {
+        let mut expect = 0usize;
+        for s in &self.segments {
+            if s.start != expect {
+                return Err(format!(
+                    "gap or overlap at {expect}: next segment starts {}",
+                    s.start
+                ));
+            }
+            if s.owner >= self.nranks {
+                return Err(format!("owner {} out of 0..{}", s.owner, self.nranks));
+            }
+            expect = s.start + s.length;
+        }
+        if expect != self.nglobal {
+            return Err(format!("coverage ends at {expect}, expected {}", self.nglobal));
+        }
+        Ok(())
+    }
+
+    /// Owner of a global index.
+    pub fn owner_of(&self, gid: usize) -> usize {
+        assert!(gid < self.nglobal);
+        let mut lo = 0;
+        let mut hi = self.segments.len();
+        while lo + 1 < hi {
+            let mid = (lo + hi) / 2;
+            if self.segments[mid].start <= gid {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        self.segments[lo].owner
+    }
+
+    /// Global indices owned by `rank` in ascending order.
+    pub fn local_indices(&self, rank: usize) -> Vec<usize> {
+        self.segments
+            .iter()
+            .filter(|s| s.owner == rank)
+            .flat_map(|s| s.start..s.start + s.length)
+            .collect()
+    }
+
+    /// Number of indices owned by `rank`.
+    pub fn local_size(&self, rank: usize) -> usize {
+        self.segments
+            .iter()
+            .filter(|s| s.owner == rank)
+            .map(|s| s.length)
+            .sum()
+    }
+
+    /// Rough memory footprint in bytes (the quantity that overflows a
+    /// Sunway CG when built online, motivating offline precompute).
+    pub fn memory_bytes(&self) -> usize {
+        std::mem::size_of::<Segment>() * self.segments.len() + std::mem::size_of::<Self>()
+    }
+
+    /// Serialise for the offline-precompute store (§5.2.4).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        use bytes::BufMut;
+        let mut b = bytes::BytesMut::new();
+        b.put_u64_le(self.nglobal as u64);
+        b.put_u64_le(self.nranks as u64);
+        b.put_u64_le(self.segments.len() as u64);
+        for s in &self.segments {
+            b.put_u64_le(s.start as u64);
+            b.put_u64_le(s.length as u64);
+            b.put_u64_le(s.owner as u64);
+        }
+        b.to_vec()
+    }
+
+    /// Deserialise an offline-precomputed map, re-validating invariants.
+    pub fn from_bytes(mut buf: &[u8]) -> Result<Self, String> {
+        use bytes::Buf;
+        if buf.len() < 24 {
+            return Err("truncated GSMap".into());
+        }
+        let nglobal = buf.get_u64_le() as usize;
+        let nranks = buf.get_u64_le() as usize;
+        let nseg = buf.get_u64_le() as usize;
+        if buf.len() < nseg * 24 {
+            return Err("truncated GSMap segments".into());
+        }
+        let mut segments = Vec::with_capacity(nseg);
+        for _ in 0..nseg {
+            segments.push(Segment {
+                start: buf.get_u64_le() as usize,
+                length: buf.get_u64_le() as usize,
+                owner: buf.get_u64_le() as usize,
+            });
+        }
+        let map = GSMap {
+            nglobal,
+            nranks,
+            segments,
+        };
+        map.validate()?;
+        Ok(map)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn even_split_covers_everything() {
+        let m = GSMap::even(103, 4);
+        m.validate().unwrap();
+        let total: usize = (0..4).map(|r| m.local_size(r)).sum();
+        assert_eq!(total, 103);
+        // Sizes differ by at most 1.
+        let sizes: Vec<usize> = (0..4).map(|r| m.local_size(r)).collect();
+        assert!(sizes.iter().max().unwrap() - sizes.iter().min().unwrap() <= 1);
+    }
+
+    #[test]
+    fn owner_lookup_matches_local_indices() {
+        let m = GSMap::from_ranges(20, &[(0, 5), (5, 12), (12, 20)]);
+        for r in 0..3 {
+            for gid in m.local_indices(r) {
+                assert_eq!(m.owner_of(gid), r);
+            }
+        }
+    }
+
+    #[test]
+    fn all_on_rank_is_degenerate_but_valid() {
+        let m = GSMap::all_on_rank(50, 4, 2);
+        m.validate().unwrap();
+        assert_eq!(m.local_size(2), 50);
+        assert_eq!(m.local_size(0), 0);
+        assert_eq!(m.owner_of(49), 2);
+    }
+
+    #[test]
+    fn from_owners_coalesces_segments() {
+        let owners = vec![0, 0, 1, 1, 1, 0, 2, 2];
+        let m = GSMap::from_owners(&owners, 3);
+        assert_eq!(m.segments.len(), 4);
+        assert_eq!(m.local_indices(0), vec![0, 1, 5]);
+        assert_eq!(m.local_indices(1), vec![2, 3, 4]);
+        assert_eq!(m.local_indices(2), vec![6, 7]);
+    }
+
+    #[test]
+    fn validation_catches_gaps() {
+        let broken = GSMap {
+            nglobal: 10,
+            nranks: 2,
+            segments: vec![
+                Segment {
+                    start: 0,
+                    length: 4,
+                    owner: 0,
+                },
+                Segment {
+                    start: 6,
+                    length: 4,
+                    owner: 1,
+                },
+            ],
+        };
+        assert!(broken.validate().is_err());
+    }
+
+    #[test]
+    fn binary_roundtrip_for_offline_store() {
+        // The offline-precompute path serialises GSMaps to disk (§5.2.4).
+        let m = GSMap::even(1000, 7);
+        let bytes = m.to_bytes();
+        let back = GSMap::from_bytes(&bytes).unwrap();
+        assert_eq!(m, back);
+    }
+}

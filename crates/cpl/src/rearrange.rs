@@ -1,0 +1,251 @@
+//! Rearrangement: executing a [`Router`] over the communication world.
+//!
+//! "Rearrangement in the coupler generalizes the matrix transpose. The
+//! original all-to-all MPI was inefficient; we implemented non-blocking
+//! point-to-point MPI, which overlaps communication and computation for
+//! improved performance" (§5.2.4). Both strategies are implemented so the
+//! S524 benchmark can compare them on identical routers.
+
+use ap3esm_comm::collectives::alltoallv;
+use ap3esm_comm::Rank;
+
+use crate::router::Router;
+
+/// Which MPI pattern moves the data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RearrangeStrategy {
+    /// One `MPI_Alltoallv`-style collective (the original implementation).
+    AllToAll,
+    /// Non-blocking point-to-point sends to only the ranks that need data,
+    /// receives drained in arrival-friendly order (the optimisation).
+    NonBlockingP2p,
+}
+
+/// Executes one router in either direction.
+pub struct Rearranger {
+    pub router: Router,
+    tag: u64,
+}
+
+impl Rearranger {
+    pub fn new(router: Router, tag: u64) -> Self {
+        Rearranger { router, tag }
+    }
+
+    /// Move `src_data` (this rank's source-decomposition slice) into the
+    /// destination decomposition; returns this rank's destination slice of
+    /// length `dst_len`.
+    ///
+    /// Every rank of the world participates (the coupler "runs on all
+    /// processors"); ranks with no data still make the call.
+    pub fn rearrange(
+        &self,
+        rank: &Rank,
+        strategy: RearrangeStrategy,
+        src_data: &[f64],
+        dst_len: usize,
+    ) -> Vec<f64> {
+        match strategy {
+            RearrangeStrategy::AllToAll => self.rearrange_a2a(rank, src_data, dst_len),
+            RearrangeStrategy::NonBlockingP2p => self.rearrange_p2p(rank, src_data, dst_len),
+        }
+    }
+
+    fn gather_for(&self, me: usize, dst: usize, src_data: &[f64]) -> Vec<f64> {
+        let leg = &self.router.legs[me][dst];
+        leg.src_local
+            .iter()
+            .map(|&p| src_data[p as usize])
+            .collect()
+    }
+
+    fn scatter_from(&self, src: usize, me: usize, buf: &[f64], out: &mut [f64]) {
+        let leg = &self.router.legs[src][me];
+        assert_eq!(buf.len(), leg.dst_local.len(), "leg length mismatch");
+        for (&p, &v) in leg.dst_local.iter().zip(buf) {
+            out[p as usize] = v;
+        }
+    }
+
+    fn rearrange_a2a(&self, rank: &Rank, src_data: &[f64], dst_len: usize) -> Vec<f64> {
+        let me = rank.id();
+        let sends: Vec<Vec<f64>> = (0..rank.size())
+            .map(|dst| {
+                if me < self.router.src_ranks && dst < self.router.dst_ranks {
+                    self.gather_for(me, dst, src_data)
+                } else {
+                    Vec::new()
+                }
+            })
+            .collect();
+        let recvd = alltoallv(rank, self.tag, sends).expect("rearrange alltoall");
+        let mut out = vec![0.0; dst_len];
+        if me < self.router.dst_ranks {
+            for (src, buf) in recvd.into_iter().enumerate() {
+                if src < self.router.src_ranks && !buf.is_empty() {
+                    self.scatter_from(src, me, &buf, &mut out);
+                }
+            }
+        }
+        out
+    }
+
+    fn rearrange_p2p(&self, rank: &Rank, src_data: &[f64], dst_len: usize) -> Vec<f64> {
+        let me = rank.id();
+        let tag = 0x5240_0000 + self.tag;
+        // Post sends only to destinations with nonempty legs.
+        if me < self.router.src_ranks {
+            for dst in 0..self.router.dst_ranks {
+                if !self.router.legs[me][dst].src_local.is_empty() {
+                    rank.isend(dst, tag, self.gather_for(me, dst, src_data));
+                }
+            }
+        }
+        // Receive only from sources with nonempty legs for us; scatter as
+        // each message arrives (communication/computation overlap).
+        let mut out = vec![0.0; dst_len];
+        if me < self.router.dst_ranks {
+            for src in 0..self.router.src_ranks {
+                if !self.router.legs[src][me].dst_local.is_empty() {
+                    let buf: Vec<f64> = rank.recv(src, tag).expect("rearrange p2p recv");
+                    self.scatter_from(src, me, &buf, &mut out);
+                }
+            }
+        }
+        out
+    }
+
+    /// Messages the P2P strategy sends from this rank (sparsity gain over
+    /// all-to-all's `world_size` buffers).
+    pub fn p2p_message_count(&self, me: usize) -> usize {
+        if me >= self.router.src_ranks {
+            return 0;
+        }
+        self.router.legs[me]
+            .iter()
+            .filter(|l| !l.src_local.is_empty())
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gsmap::GSMap;
+    use ap3esm_comm::World;
+
+    fn check_strategy(strategy: RearrangeStrategy) {
+        let nglobal = 97;
+        let nranks = 4;
+        let src = GSMap::even(nglobal, nranks);
+        let dst = GSMap::from_ranges(nglobal, &[(0, 10), (10, 40), (40, 41), (41, 97)]);
+        let world = World::new(nranks);
+        let outs = world.run(|rank| {
+            let router = Router::build(&src, &dst);
+            let rearranger = Rearranger::new(router, 7);
+            // Source data: global index value, in local gather order.
+            let local: Vec<f64> = src
+                .local_indices(rank.id())
+                .iter()
+                .map(|&g| g as f64)
+                .collect();
+            rearranger.rearrange(rank, strategy, &local, dst.local_size(rank.id()))
+        });
+        // Every rank must hold exactly its destination global ids.
+        for (r, out) in outs.iter().enumerate() {
+            let expect: Vec<f64> = dst.local_indices(r).iter().map(|&g| g as f64).collect();
+            assert_eq!(out, &expect, "rank {r} under {strategy:?}");
+        }
+    }
+
+    #[test]
+    fn alltoall_rearrange_is_a_permutation() {
+        check_strategy(RearrangeStrategy::AllToAll);
+    }
+
+    #[test]
+    fn p2p_rearrange_matches_alltoall() {
+        check_strategy(RearrangeStrategy::NonBlockingP2p);
+    }
+
+    #[test]
+    fn round_trip_restores_source_layout() {
+        let nglobal = 64;
+        let nranks = 3;
+        let a = GSMap::even(nglobal, nranks);
+        let b = GSMap::from_ranges(nglobal, &[(0, 30), (30, 31), (31, 64)]);
+        let world = World::new(nranks);
+        world.run(|rank| {
+            let fwd = Rearranger::new(Router::build(&a, &b), 1);
+            let back = Rearranger::new(Router::build(&b, &a), 2);
+            let local: Vec<f64> = a
+                .local_indices(rank.id())
+                .iter()
+                .map(|&g| (g as f64).sin())
+                .collect();
+            let there = fwd.rearrange(
+                rank,
+                RearrangeStrategy::NonBlockingP2p,
+                &local,
+                b.local_size(rank.id()),
+            );
+            let home = back.rearrange(
+                rank,
+                RearrangeStrategy::AllToAll,
+                &there,
+                a.local_size(rank.id()),
+            );
+            assert_eq!(home, local);
+        });
+    }
+
+    #[test]
+    fn p2p_sends_fewer_messages_than_world_size() {
+        // 1→N routing: source rank 0 sends N messages; others send none —
+        // all-to-all would enqueue world_size buffers from every rank.
+        let src = GSMap::all_on_rank(100, 6, 0);
+        let dst = GSMap::even(100, 6);
+        let router = Router::build(&src, &dst);
+        let r = Rearranger::new(router, 3);
+        assert_eq!(r.p2p_message_count(0), 6);
+        for rank in 1..6 {
+            assert_eq!(r.p2p_message_count(rank), 0);
+        }
+    }
+
+    #[test]
+    fn one_to_many_and_back_through_world() {
+        // The coupled model's ATM-root ↔ OCN-ranks exchange.
+        let nglobal = 48;
+        let nranks = 4;
+        let atm = GSMap::all_on_rank(nglobal, nranks, 0);
+        let ocn = GSMap::even(nglobal, nranks);
+        let world = World::new(nranks);
+        let outs = world.run(|rank| {
+            let scatter = Rearranger::new(Router::build(&atm, &ocn), 11);
+            let gather = Rearranger::new(Router::build(&ocn, &atm), 12);
+            let src: Vec<f64> = if rank.id() == 0 {
+                (0..nglobal).map(|g| g as f64 * 2.0).collect()
+            } else {
+                Vec::new()
+            };
+            let mine = scatter.rearrange(
+                rank,
+                RearrangeStrategy::NonBlockingP2p,
+                &src,
+                ocn.local_size(rank.id()),
+            );
+            // Each rank doubles its part, then it is gathered back.
+            let processed: Vec<f64> = mine.iter().map(|v| v + 1.0).collect();
+            gather.rearrange(
+                rank,
+                RearrangeStrategy::NonBlockingP2p,
+                &processed,
+                atm.local_size(rank.id()),
+            )
+        });
+        let expect: Vec<f64> = (0..nglobal).map(|g| g as f64 * 2.0 + 1.0).collect();
+        assert_eq!(outs[0], expect);
+        assert!(outs[1].is_empty());
+    }
+}

@@ -1,0 +1,199 @@
+//! AP3ESM configurations — the Table 1 presets and scaled-down test sizes.
+
+use serde::{Deserialize, Serialize};
+
+use ap3esm_cpl::rearrange::RearrangeStrategy;
+use ap3esm_grid::icosahedral::GeodesicCounts;
+
+/// The five paper configurations (atmosphere km vs ocean km).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Resolution {
+    /// 1 km atm + 1 km ocn.
+    R1v1,
+    /// 3 km atm + 2 km ocn (the production configuration).
+    R3v2,
+    /// 6 km atm + 3 km ocn.
+    R6v3,
+    /// 10 km atm + 5 km ocn.
+    R10v5,
+    /// 25 km atm + 10 km ocn.
+    R25v10,
+}
+
+impl Resolution {
+    pub const ALL: [Resolution; 5] = [
+        Resolution::R1v1,
+        Resolution::R3v2,
+        Resolution::R6v3,
+        Resolution::R10v5,
+        Resolution::R25v10,
+    ];
+
+    pub fn label(&self) -> &'static str {
+        match self {
+            Resolution::R1v1 => "1v1",
+            Resolution::R3v2 => "3v2",
+            Resolution::R6v3 => "6v3",
+            Resolution::R10v5 => "10v5",
+            Resolution::R25v10 => "25v10",
+        }
+    }
+
+    /// (atm km, ocn km).
+    pub fn km(&self) -> (f64, f64) {
+        match self {
+            Resolution::R1v1 => (1.0, 1.0),
+            Resolution::R3v2 => (3.0, 2.0),
+            Resolution::R6v3 => (6.0, 3.0),
+            Resolution::R10v5 => (10.0, 5.0),
+            Resolution::R25v10 => (25.0, 10.0),
+        }
+    }
+
+    /// GRIST glevel of the atmosphere component.
+    pub fn atm_glevel(&self) -> u32 {
+        ap3esm_grid::glevel_for_resolution_km(self.km().0)
+    }
+
+    /// Ocean `(nlon, nlat)` from the Table 1 presets.
+    pub fn ocn_dims(&self) -> (usize, usize) {
+        let target = self.km().1;
+        let &(_, nlon, nlat) = ap3esm_grid::tripolar::TABLE1_PRESETS
+            .iter()
+            .min_by(|a, b| {
+                (a.0 - target)
+                    .abs()
+                    .partial_cmp(&(b.0 - target).abs())
+                    .expect("finite")
+            })
+            .expect("presets");
+        (nlon, nlat)
+    }
+
+    /// Total grid points of the pair (the Table 1 "Total Grids" column):
+    /// atmosphere cells × 30 levels + ocean columns × 80 levels.
+    pub fn total_gridpoints(&self) -> u64 {
+        let atm = GeodesicCounts::at_glevel(self.atm_glevel());
+        let (nlon, nlat) = self.ocn_dims();
+        atm.cells as u64 * 30 + (nlon * nlat) as u64 * 80
+    }
+}
+
+/// Full coupled-model configuration (sizes are free so tests can shrink the
+/// same code path the presets use).
+#[derive(Debug, Clone)]
+pub struct CoupledConfig {
+    /// Atmosphere icosahedral refinement level.
+    pub atm_glevel: u32,
+    pub atm_nlev: usize,
+    /// Ocean grid dims.
+    pub ocn_nlon: usize,
+    pub ocn_nlat: usize,
+    pub ocn_nlev: usize,
+    /// Ocean process mesh (domain O size = px·py; world = 1 + px·py).
+    pub ocn_px: usize,
+    pub ocn_py: usize,
+    /// Couplings per day (atm, ocn, ice) — paper: (180, 36, 180).
+    pub couplings_per_day: (i64, i64, i64),
+    /// Rearrangement strategy for coupler traffic.
+    pub strategy: RearrangeStrategy,
+    /// Use the AI physics suite in the atmosphere (needs trained modules).
+    pub ai_physics: bool,
+    /// Mask seed (synthetic continents).
+    pub mask_seed: u64,
+    /// §5.1.2 task-level parallelism strategy: `false` = two concurrent
+    /// task domains (ATM+ICE+LND+CPL | OCN, the paper's production layout);
+    /// `true` = all components sequential within a single domain (the
+    /// paper's alternative layout, used here as the ablation baseline).
+    pub single_domain: bool,
+}
+
+impl CoupledConfig {
+    /// A laptop-scale configuration exercising every coupled code path:
+    /// G3 atmosphere (642 cells, ~880 km) + 36×24 ocean, 4 ocean ranks.
+    pub fn test_tiny() -> Self {
+        CoupledConfig {
+            atm_glevel: 3,
+            atm_nlev: 5,
+            ocn_nlon: 36,
+            ocn_nlat: 24,
+            ocn_nlev: 6,
+            ocn_px: 2,
+            ocn_py: 2,
+            couplings_per_day: (8, 4, 8),
+            strategy: RearrangeStrategy::NonBlockingP2p,
+            ai_physics: false,
+            mask_seed: 20250704,
+            single_domain: false,
+        }
+    }
+
+    /// A slightly larger demo configuration (examples/figures).
+    pub fn demo_small() -> Self {
+        CoupledConfig {
+            atm_glevel: 4,
+            atm_nlev: 8,
+            ocn_nlon: 72,
+            ocn_nlat: 46,
+            ocn_nlev: 10,
+            ocn_px: 2,
+            ocn_py: 2,
+            couplings_per_day: (24, 12, 24),
+            strategy: RearrangeStrategy::NonBlockingP2p,
+            ai_physics: false,
+            mask_seed: 20250704,
+            single_domain: false,
+        }
+    }
+
+    /// World size: 1 domain-A rank + the ocean ranks in the two-domain
+    /// layout; a single rank in the sequential layout.
+    pub fn world_size(&self) -> usize {
+        if self.single_domain {
+            1
+        } else {
+            1 + self.ocn_px * self.ocn_py
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_and_pairs() {
+        assert_eq!(Resolution::R3v2.label(), "3v2");
+        assert_eq!(Resolution::R3v2.km(), (3.0, 2.0));
+        assert_eq!(Resolution::R1v1.atm_glevel(), 12);
+        assert_eq!(Resolution::R25v10.atm_glevel(), 8);
+    }
+
+    #[test]
+    fn ocn_dims_follow_table1() {
+        assert_eq!(Resolution::R1v1.ocn_dims(), (36000, 22018));
+        assert_eq!(Resolution::R3v2.ocn_dims(), (18000, 11511));
+        assert_eq!(Resolution::R25v10.ocn_dims(), (3600, 2302));
+    }
+
+    #[test]
+    fn total_gridpoints_ordering_matches_paper() {
+        // Totals must decrease monotonically from 1v1 to 25v10 and match
+        // the paper's order of magnitude (7.2e10 at 1v1, 5.5e8 at 25v10).
+        let totals: Vec<u64> = Resolution::ALL
+            .iter()
+            .map(|r| r.total_gridpoints())
+            .collect();
+        for w in totals.windows(2) {
+            assert!(w[0] > w[1]);
+        }
+        assert!(totals[0] > 6e10 as u64 && totals[0] < 9e10 as u64);
+        assert!(totals[4] > 2e8 as u64 && totals[4] < 9e8 as u64);
+    }
+
+    #[test]
+    fn test_config_world_size() {
+        let c = CoupledConfig::test_tiny();
+        assert_eq!(c.world_size(), 5);
+    }
+}

@@ -1,0 +1,710 @@
+//! The coupled AP3ESM driver.
+//!
+//! Implements the paper's two-task-domain layout (§7.2): world rank 0 is
+//! **domain A** — coupler + atmosphere + sea ice + land ("the atmosphere
+//! component exhibits the highest computational cost, and placing the
+//! coupler within the same domain minimizes data exchange"; "the land
+//! component is inherently coupled with the atmospheric component"; "the
+//! sea ice component contributes minimal computational overhead") — and
+//! world ranks 1..=N are **domain O**, exclusively the ocean ("the ocean
+//! component represents the second largest computational cost,
+//! necessitating its allocation to a separate domain").
+//!
+//! Data crosses domains through GSMap/Router rearrangement (`ap3esm-cpl`),
+//! under the coupling clock's 180/36/180-per-day cadence (configurable).
+
+use ap3esm_atm::dycore::{Dycore, DycoreConfig};
+use ap3esm_atm::pdc::{PhysicsDriver, PhysicsDynamicsCoupler, SurfaceForcing};
+use ap3esm_atm::state::AtmState;
+use ap3esm_atm::vortex::{seed_vortex, track_vortex, TrackPoint, VortexSpec};
+use ap3esm_comm::Rank;
+use ap3esm_cpl::clock::CouplingClock;
+use ap3esm_cpl::fluxes::{blended_surface_temperature, merge_ocean_forcing};
+use ap3esm_cpl::gsmap::GSMap;
+use ap3esm_cpl::mapping::RemapMatrix;
+use ap3esm_cpl::rearrange::Rearranger;
+use ap3esm_cpl::router::Router;
+use ap3esm_grid::decomp::BlockDecomp2d;
+use ap3esm_grid::mask::MaskGenerator;
+use ap3esm_grid::sphere::Vec3;
+use ap3esm_grid::tripolar::TripolarGrid;
+use ap3esm_grid::GeodesicGrid;
+use ap3esm_ice::{IceForcing, IceModel};
+use ap3esm_lnd::{LndForcing, LndModel};
+use ap3esm_ocn::model::{OcnConfig, OcnForcing, OcnModel};
+use ap3esm_physics::constants::{temperature_from_theta, STEFAN_BOLTZMANN};
+use ap3esm_physics::surface::{bulk_fluxes, BulkCoefficients};
+use ap3esm_physics::ConventionalSuite;
+
+use crate::config::CoupledConfig;
+use crate::timing::{get_timing, Timers};
+
+/// Build the AI physics suite for the coupled model: a quick in-situ
+/// training pass over conventional-physics supervision (our stand-in for
+/// loading the paper's pre-trained 5-km weights; DESIGN.md substitution).
+fn build_ai_driver(nlev: usize) -> PhysicsDriver {
+    use ap3esm_ai::modules::{Normalizer, RadiationModule, TendencyModule};
+    use ap3esm_ai::net::{RadiationMlp, TendencyCnn};
+    use ap3esm_ai::train::{TrainConfig, Trainer};
+    use ap3esm_physics::suite::{hydrostatic_thickness, Column, SurfaceProperties};
+
+    let suite = ConventionalSuite::default();
+    let sigma: Vec<f64> = (0..nlev)
+        .map(|k| 1.0 - (k as f64 + 0.5) / nlev as f64)
+        .collect();
+    let ds = vec![1.0 / nlev as f64; nlev];
+    let mut inputs = Vec::new();
+    let mut targets = Vec::new();
+    for s in 0..240 {
+        let t_surf = 278.0 + 24.0 * ((s as f64) * 0.41).sin().abs();
+        let t: Vec<f64> = (0..nlev)
+            .map(|k| t_surf - (50.0 / nlev as f64) * k as f64)
+            .collect();
+        let (p, dp, dz) = hydrostatic_thickness(&sigma, &ds, 1.0e5, &t);
+        let q: Vec<f64> = (0..nlev)
+            .map(|k| 0.012 * (-1.5 * k as f64 / nlev as f64).exp())
+            .collect();
+        let col = Column {
+            u: vec![6.0 * ((s % 7) as f64 - 3.0); nlev],
+            v: vec![0.0; nlev],
+            t: t.clone(),
+            q: q.clone(),
+            p: p.clone(),
+            dp,
+            dz,
+        };
+        let out = suite.step_column(
+            &col,
+            &SurfaceProperties {
+                tskin: t_surf + 1.0,
+                coszr: 0.25 * (s % 4) as f64,
+                wetness: 1.0,
+            },
+        );
+        let mut x = Vec::new();
+        for src in [&col.u, &col.v, &col.t, &col.q, &col.p] {
+            x.extend(src.iter().map(|&v| v as f32));
+        }
+        let mut y = Vec::new();
+        for src in [&out.du, &out.dv, &out.dt, &out.dq] {
+            y.extend(src.iter().map(|&v| v as f32));
+        }
+        inputs.push(x);
+        targets.push(y);
+    }
+    let in_norm = Normalizer::fit(&inputs, 5);
+    let out_norm = Normalizer::fit(&targets, 4);
+    for s in inputs.iter_mut() {
+        *s = in_norm.normalize(s, 5);
+    }
+    for s in targets.iter_mut() {
+        *s = out_norm.normalize(s, 4);
+    }
+    let mut net = TendencyCnn::with_width(nlev, 12, 11);
+    let trainer = Trainer::new(TrainConfig {
+        epochs: 6,
+        batch_size: 16,
+        lr: 2e-3,
+    });
+    trainer.train_cnn(&mut net, &inputs, &targets);
+    PhysicsDriver::AiSuite {
+        tendency: TendencyModule::new(net, in_norm, out_norm),
+        radiation: RadiationModule::new(
+            RadiationMlp::with_width(nlev, 24, 13),
+            Normalizer {
+                mean: vec![0.0],
+                std: vec![100.0],
+            },
+            Normalizer {
+                mean: vec![200.0, 350.0],
+                std: vec![100.0, 50.0],
+            },
+        ),
+        diagnostics: ConventionalSuite::default(),
+    }
+}
+
+/// Run options.
+#[derive(Debug, Clone)]
+pub struct CoupledOptions {
+    /// Simulated days.
+    pub days: f64,
+    /// Seed this vortex into the atmosphere at t = 0 (forecast experiment).
+    pub vortex: Option<VortexSpec>,
+    /// Track the vortex at every atmosphere coupling.
+    pub record_track: bool,
+}
+
+impl Default for CoupledOptions {
+    fn default() -> Self {
+        CoupledOptions {
+            days: 1.0,
+            vortex: None,
+            record_track: false,
+        }
+    }
+}
+
+/// Per-run results (rank 0 carries the series; ocean ranks carry timing).
+#[derive(Debug, Clone, Default)]
+pub struct CoupledStats {
+    pub simulated_seconds: f64,
+    pub wall_seconds: f64,
+    /// Measured SYPD of this (laptop-scale) run.
+    pub sypd: f64,
+    /// Global mean SST (°C) at each ocean coupling.
+    pub sst_series: Vec<f64>,
+    /// Atmosphere global mass-weighted mean θ (K) at each atm coupling.
+    pub theta_series: Vec<f64>,
+    /// Global ocean kinetic energy at each ocean coupling.
+    pub ke_series: Vec<f64>,
+    /// Tracked vortex positions (if requested).
+    pub track: Vec<TrackPoint>,
+    /// Mean ice cover at each ice coupling.
+    pub ice_series: Vec<f64>,
+    /// Coupler bytes moved (from the world's stats, measured by rank 0).
+    pub per_section_seconds: Vec<(String, f64)>,
+}
+
+/// Fit the atmosphere stepping so an integer number of model steps covers
+/// the coupling period (§5.1.1's consistency requirement).
+fn fitted_atm_config(dx_km: f64, period: f64) -> DycoreConfig {
+    let base = DycoreConfig::for_spacing_km(dx_km);
+    let n = (period / base.dt_model).ceil().max(1.0);
+    let dt_model = period / n;
+    let dt_tracer = dt_model / 4.0;
+    let dt_dyn = dt_tracer / 4.0;
+    DycoreConfig {
+        dt_dyn,
+        dt_tracer,
+        dt_model,
+        nu: 0.015 * (dx_km * 1000.0).powi(2) / dt_dyn,
+    }
+}
+
+/// Same fitting for the ocean.
+fn fitted_ocn_config(config: &CoupledConfig, period: f64) -> OcnConfig {
+    let mut c = OcnConfig::for_grid(
+        config.ocn_nlon,
+        config.ocn_nlat,
+        config.ocn_nlev,
+        config.ocn_px,
+        config.ocn_py,
+    );
+    let n = (period / c.dt_baroclinic).ceil().max(1.0);
+    c.dt_baroclinic = period / n;
+    c
+}
+
+/// Owner world rank per flat ocean column, j-major: `1 + ocean rank` in the
+/// two-domain layout, rank 0 everywhere in the sequential layout.
+fn ocn_owners(config: &CoupledConfig) -> Vec<usize> {
+    if config.single_domain {
+        return vec![0usize; config.ocn_nlon * config.ocn_nlat];
+    }
+    let decomp = BlockDecomp2d::new(config.ocn_nlon, config.ocn_nlat, config.ocn_px, config.ocn_py);
+    let mut owners = vec![0usize; config.ocn_nlon * config.ocn_nlat];
+    for r in 0..decomp.nranks() {
+        let b = decomp.block(r);
+        for j in b.j0..b.j1 {
+            for i in b.i0..b.i1 {
+                owners[j * config.ocn_nlon + i] = 1 + r;
+            }
+        }
+    }
+    owners
+}
+
+/// Run the coupled model; every world rank calls this inside `World::run`.
+pub fn run_coupled(rank: &Rank, config: &CoupledConfig, opts: &CoupledOptions) -> CoupledStats {
+    assert_eq!(rank.size(), config.world_size(), "world size mismatch");
+    let world_ranks = rank.size();
+    let me = rank.id();
+    let is_root = me == 0;
+
+    let mask = MaskGenerator {
+        seed: config.mask_seed,
+        ..MaskGenerator::default()
+    };
+    let ocn_grid = TripolarGrid::new(config.ocn_nlon, config.ocn_nlat, config.ocn_nlev, mask);
+    let ncols = ocn_grid.ncols();
+
+    // --- Coupler data structures (built by everyone; cheap at our sizes,
+    //     and on Sunway they would be loaded from the offline store). ---
+    let ocn_map = GSMap::from_owners(&ocn_owners(config), world_ranks);
+    let root_map = GSMap::all_on_rank(ncols, world_ranks, 0);
+    let scatter = Rearranger::new(Router::build(&root_map, &ocn_map), 21);
+    let gather = Rearranger::new(Router::build(&ocn_map, &root_map), 22);
+    let my_ocn_cols = ocn_map.local_size(me);
+
+    let mut clock = CouplingClock::new(
+        config.couplings_per_day.0,
+        config.couplings_per_day.1,
+        config.couplings_per_day.2,
+    );
+    let atm_period = clock.atm_alarm.period as f64;
+    let ocn_period = clock.ocn_alarm.period as f64;
+    let ice_period = clock.ice_alarm.period as f64;
+
+    let mut timers = Timers::new();
+    let t_start = std::time::Instant::now();
+    let total_seconds = (opts.days * 86_400.0).round();
+    let mut stats = CoupledStats::default();
+
+    if is_root {
+        // ================= Domain A: coupler + ATM + ICE + LND ==========
+        let grid = std::sync::Arc::new(GeodesicGrid::new(config.atm_glevel));
+        let dx_km = grid.mean_spacing_km();
+        let mut atm = AtmState::isothermal(std::sync::Arc::clone(&grid), config.atm_nlev, 288.0);
+        // Meridional temperature structure so the circulation is not
+        // degenerate: warm tropics, cold poles.
+        {
+            let n = grid.ncells();
+            for k in 0..config.atm_nlev {
+                for i in 0..n {
+                    let phi = grid.cells[i].lat();
+                    atm.theta[k * n + i] += 15.0 * (phi.cos().powi(2) - 0.5);
+                }
+            }
+        }
+        if let Some(spec) = &opts.vortex {
+            seed_vortex(&mut atm, spec);
+        }
+        let dycore = Dycore::new(std::sync::Arc::clone(&grid), fitted_atm_config(dx_km, atm_period));
+        let mut pdc = PhysicsDynamicsCoupler::new(if config.ai_physics {
+            build_ai_driver(config.atm_nlev)
+        } else {
+            PhysicsDriver::Conventional(ConventionalSuite::default())
+        });
+
+        // Land on atmosphere cells, same synthetic continents.
+        let (atm_land, _) = mask.land_mask(&grid.cells, 0.29);
+        let mut lnd = LndModel::new(atm_land.clone(), 285.0);
+
+        // Ice on the full ocean grid (domain A owns ice).
+        let ice_decomp = BlockDecomp2d::new(config.ocn_nlon, config.ocn_nlat, 1, 1);
+        let mut ice = IceModel::new(&ocn_grid, &ice_decomp, 0);
+
+        // Remap matrices.
+        let ocn_points: Vec<Vec3> = (0..config.ocn_nlat)
+            .flat_map(|j| {
+                (0..config.ocn_nlon)
+                    .map(move |i| (i, j))
+                    .collect::<Vec<_>>()
+            })
+            .map(|(i, j)| Vec3::from_lat_lon(ocn_grid.lat[j], ocn_grid.lon[i]))
+            .collect();
+        let atm_to_ocn = RemapMatrix::inverse_distance(&grid.cells, &ocn_points, 3);
+        let ocn_to_atm = RemapMatrix::inverse_distance(&ocn_points, &grid.cells, 3);
+        let ocn_valid: Vec<bool> = (0..ncols).map(|c| ocn_grid.kmt[c] > 0).collect();
+
+        // Sequential layout: the ocean lives on this rank too (§5.1.2's
+        // "all components are executed sequentially within a single
+        // domain").
+        let mut ocn_inline = if config.single_domain {
+            let mut c = fitted_ocn_config(config, ocn_period);
+            c.px = 1;
+            c.py = 1;
+            c.rank_offset = 0;
+            Some((OcnModel::new(&ocn_grid, c.clone(), 0), c))
+        } else {
+            None
+        };
+
+        // Rank-0 global copies of ocean/ice surface state.
+        let mut sst_global: Vec<f64> = (0..ncols)
+            .map(|c| {
+                let j = c / config.ocn_nlon;
+                let phi = ocn_grid.lat[j];
+                2.0 + 26.0 * phi.cos().powi(2)
+            })
+            .collect();
+        let mut ssu_global = vec![0.0; ncols];
+        let mut ssv_global = vec![0.0; ncols];
+        let mut ice_frac_global = ice.state.fraction.clone();
+        let mut ice_heat_global = vec![0.0; ncols];
+        let mut ice_fresh_global = vec![0.0; ncols];
+        let mut last_precip_accum = vec![0.0; grid.ncells()];
+        let mut prev_track: Option<(f64, f64)> = None;
+
+        let bulk = BulkCoefficients::default();
+
+        while (clock.time as f64) < total_seconds {
+            let event = clock.advance();
+            let day_of_year = 202.0 + clock.days(); // late July (Doksuri)
+            let seconds_utc = (clock.time % 86_400) as f64;
+
+            if event.atm {
+                timers.start("atm_run");
+                // Surface forcing seen by the atmosphere physics.
+                let n = grid.ncells();
+                let sst_on_atm =
+                    ocn_to_atm.apply_masked(&sst_global, &ocn_valid, 15.0);
+                let ice_on_atm = ocn_to_atm.apply(&ice_frac_global);
+                let wet = lnd.wetness();
+                let mut forcing = SurfaceForcing::uniform(n, 288.0, 0.0, 1.0);
+                for i in 0..n {
+                    let phi = grid.cells[i].lat();
+                    let lam = grid.cells[i].lon();
+                    forcing.coszr[i] = crate::solar::cos_zenith(phi, lam, day_of_year, seconds_utc);
+                    if atm_land[i] {
+                        forcing.tskin[i] = lnd.state.tskin[i];
+                        forcing.wetness[i] = wet[i];
+                    } else {
+                        forcing.tskin[i] = blended_surface_temperature(
+                            sst_on_atm[i],
+                            -5.0,
+                            ice_on_atm[i],
+                        );
+                        forcing.wetness[i] = 1.0;
+                    }
+                }
+                // Advance the atmosphere one coupling period: model steps
+                // with physics applied at each model step.
+                let steps = (atm_period / dycore.config.dt_model).round() as usize;
+                for _ in 0..steps.max(1) {
+                    dycore.step_model_dynamics(&mut atm);
+                    pdc.apply(&mut atm, &forcing, dycore.config.dt_model);
+                }
+                // Land step from the atmosphere's surface fields.
+                let winds = atm.surface_wind();
+                let precip_rate: Vec<f64> = atm
+                    .precip_accum
+                    .iter()
+                    .zip(&last_precip_accum)
+                    .map(|(now, before)| (now - before).max(0.0) / atm_period)
+                    .collect();
+                last_precip_accum.copy_from_slice(&atm.precip_accum);
+                let tair: Vec<f64> = (0..n)
+                    .map(|i| temperature_from_theta(atm.theta[i], atm.sigma[0] * atm.ps[i]))
+                    .collect();
+                let lnd_forcing = LndForcing {
+                    gsw: atm.gsw.clone(),
+                    glw: atm.glw.clone(),
+                    tair: tair.clone(),
+                    precip: precip_rate.clone(),
+                    wind: winds.iter().map(|&(u, v)| (u * u + v * v).sqrt()).collect(),
+                };
+                lnd.step(&lnd_forcing, atm_period);
+                stats.theta_series.push(atm.mean_theta());
+                if opts.record_track && opts.vortex.is_some() {
+                    let p = track_vortex(&atm, prev_track, 1_500_000.0);
+                    prev_track = Some((p.lat_deg, p.lon_deg));
+                    stats.track.push(p);
+                }
+                timers.stop("atm_run");
+            }
+
+            if event.ice {
+                timers.start("ice_run");
+                // Ice forcing from atm fields remapped to the ocean grid.
+                let n = grid.ncells();
+                let winds = atm.surface_wind();
+                let tair_c: Vec<f64> = (0..n)
+                    .map(|i| {
+                        temperature_from_theta(atm.theta[i], atm.sigma[0] * atm.ps[i]) - 273.15
+                    })
+                    .collect();
+                let u_atm: Vec<f64> = winds.iter().map(|&(u, _)| u).collect();
+                let v_atm: Vec<f64> = winds.iter().map(|&(_, v)| v).collect();
+                let ice_forcing = IceForcing {
+                    tair: atm_to_ocn.apply(&tair_c),
+                    sst: sst_global.clone(),
+                    flux_down: vec![0.0; ncols],
+                    uwind: atm_to_ocn.apply(&u_atm),
+                    vwind: atm_to_ocn.apply(&v_atm),
+                    uocn: ssu_global.clone(),
+                    vocn: ssv_global.clone(),
+                };
+                let export = ice.step(&ice_forcing, ice_period);
+                ice_frac_global = export.fraction;
+                ice_heat_global = export.heat;
+                ice_fresh_global = export.fresh;
+                stats.ice_series.push(ice.ice_cover());
+                timers.stop("ice_run");
+            }
+
+            if event.ocn {
+                timers.start("cpl_rearrange");
+                // Atmosphere-side fluxes on atm cells, then onto the ocean
+                // grid, merged with ice, then scattered to domain O.
+                let n = grid.ncells();
+                let winds = atm.surface_wind();
+                let sst_on_atm = ocn_to_atm.apply_masked(&sst_global, &ocn_valid, 15.0);
+                let mut taux = vec![0.0; n];
+                let mut tauy = vec![0.0; n];
+                let mut qnet = vec![0.0; n];
+                let mut emp = vec![0.0; n]; // evaporation − precipitation (m/s)
+                for i in 0..n {
+                    let (u, v) = winds[i];
+                    let ta = temperature_from_theta(atm.theta[i], atm.sigma[0] * atm.ps[i]);
+                    let qa = atm.q[i];
+                    let ts_k = sst_on_atm[i] + 273.15;
+                    let fx = bulk_fluxes(&bulk, u, v, ta, qa, atm.ps[i], ts_k, 1.0);
+                    taux[i] = fx.taux;
+                    tauy[i] = fx.tauy;
+                    const OCN_ALBEDO: f64 = 0.07;
+                    const EMISSIVITY: f64 = 0.97;
+                    qnet[i] = atm.gsw[i] * (1.0 - OCN_ALBEDO)
+                        + EMISSIVITY * (atm.glw[i] - STEFAN_BOLTZMANN * ts_k.powi(4))
+                        - fx.sensible
+                        - fx.latent;
+                    emp[i] = fx.evaporation / 1000.0; // kg/m²/s → m/s
+                }
+                let taux_o = atm_to_ocn.apply(&taux);
+                let tauy_o = atm_to_ocn.apply(&tauy);
+                let qnet_o = atm_to_ocn.apply(&qnet);
+                let emp_o = atm_to_ocn.apply(&emp);
+                let mut f_taux = vec![0.0; ncols];
+                let mut f_tauy = vec![0.0; ncols];
+                let mut f_qnet = vec![0.0; ncols];
+                let mut f_salt = vec![0.0; ncols];
+                for c in 0..ncols {
+                    let merged = merge_ocean_forcing(
+                        taux_o[c],
+                        tauy_o[c],
+                        qnet_o[c],
+                        emp_o[c],
+                        ice_frac_global[c],
+                        ice_heat_global[c],
+                        ice_fresh_global[c],
+                    );
+                    f_taux[c] = merged.taux;
+                    f_tauy[c] = merged.tauy;
+                    f_qnet[c] = merged.qnet;
+                    f_salt[c] = merged.salt_flux;
+                }
+                if let Some((ocn, ocn_config)) = ocn_inline.as_mut() {
+                    // Sequential layout: the rearrangement is a self-route
+                    // (still through the Router), then the ocean runs
+                    // inline on this rank.
+                    let mut fields = Vec::new();
+                    for field in [&f_taux, &f_tauy, &f_qnet, &f_salt] {
+                        fields.push(scatter.rearrange(rank, config.strategy, field, ncols));
+                    }
+                    timers.stop("cpl_rearrange");
+                    timers.start("ocn_run");
+                    let (ni, nj) = (ocn.state.ni, ocn.state.nj);
+                    let mut forcing = ap3esm_ocn::model::OcnForcing::zeros(ni, nj);
+                    forcing.taux.copy_from_slice(&fields[0]);
+                    forcing.tauy.copy_from_slice(&fields[1]);
+                    forcing.qnet.copy_from_slice(&fields[2]);
+                    forcing.salt_flux.copy_from_slice(&fields[3]);
+                    let steps = (ocn_period / ocn_config.dt_baroclinic).round() as usize;
+                    for _ in 0..steps.max(1) {
+                        ocn.step(rank, &forcing);
+                    }
+                    let st = &ocn.state;
+                    let mut sst = Vec::with_capacity(ncols);
+                    let mut ssu = Vec::with_capacity(ncols);
+                    let mut ssv = Vec::with_capacity(ncols);
+                    for j in 0..nj {
+                        for i in 0..ni {
+                            let idx = st.at(i, j);
+                            sst.push(st.t[0][idx]);
+                            ssu.push(st.u[0][idx] + st.ubar[idx]);
+                            ssv.push(st.v[0][idx] + st.vbar[idx]);
+                        }
+                    }
+                    sst_global = gather.rearrange(rank, config.strategy, &sst, ncols);
+                    ssu_global = gather.rearrange(rank, config.strategy, &ssu, ncols);
+                    ssv_global = gather.rearrange(rank, config.strategy, &ssv, ncols);
+                    timers.stop("ocn_run");
+                } else {
+                    for field in [&f_taux, &f_tauy, &f_qnet, &f_salt] {
+                        scatter.rearrange(rank, config.strategy, field, 0);
+                    }
+                    // Gather the ocean's exports.
+                    sst_global = gather.rearrange(rank, config.strategy, &[], ncols);
+                    ssu_global = gather.rearrange(rank, config.strategy, &[], ncols);
+                    ssv_global = gather.rearrange(rank, config.strategy, &[], ncols);
+                    timers.stop("cpl_rearrange");
+                }
+                // Diagnostics series.
+                let (mut sum, mut cnt) = (0.0f64, 0.0f64);
+                for c in 0..ncols {
+                    if ocn_valid[c] {
+                        sum += sst_global[c];
+                        cnt += 1.0;
+                    }
+                }
+                stats.sst_series.push(sum / cnt.max(1.0));
+                let local_ke = ocn_inline
+                    .as_ref()
+                    .map(|(m, _)| m.state.kinetic_energy())
+                    .unwrap_or(0.0);
+                let ke = ap3esm_comm::collectives::allreduce_sum(rank, 77, local_ke);
+                stats.ke_series.push(ke);
+            }
+        }
+        stats.simulated_seconds = clock.time as f64;
+    } else {
+        // ================= Domain O: the ocean ==========================
+        let mut ocn_config = fitted_ocn_config(config, ocn_period);
+        ocn_config.rank_offset = 1; // world rank = 1 + ocean rank
+        let mut ocn = OcnModel::new(&ocn_grid, ocn_config.clone(), me - 1);
+        let (ni, nj) = (ocn.state.ni, ocn.state.nj);
+        let mut forcing = OcnForcing::zeros(ni, nj);
+
+        while (clock.time as f64) < total_seconds {
+            let event = clock.advance();
+            if event.ocn {
+                timers.start("ocn_run");
+                // Receive merged forcing fields from domain A.
+                let mut fields = Vec::new();
+                for _ in 0..4 {
+                    fields.push(scatter.rearrange(rank, config.strategy, &[], my_ocn_cols));
+                }
+                forcing.taux.copy_from_slice(&fields[0]);
+                forcing.tauy.copy_from_slice(&fields[1]);
+                forcing.qnet.copy_from_slice(&fields[2]);
+                // salt_flux (psu·m/s): convert from the merged convention.
+                forcing.salt_flux.copy_from_slice(&fields[3]);
+                // Advance the ocean through the coupling period.
+                let steps = (ocn_period / ocn_config.dt_baroclinic).round() as usize;
+                for _ in 0..steps.max(1) {
+                    ocn.step(rank, &forcing);
+                }
+                // Export surface state back to domain A (local row-major
+                // interior order == ascending global ids for a block).
+                let st = &ocn.state;
+                let mut sst = Vec::with_capacity(my_ocn_cols);
+                let mut ssu = Vec::with_capacity(my_ocn_cols);
+                let mut ssv = Vec::with_capacity(my_ocn_cols);
+                for j in 0..nj {
+                    for i in 0..ni {
+                        let idx = st.at(i, j);
+                        sst.push(st.t[0][idx]);
+                        ssu.push(st.u[0][idx] + st.ubar[idx]);
+                        ssv.push(st.v[0][idx] + st.vbar[idx]);
+                    }
+                }
+                gather.rearrange(rank, config.strategy, &sst, 0);
+                gather.rearrange(rank, config.strategy, &ssu, 0);
+                gather.rearrange(rank, config.strategy, &ssv, 0);
+                timers.stop("ocn_run");
+                let _ = ap3esm_comm::collectives::allreduce_sum(
+                    rank,
+                    77,
+                    ocn.state.kinetic_energy(),
+                );
+            }
+        }
+        stats.simulated_seconds = clock.time as f64;
+    }
+
+    stats.wall_seconds = t_start.elapsed().as_secs_f64();
+    stats.sypd = get_timing(stats.simulated_seconds, stats.wall_seconds);
+    stats.per_section_seconds = timers
+        .sections()
+        .iter()
+        .map(|s| (s.to_string(), timers.seconds(s)))
+        .collect();
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ap3esm_comm::World;
+
+    #[test]
+    fn coupled_model_runs_one_day_stably() {
+        let config = CoupledConfig::test_tiny();
+        let world = World::new(config.world_size());
+        let opts = CoupledOptions {
+            days: 1.0,
+            ..Default::default()
+        };
+        let all = world.run(|rank| run_coupled(rank, &config, &opts));
+        let root = &all[0];
+        assert_eq!(root.simulated_seconds, 86_400.0);
+        assert!(root.sypd > 0.0);
+        // Alarm cadence: 8 atm / 4 ocn / 8 ice couplings.
+        assert_eq!(root.theta_series.len(), 8);
+        assert_eq!(root.sst_series.len(), 4);
+        assert_eq!(root.ice_series.len(), 8);
+        // Physical sanity.
+        for sst in &root.sst_series {
+            assert!((-5.0_f64..40.0).contains(sst), "mean SST {sst}");
+        }
+        for th in &root.theta_series {
+            assert!((250.0..400.0).contains(th), "mean theta {th}");
+        }
+        // Ocean spun up: KE grew from zero.
+        assert!(*root.ke_series.last().unwrap() > 0.0);
+        // The coupler actually moved data.
+        assert!(world.stats().total_bytes() > 0);
+    }
+
+    #[test]
+    fn ai_physics_coupled_run_is_stable() {
+        let mut config = CoupledConfig::test_tiny();
+        config.ai_physics = true;
+        let world = World::new(config.world_size());
+        let opts = CoupledOptions {
+            days: 0.25,
+            ..Default::default()
+        };
+        let all = world.run(|rank| run_coupled(rank, &config, &opts));
+        let root = &all[0];
+        for th in &root.theta_series {
+            assert!(th.is_finite() && *th > 200.0 && *th < 500.0, "theta {th}");
+        }
+        for sst in &root.sst_series {
+            assert!((-5.0..40.0).contains(sst), "SST {sst}");
+        }
+    }
+
+    #[test]
+    fn single_domain_matches_two_domain_layout() {
+        // §5.1.2: the two task-layout strategies must produce the same
+        // physics. With a 1×1 ocean decomposition in both layouts the
+        // trajectories are bitwise identical.
+        let opts = CoupledOptions {
+            days: 0.5,
+            ..Default::default()
+        };
+        let mut sequential = CoupledConfig::test_tiny();
+        sequential.ocn_px = 1;
+        sequential.ocn_py = 1;
+        sequential.single_domain = true;
+        assert_eq!(sequential.world_size(), 1);
+        let world = World::new(1);
+        let seq = world.run(|rank| run_coupled(rank, &sequential, &opts));
+
+        let mut concurrent = sequential.clone();
+        concurrent.single_domain = false;
+        assert_eq!(concurrent.world_size(), 2);
+        let world = World::new(2);
+        let con = world.run(|rank| run_coupled(rank, &concurrent, &opts));
+
+        assert_eq!(seq[0].sst_series.len(), con[0].sst_series.len());
+        for (a, b) in seq[0].sst_series.iter().zip(&con[0].sst_series) {
+            assert_eq!(a.to_bits(), b.to_bits(), "task layout changed physics");
+        }
+        for (a, b) in seq[0].ke_series.iter().zip(&con[0].ke_series) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn alltoall_and_p2p_coupling_agree() {
+        let mut config = CoupledConfig::test_tiny();
+        let opts = CoupledOptions {
+            days: 0.5,
+            ..Default::default()
+        };
+        config.strategy = ap3esm_cpl::rearrange::RearrangeStrategy::AllToAll;
+        let world = World::new(config.world_size());
+        let a = world.run(|rank| run_coupled(rank, &config, &opts));
+        config.strategy = ap3esm_cpl::rearrange::RearrangeStrategy::NonBlockingP2p;
+        let world = World::new(config.world_size());
+        let b = world.run(|rank| run_coupled(rank, &config, &opts));
+        // Identical physics — identical trajectories.
+        assert_eq!(a[0].sst_series.len(), b[0].sst_series.len());
+        for (x, y) in a[0].sst_series.iter().zip(&b[0].sst_series) {
+            assert_eq!(x.to_bits(), y.to_bits(), "strategy changed the answer");
+        }
+    }
+}

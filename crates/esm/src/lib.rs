@@ -1,0 +1,33 @@
+//! # AP3ESM — the coupled Earth system model (`ap3esm-esm`)
+//!
+//! Assembles the four components (GRIST-analogue atmosphere, LICOM-analogue
+//! ocean, CICE4-analogue sea ice, bucket land) under the CPL7-analogue
+//! coupler into the paper's coupled system:
+//!
+//! * the **hybrid task–data parallelization strategy** of §5.1.2 / §7.2:
+//!   two task domains — domain A holds the coupler, atmosphere, sea ice and
+//!   land; domain O holds only the ocean — each with exclusive ranks,
+//! * MCT-style `init`/`run`/`finalize` + `import`/`export` component
+//!   interfaces ([`component`]),
+//! * coupling clocks at the paper's 180/36/180 couplings-per-day
+//!   (configurable for tests),
+//! * GPTL-style timers and the `get_timing` SYPD computation ([`timing`]),
+//! * the Table 1 configuration presets ([`config`]),
+//! * the Typhoon-Doksuri forecast experiment ([`forecast`], Figs. 6–7),
+//! * bit-exact restart through the parallel I/O layer ([`restart`]),
+//! * the scaling-experiment driver bridging to the machine model
+//!   ([`scaling`], Table 2 / Fig. 8).
+
+pub mod component;
+pub mod config;
+pub mod coupled;
+pub mod forecast;
+pub mod restart;
+pub mod scaling;
+pub mod solar;
+pub mod timing;
+
+pub use component::{Component, ComponentPhase};
+pub use config::{CoupledConfig, Resolution};
+pub use coupled::{run_coupled, CoupledStats};
+pub use timing::{get_timing, Timers};

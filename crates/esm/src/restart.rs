@@ -1,0 +1,193 @@
+//! Restart files through the sub-file parallel I/O layer (`ap3esm-io`).
+//!
+//! Km-scale state is exactly where the paper's I/O strategy matters;
+//! restart write/read is the model-level exercise of it. Restarts are
+//! **bit-exact**: a run that stops, writes, reloads, and continues
+//! reproduces the uninterrupted run bitwise (tested).
+
+use std::path::Path;
+
+use ap3esm_atm::state::AtmState;
+use ap3esm_io::subfile::{SubfileReader, SubfileWriter};
+use ap3esm_io::IoError;
+use ap3esm_ocn::state::OcnState;
+
+/// Number of sub-files per restart field (the §5.2.5 partitioning knob).
+const RESTART_SUBFILES: usize = 4;
+
+/// Write an atmosphere restart: ps, θ, q (cell fields) and uₙ (edge field).
+pub fn write_atm_restart(dir: &Path, state: &AtmState) -> Result<(), IoError> {
+    let n = state.ncells();
+    let e = state.nedges();
+    let nlev = state.nlev;
+    SubfileWriter::new(dir, "atm_ps", &[n], RESTART_SUBFILES).write_all(&state.ps)?;
+    SubfileWriter::new(dir, "atm_theta", &[nlev, n], RESTART_SUBFILES).write_all(&state.theta)?;
+    SubfileWriter::new(dir, "atm_q", &[nlev, n], RESTART_SUBFILES).write_all(&state.q)?;
+    SubfileWriter::new(dir, "atm_un", &[nlev, e], RESTART_SUBFILES).write_all(&state.un)?;
+    Ok(())
+}
+
+/// Read an atmosphere restart back into `state` (grid shapes must match).
+pub fn read_atm_restart(dir: &Path, state: &mut AtmState) -> Result<(), IoError> {
+    let (h, ps) = SubfileReader::new(dir, "atm_ps").read_all()?;
+    if h.dims[0] as usize != state.ncells() {
+        return Err(IoError::Inconsistent(format!(
+            "restart has {} cells, model has {}",
+            h.dims[0],
+            state.ncells()
+        )));
+    }
+    state.ps = ps;
+    state.theta = SubfileReader::new(dir, "atm_theta").read_all()?.1;
+    state.q = SubfileReader::new(dir, "atm_q").read_all()?.1;
+    state.un = SubfileReader::new(dir, "atm_un").read_all()?.1;
+    Ok(())
+}
+
+/// Write one rank's ocean restart (interior + halos as stored — halos are
+/// re-exchanged on the first post-restart step anyway, but keeping them
+/// makes the restart bit-exact without a warm-up exchange).
+pub fn write_ocn_restart(dir: &Path, state: &OcnState, rank: usize) -> Result<(), IoError> {
+    let slab = state.eta.len();
+    let tag = |name: &str| format!("ocn_r{rank}_{name}");
+    SubfileWriter::new(dir, &tag("eta"), &[slab], RESTART_SUBFILES).write_all(&state.eta)?;
+    SubfileWriter::new(dir, &tag("ubar"), &[slab], RESTART_SUBFILES).write_all(&state.ubar)?;
+    SubfileWriter::new(dir, &tag("vbar"), &[slab], RESTART_SUBFILES).write_all(&state.vbar)?;
+    for k in 0..state.nlev {
+        SubfileWriter::new(dir, &tag(&format!("t{k}")), &[slab], RESTART_SUBFILES)
+            .write_all(&state.t[k])?;
+        SubfileWriter::new(dir, &tag(&format!("s{k}")), &[slab], RESTART_SUBFILES)
+            .write_all(&state.s[k])?;
+        SubfileWriter::new(dir, &tag(&format!("u{k}")), &[slab], RESTART_SUBFILES)
+            .write_all(&state.u[k])?;
+        SubfileWriter::new(dir, &tag(&format!("v{k}")), &[slab], RESTART_SUBFILES)
+            .write_all(&state.v[k])?;
+    }
+    Ok(())
+}
+
+/// Read one rank's ocean restart.
+pub fn read_ocn_restart(dir: &Path, state: &mut OcnState, rank: usize) -> Result<(), IoError> {
+    let tag = |name: &str| format!("ocn_r{rank}_{name}");
+    let (h, eta) = SubfileReader::new(dir, &tag("eta")).read_all()?;
+    if h.dims[0] as usize != state.eta.len() {
+        return Err(IoError::Inconsistent("ocean restart shape mismatch".into()));
+    }
+    state.eta = eta;
+    state.ubar = SubfileReader::new(dir, &tag("ubar")).read_all()?.1;
+    state.vbar = SubfileReader::new(dir, &tag("vbar")).read_all()?.1;
+    for k in 0..state.nlev {
+        state.t[k] = SubfileReader::new(dir, &tag(&format!("t{k}"))).read_all()?.1;
+        state.s[k] = SubfileReader::new(dir, &tag(&format!("s{k}"))).read_all()?.1;
+        state.u[k] = SubfileReader::new(dir, &tag(&format!("u{k}"))).read_all()?.1;
+        state.v[k] = SubfileReader::new(dir, &tag(&format!("v{k}"))).read_all()?.1;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ap3esm_atm::dycore::{Dycore, DycoreConfig};
+    use ap3esm_comm::World;
+    use ap3esm_grid::decomp::BlockDecomp2d;
+    use ap3esm_grid::mask::MaskGenerator;
+    use ap3esm_grid::tripolar::TripolarGrid;
+    use ap3esm_grid::GeodesicGrid;
+    use ap3esm_ocn::model::{OcnConfig, OcnForcing, OcnModel};
+
+    fn tmpdir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("ap3esm-restart-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn atmosphere_restart_is_bit_exact() {
+        let grid = std::sync::Arc::new(GeodesicGrid::new(3));
+        let dycore = Dycore::new(
+            std::sync::Arc::clone(&grid),
+            DycoreConfig::for_spacing_km(grid.mean_spacing_km()),
+        );
+        let mut a = AtmState::isothermal(std::sync::Arc::clone(&grid), 4, 287.0);
+        a.ps[3] += 300.0;
+        // Uninterrupted: 6 model steps.
+        let mut uninterrupted = a.clone();
+        for _ in 0..6 {
+            dycore.step_model_dynamics(&mut uninterrupted);
+        }
+        // Interrupted: 3 steps, write, reload into a fresh state, 3 more.
+        let mut first = a.clone();
+        for _ in 0..3 {
+            dycore.step_model_dynamics(&mut first);
+        }
+        let dir = tmpdir("atm");
+        write_atm_restart(&dir, &first).unwrap();
+        let mut resumed = AtmState::isothermal(std::sync::Arc::clone(&grid), 4, 999.0);
+        read_atm_restart(&dir, &mut resumed).unwrap();
+        for _ in 0..3 {
+            dycore.step_model_dynamics(&mut resumed);
+        }
+        assert_eq!(uninterrupted.ps.len(), resumed.ps.len());
+        for (x, y) in uninterrupted
+            .ps
+            .iter()
+            .chain(&uninterrupted.theta)
+            .chain(&uninterrupted.un)
+            .zip(resumed.ps.iter().chain(&resumed.theta).chain(&resumed.un))
+        {
+            assert_eq!(x.to_bits(), y.to_bits(), "restart broke bit-exactness");
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn ocean_restart_is_bit_exact() {
+        let grid = TripolarGrid::new(36, 24, 4, MaskGenerator::default());
+        let config = OcnConfig::for_grid(36, 24, 4, 1, 1);
+        let dir = tmpdir("ocn");
+        let world = World::new(1);
+        world.run(|rank| {
+            let decomp = BlockDecomp2d::new(36, 24, 1, 1);
+            let forcing = OcnForcing::climatology(&grid, &decomp, 0);
+            // Uninterrupted 6 steps.
+            let mut reference = OcnModel::new(&grid, config.clone(), 0);
+            for _ in 0..6 {
+                reference.step(rank, &forcing);
+            }
+            // Interrupted at 3.
+            let mut first = OcnModel::new(&grid, config.clone(), 0);
+            for _ in 0..3 {
+                first.step(rank, &forcing);
+            }
+            write_ocn_restart(&dir, &first.state, 0).unwrap();
+            let mut resumed = OcnModel::new(&grid, config.clone(), 0);
+            read_ocn_restart(&dir, &mut resumed.state, 0).unwrap();
+            for _ in 0..3 {
+                resumed.step(rank, &forcing);
+            }
+            for (x, y) in reference.state.eta.iter().zip(&resumed.state.eta) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+            for k in 0..4 {
+                for (x, y) in reference.state.t[k].iter().zip(&resumed.state.t[k]) {
+                    assert_eq!(x.to_bits(), y.to_bits());
+                }
+            }
+        });
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn shape_mismatch_is_rejected() {
+        let grid = std::sync::Arc::new(GeodesicGrid::new(2));
+        let state = AtmState::isothermal(std::sync::Arc::clone(&grid), 3, 280.0);
+        let dir = tmpdir("mismatch");
+        write_atm_restart(&dir, &state).unwrap();
+        let other_grid = std::sync::Arc::new(GeodesicGrid::new(3));
+        let mut other = AtmState::isothermal(other_grid, 3, 280.0);
+        assert!(read_atm_restart(&dir, &mut other).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

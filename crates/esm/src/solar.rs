@@ -1,0 +1,55 @@
+//! Solar geometry: the cosine of the solar zenith angle (`coszr`), an input
+//! of both the conventional radiation scheme and the AI radiation module.
+
+/// Cosine of the solar zenith angle at `(lat, lon)` radians and simulation
+/// time `seconds` since 00:00 UTC on `day_of_year` (1-based). Clamped ≥ 0.
+pub fn cos_zenith(lat: f64, lon: f64, day_of_year: f64, seconds_utc: f64) -> f64 {
+    // Solar declination (Cooper's formula).
+    let decl = 23.45_f64.to_radians()
+        * (2.0 * std::f64::consts::PI * (284.0 + day_of_year) / 365.0).sin();
+    // Hour angle: 0 at local solar noon.
+    let solar_time_hours = seconds_utc / 3600.0 + lon.to_degrees() / 15.0;
+    let hour_angle = (solar_time_hours - 12.0) * 15.0_f64.to_radians();
+    (lat.sin() * decl.sin() + lat.cos() * decl.cos() * hour_angle.cos()).max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equatorial_noon_is_near_overhead() {
+        // Equinox-ish (day 81), local noon at lon 0.
+        let c = cos_zenith(0.0, 0.0, 81.0, 12.0 * 3600.0);
+        assert!(c > 0.95, "coszr {c}");
+    }
+
+    #[test]
+    fn midnight_is_dark() {
+        let c = cos_zenith(0.0, 0.0, 81.0, 0.0);
+        assert_eq!(c, 0.0);
+    }
+
+    #[test]
+    fn longitude_shifts_local_noon() {
+        // 90°E reaches noon 6 hours earlier in UTC.
+        let c_east = cos_zenith(0.0, std::f64::consts::FRAC_PI_2, 81.0, 6.0 * 3600.0);
+        assert!(c_east > 0.95, "coszr {c_east}");
+    }
+
+    #[test]
+    fn polar_night_in_winter() {
+        // 80°N around the December solstice (day 355): dark all day.
+        let lat = 80.0_f64.to_radians();
+        for h in 0..24 {
+            assert_eq!(cos_zenith(lat, 0.0, 355.0, h as f64 * 3600.0), 0.0);
+        }
+    }
+
+    #[test]
+    fn summer_pole_has_midnight_sun() {
+        let lat = 80.0_f64.to_radians();
+        let c = cos_zenith(lat, 0.0, 172.0, 0.0); // June solstice, midnight
+        assert!(c > 0.0, "no midnight sun: {c}");
+    }
+}

@@ -1,0 +1,131 @@
+//! GPTL-analogue timers and the `getTiming` SYPD computation (§6.2):
+//! "Wall-clock time measurements are obtained using timers … with the
+//! maximum value across all MPI ranks recorded to account for potential
+//! load imbalance."
+
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+use ap3esm_comm::collectives::allreduce_max;
+use ap3esm_comm::Rank;
+
+/// Named accumulating timers (one instance per rank).
+#[derive(Debug, Default)]
+pub struct Timers {
+    running: BTreeMap<String, Instant>,
+    accum: BTreeMap<String, f64>,
+    counts: BTreeMap<String, u64>,
+}
+
+impl Timers {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn start(&mut self, name: &str) {
+        let prev = self.running.insert(name.to_string(), Instant::now());
+        assert!(prev.is_none(), "timer {name:?} already running");
+    }
+
+    pub fn stop(&mut self, name: &str) {
+        let t0 = self
+            .running
+            .remove(name)
+            .unwrap_or_else(|| panic!("timer {name:?} not running"));
+        *self.accum.entry(name.to_string()).or_insert(0.0) += t0.elapsed().as_secs_f64();
+        *self.counts.entry(name.to_string()).or_insert(0) += 1;
+    }
+
+    /// Time a closure under `name`.
+    pub fn time<R>(&mut self, name: &str, f: impl FnOnce() -> R) -> R {
+        self.start(name);
+        let r = f();
+        self.stop(name);
+        r
+    }
+
+    /// Accumulated seconds for a section (0 if never stopped).
+    pub fn seconds(&self, name: &str) -> f64 {
+        self.accum.get(name).copied().unwrap_or(0.0)
+    }
+
+    pub fn count(&self, name: &str) -> u64 {
+        self.counts.get(name).copied().unwrap_or(0)
+    }
+
+    /// All section names in sorted order.
+    pub fn sections(&self) -> Vec<&str> {
+        self.accum.keys().map(|s| s.as_str()).collect()
+    }
+
+    /// The paper's measurement rule: the maximum of this section's time
+    /// across all ranks (load imbalance shows up here).
+    pub fn max_across_ranks(&self, rank: &Rank, name: &str) -> f64 {
+        allreduce_max(rank, 0x71_3000, self.seconds(name))
+    }
+}
+
+/// The `getTiming` computation: SYPD from simulated seconds and wall
+/// seconds ("dividing the length of the simulated time interval by the
+/// wall-clock time required for execution").
+pub fn get_timing(simulated_seconds: f64, wall_seconds: f64) -> f64 {
+    assert!(wall_seconds > 0.0 && simulated_seconds >= 0.0);
+    let simulated_years = simulated_seconds / (365.0 * 86_400.0);
+    let wall_days = wall_seconds / 86_400.0;
+    simulated_years / wall_days
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timer_accumulates_and_counts() {
+        let mut t = Timers::new();
+        for _ in 0..3 {
+            t.time("atm_run", || std::thread::sleep(std::time::Duration::from_millis(2)));
+        }
+        assert_eq!(t.count("atm_run"), 3);
+        assert!(t.seconds("atm_run") >= 0.006);
+        assert_eq!(t.sections(), vec!["atm_run"]);
+        assert_eq!(t.seconds("never"), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "already running")]
+    fn double_start_rejected() {
+        let mut t = Timers::new();
+        t.start("x");
+        t.start("x");
+    }
+
+    #[test]
+    fn get_timing_matches_paper_arithmetic() {
+        // 1 simulated year in 1 wall day = 1 SYPD.
+        assert!((get_timing(365.0 * 86_400.0, 86_400.0) - 1.0).abs() < 1e-12);
+        // The coupled 1v1 headline: 0.54 SYPD means one simulated day takes
+        // 86400/(365·0.54) ≈ 438 wall seconds.
+        let wall_per_simday = 86_400.0 / (365.0 * 0.54);
+        assert!((get_timing(86_400.0, wall_per_simday) - 0.54).abs() < 1e-9);
+    }
+
+    #[test]
+    fn max_across_ranks_takes_slowest() {
+        use ap3esm_comm::World;
+        let world = World::new(3);
+        let out = world.run(|rank| {
+            let mut t = Timers::new();
+            t.start("work");
+            std::thread::sleep(std::time::Duration::from_millis(
+                2 + 4 * rank.id() as u64,
+            ));
+            t.stop("work");
+            t.max_across_ranks(rank, "work")
+        });
+        // All ranks agree on the maximum, which is at least rank 2's sleep.
+        for v in &out {
+            assert!((v - out[0]).abs() < 1e-12);
+            assert!(*v >= 0.010);
+        }
+    }
+}

@@ -1,0 +1,278 @@
+//! Excluding 3-D non-ocean grid points (paper §5.2.2, Fig. 5).
+//!
+//! Oceans cover ~71 % of the surface and bathymetry removes further points
+//! at depth, so a naive dense 3-D layout wastes ~30 % of compute resources.
+//! This module implements the paper's optimisation end to end:
+//!
+//! 1. partition the columns, **count only active points**,
+//! 2. remove non-ocean points into a packed layout ([`ActiveSet`]),
+//! 3. remap MPI ranks so each holds an equal share of *active* points,
+//! 4. report the resource reduction ([`CompressionReport`]).
+//!
+//! The rebuilt communication topology falls out of the remapping: neighbors
+//! are recomputed over the active columns (`ActiveSet::column_owner`).
+
+use crate::tripolar::TripolarGrid;
+
+/// Packed representation of the active (ocean) 3-D points of a tripolar
+/// grid: columns with `kmt > 0`, each contributing its `kmt` levels.
+#[derive(Debug, Clone)]
+pub struct ActiveSet {
+    /// Flat column indices (into the full grid) of active columns.
+    pub columns: Vec<usize>,
+    /// kmt per active column.
+    pub kmt: Vec<u16>,
+    /// Exclusive prefix sum of kmt: packed offset of each active column.
+    pub offsets: Vec<usize>,
+    /// Total active 3-D points.
+    pub total_points: usize,
+    /// Full-grid dimensions for reference.
+    pub ncols_full: usize,
+    pub nlev: usize,
+}
+
+impl ActiveSet {
+    pub fn from_grid(grid: &TripolarGrid) -> Self {
+        let mut columns = Vec::new();
+        let mut kmt = Vec::new();
+        let mut offsets = Vec::new();
+        let mut total = 0usize;
+        for (c, &k) in grid.kmt.iter().enumerate() {
+            if k > 0 {
+                columns.push(c);
+                kmt.push(k);
+                offsets.push(total);
+                total += k as usize;
+            }
+        }
+        ActiveSet {
+            columns,
+            kmt,
+            offsets,
+            total_points: total,
+            ncols_full: grid.ncols(),
+            nlev: grid.nlev,
+        }
+    }
+
+    /// Number of active columns.
+    pub fn ncolumns(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Packed index of level `k` in active column `a`, if it is ocean.
+    pub fn packed_index(&self, a: usize, k: usize) -> Option<usize> {
+        if k < self.kmt[a] as usize {
+            Some(self.offsets[a] + k)
+        } else {
+            None
+        }
+    }
+
+    /// Compress a dense field (`ncols_full × nlev`, column-major by level:
+    /// `field[c * nlev + k]`) into the packed layout.
+    pub fn compress(&self, dense: &[f64]) -> Vec<f64> {
+        assert_eq!(dense.len(), self.ncols_full * self.nlev);
+        let mut packed = Vec::with_capacity(self.total_points);
+        for (a, &c) in self.columns.iter().enumerate() {
+            for k in 0..self.kmt[a] as usize {
+                packed.push(dense[c * self.nlev + k]);
+            }
+        }
+        packed
+    }
+
+    /// Scatter a packed field back to a dense layout; non-ocean points get
+    /// `fill`.
+    pub fn decompress(&self, packed: &[f64], fill: f64) -> Vec<f64> {
+        assert_eq!(packed.len(), self.total_points);
+        let mut dense = vec![fill; self.ncols_full * self.nlev];
+        for (a, &c) in self.columns.iter().enumerate() {
+            for k in 0..self.kmt[a] as usize {
+                dense[c * self.nlev + k] = packed[self.offsets[a] + k];
+            }
+        }
+        dense
+    }
+
+    /// Partition active columns over `nranks` so each rank receives a
+    /// near-equal number of *active points* (not columns): the paper's rank
+    /// remapping. Returns per-rank contiguous ranges `[start, end)` into
+    /// `self.columns`.
+    pub fn balanced_ranges(&self, nranks: usize) -> Vec<(usize, usize)> {
+        assert!(nranks >= 1);
+        let target = self.total_points as f64 / nranks as f64;
+        let mut ranges = Vec::with_capacity(nranks);
+        let mut start = 0usize;
+        let mut acc = 0usize;
+        let mut next_cut = target;
+        for (a, &k) in self.kmt.iter().enumerate() {
+            acc += k as usize;
+            // Cut when we pass the running target, leaving columns for the
+            // remaining ranks.
+            while ranges.len() + 1 < nranks && acc as f64 >= next_cut {
+                ranges.push((start, a + 1));
+                start = a + 1;
+                next_cut += target;
+                if start >= self.kmt.len() {
+                    break;
+                }
+            }
+        }
+        ranges.push((start, self.kmt.len()));
+        while ranges.len() < nranks {
+            ranges.push((self.kmt.len(), self.kmt.len()));
+        }
+        ranges
+    }
+
+    /// Owner rank per *active column* under [`Self::balanced_ranges`].
+    pub fn column_owner(&self, nranks: usize) -> Vec<usize> {
+        let ranges = self.balanced_ranges(nranks);
+        let mut owner = vec![0usize; self.ncolumns()];
+        for (r, &(s, e)) in ranges.iter().enumerate() {
+            for o in owner.iter_mut().take(e).skip(s) {
+                *o = r;
+            }
+        }
+        owner
+    }
+
+    /// Active points per rank under the balanced partition.
+    pub fn points_per_rank(&self, nranks: usize) -> Vec<usize> {
+        self.balanced_ranges(nranks)
+            .iter()
+            .map(|&(s, e)| (s..e).map(|a| self.kmt[a] as usize).sum())
+            .collect()
+    }
+}
+
+/// Resource accounting for the exclusion optimisation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompressionReport {
+    pub total_points: usize,
+    pub active_points: usize,
+    /// Fraction of points removed (the paper reports ~30 %).
+    pub reduction: f64,
+    /// Ranks needed at `points_per_rank` capacity, dense vs packed.
+    pub ranks_dense: usize,
+    pub ranks_packed: usize,
+}
+
+impl CompressionReport {
+    pub fn new(grid: &TripolarGrid, points_per_rank: usize) -> Self {
+        let total = grid.npoints_3d();
+        let active = grid.active_points_3d();
+        CompressionReport {
+            total_points: total,
+            active_points: active,
+            reduction: 1.0 - active as f64 / total as f64,
+            ranks_dense: total.div_ceil(points_per_rank),
+            ranks_packed: active.div_ceil(points_per_rank),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mask::MaskGenerator;
+
+    fn grid() -> TripolarGrid {
+        TripolarGrid::new(60, 40, 12, MaskGenerator::default())
+    }
+
+    #[test]
+    fn compress_decompress_roundtrip() {
+        let g = grid();
+        let set = ActiveSet::from_grid(&g);
+        let mut dense = vec![0.0; g.ncols() * g.nlev];
+        for (c, v) in dense.iter_mut().enumerate() {
+            *v = c as f64 * 0.5;
+        }
+        let packed = set.compress(&dense);
+        assert_eq!(packed.len(), set.total_points);
+        let back = set.decompress(&packed, f64::NAN);
+        // Active points identical; non-ocean points are fill.
+        for (a, &c) in set.columns.iter().enumerate() {
+            for k in 0..g.nlev {
+                let d = back[c * g.nlev + k];
+                if k < set.kmt[a] as usize {
+                    assert_eq!(d, dense[c * g.nlev + k]);
+                } else {
+                    assert!(d.is_nan());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn active_counts_match_grid() {
+        let g = grid();
+        let set = ActiveSet::from_grid(&g);
+        assert_eq!(set.total_points, g.active_points_3d());
+        assert_eq!(
+            set.ncolumns(),
+            g.kmt.iter().filter(|&&k| k > 0).count()
+        );
+    }
+
+    #[test]
+    fn balanced_ranges_cover_and_balance() {
+        let g = grid();
+        let set = ActiveSet::from_grid(&g);
+        for nranks in [1, 2, 5, 16] {
+            let ranges = set.balanced_ranges(nranks);
+            assert_eq!(ranges.len(), nranks);
+            // Coverage: contiguous, disjoint, complete.
+            let mut expect = 0;
+            for &(s, e) in &ranges {
+                assert_eq!(s, expect);
+                expect = e;
+            }
+            assert_eq!(expect, set.ncolumns());
+            // Balance: every rank within 2× of the mean (column granularity
+            // limits perfection).
+            let pts = set.points_per_rank(nranks);
+            let mean = set.total_points as f64 / nranks as f64;
+            for &p in &pts {
+                assert!(
+                    (p as f64) < 2.0 * mean + g.nlev as f64,
+                    "rank load {p} vs mean {mean}"
+                );
+            }
+            assert_eq!(pts.iter().sum::<usize>(), set.total_points);
+        }
+    }
+
+    #[test]
+    fn column_owner_is_monotone() {
+        let g = grid();
+        let set = ActiveSet::from_grid(&g);
+        let owner = set.column_owner(7);
+        for w in owner.windows(2) {
+            assert!(w[1] >= w[0]);
+        }
+        assert_eq!(*owner.last().unwrap(), 6);
+    }
+
+    #[test]
+    fn report_shows_reduction() {
+        let g = grid();
+        let rep = CompressionReport::new(&g, 1000);
+        assert!(rep.reduction > 0.2, "reduction {}", rep.reduction);
+        assert!(rep.ranks_packed < rep.ranks_dense);
+        assert_eq!(rep.active_points, g.active_points_3d());
+    }
+
+    #[test]
+    fn packed_index_respects_kmt() {
+        let g = grid();
+        let set = ActiveSet::from_grid(&g);
+        for a in 0..set.ncolumns().min(50) {
+            let kmt = set.kmt[a] as usize;
+            assert!(set.packed_index(a, kmt.saturating_sub(1)).is_some());
+            assert!(set.packed_index(a, kmt).is_none());
+        }
+    }
+}

@@ -1,0 +1,85 @@
+//! # AP3ESM grids (`ap3esm-grid`)
+//!
+//! The two meshes of the paper's Table 1 plus the decomposition machinery:
+//!
+//! * [`icosahedral`] — the GRIST atmosphere mesh: an icosahedral-geodesic
+//!   Voronoi grid whose cell/edge/vertex counts follow the
+//!   `10·4^g + 2 / 30·4^g / 20·4^g` formulas that generate the paper's grid
+//!   sizes (g = 8 → 25 km … g = 12 → 1 km),
+//! * [`tripolar`] — the LICOM ocean mesh: a structured lon×lat tripolar grid
+//!   with the Table 1 dimension presets (36000×22018 at 1 km … 3600×2302 at
+//!   10 km) and 80 vertical levels,
+//! * [`mask`] — deterministic synthetic continents/bathymetry standing in
+//!   for the ETOPO-style datasets we do not have (see DESIGN.md),
+//! * [`decomp`] — block and graph domain decomposition with halo specs,
+//! * [`compress`] — the §5.2.2 "excluding 3-D non-ocean grid points"
+//!   optimisation: active-point compression, rank remapping and the rebuilt
+//!   communication topology,
+//! * [`vertical`] — vertical coordinates (30 atmosphere layers, 80 ocean
+//!   levels).
+
+pub mod compress;
+pub mod decomp;
+pub mod icosahedral;
+pub mod mask;
+pub mod sphere;
+pub mod tripolar;
+pub mod vertical;
+
+pub use compress::{ActiveSet, CompressionReport};
+pub use decomp::{BlockDecomp2d, GraphDecomp};
+pub use icosahedral::GeodesicGrid;
+pub use mask::MaskGenerator;
+pub use tripolar::TripolarGrid;
+pub use vertical::{atm_sigma_layers, ocn_z_levels};
+
+/// Earth radius (m), used for physical metric terms.
+pub const EARTH_RADIUS: f64 = 6.371e6;
+
+/// Mean grid spacing (km) of a geodesic grid with the given cell count
+/// (square-root of the mean cell area on the real Earth).
+pub fn mean_spacing_km(ncells: usize) -> f64 {
+    let area = 4.0 * std::f64::consts::PI * EARTH_RADIUS * EARTH_RADIUS / ncells as f64;
+    area.sqrt() / 1000.0
+}
+
+/// Glevel for a nominal resolution label, following the paper's Table 1
+/// convention: the "25 km" GRIST configuration is G8 (27.9 km mean spacing),
+/// "10 km" is G9, "6 km" G10, "3 km" G11, and "1 km" G12 — each level
+/// halves the spacing. For labels off the table, the log-closest level is
+/// chosen.
+pub fn glevel_for_resolution_km(res_km: f64) -> u32 {
+    const TABLE: [(f64, u32); 5] = [(25.0, 8), (10.0, 9), (6.0, 10), (3.0, 11), (1.0, 12)];
+    for (label, g) in TABLE {
+        if (res_km - label).abs() < 1e-9 {
+            return g;
+        }
+    }
+    (0..=14u32)
+        .min_by(|&a, &b| {
+            let da = (mean_spacing_km(10 * 4usize.pow(a) + 2) / res_km).ln().abs();
+            let db = (mean_spacing_km(10 * 4usize.pow(b) + 2) / res_km).ln().abs();
+            da.partial_cmp(&db).expect("finite")
+        })
+        .expect("nonempty range")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn glevels_match_paper_resolutions() {
+        // Table 1: 25 km -> 6.7e5 cells (G8), 10 km -> 2.6e6 (G9),
+        // 6 km -> 1.1e7 (G10), 3 km -> 4.2e7 (G11), 1 km -> G12/G13 regime.
+        assert_eq!(glevel_for_resolution_km(25.0), 8);
+        assert_eq!(glevel_for_resolution_km(10.0), 9);
+        assert_eq!(glevel_for_resolution_km(6.0), 10);
+        assert_eq!(glevel_for_resolution_km(3.0), 11);
+    }
+
+    #[test]
+    fn mean_spacing_is_monotone() {
+        assert!(mean_spacing_km(1000) > mean_spacing_km(10_000));
+    }
+}

@@ -1,0 +1,165 @@
+//! Small spherical-geometry toolkit shared by both meshes.
+
+/// A point on (or near) the unit sphere.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Vec3 {
+    pub x: f64,
+    pub y: f64,
+    pub z: f64,
+}
+
+impl Vec3 {
+    pub const fn new(x: f64, y: f64, z: f64) -> Self {
+        Vec3 { x, y, z }
+    }
+
+    pub fn dot(self, o: Vec3) -> f64 {
+        self.x * o.x + self.y * o.y + self.z * o.z
+    }
+
+    pub fn cross(self, o: Vec3) -> Vec3 {
+        Vec3::new(
+            self.y * o.z - self.z * o.y,
+            self.z * o.x - self.x * o.z,
+            self.x * o.y - self.y * o.x,
+        )
+    }
+
+    pub fn norm(self) -> f64 {
+        self.dot(self).sqrt()
+    }
+
+    pub fn normalized(self) -> Vec3 {
+        let n = self.norm();
+        assert!(n > 0.0, "cannot normalize zero vector");
+        Vec3::new(self.x / n, self.y / n, self.z / n)
+    }
+
+    pub fn add(self, o: Vec3) -> Vec3 {
+        Vec3::new(self.x + o.x, self.y + o.y, self.z + o.z)
+    }
+
+    pub fn sub(self, o: Vec3) -> Vec3 {
+        Vec3::new(self.x - o.x, self.y - o.y, self.z - o.z)
+    }
+
+    pub fn scale(self, s: f64) -> Vec3 {
+        Vec3::new(self.x * s, self.y * s, self.z * s)
+    }
+
+    /// Geodesic (great-circle) distance to `o` on the unit sphere.
+    pub fn arc_distance(self, o: Vec3) -> f64 {
+        // atan2 form is accurate for both small and large separations.
+        let cross = self.cross(o).norm();
+        let dot = self.dot(o);
+        cross.atan2(dot)
+    }
+
+    /// Latitude in radians.
+    pub fn lat(self) -> f64 {
+        self.z.clamp(-1.0, 1.0).asin()
+    }
+
+    /// Longitude in radians in (-π, π].
+    pub fn lon(self) -> f64 {
+        self.y.atan2(self.x)
+    }
+
+    /// Unit vector from spherical coordinates.
+    pub fn from_lat_lon(lat: f64, lon: f64) -> Vec3 {
+        Vec3::new(lat.cos() * lon.cos(), lat.cos() * lon.sin(), lat.sin())
+    }
+
+    /// Local east unit vector at this point. At the poles (where east is
+    /// undefined) an arbitrary but fixed tangent direction is returned so
+    /// that (east, north, up) stays a right-handed orthonormal frame.
+    pub fn east(self) -> Vec3 {
+        let e = Vec3::new(-self.y, self.x, 0.0);
+        if e.dot(e) < 1e-24 {
+            Vec3::new(1.0, 0.0, 0.0)
+        } else {
+            e.normalized()
+        }
+    }
+
+    /// Local north unit vector at this point (up × east, valid at poles).
+    pub fn north(self) -> Vec3 {
+        self.normalized().cross(self.east())
+    }
+}
+
+/// Spherical area of the triangle (a, b, c) on the unit sphere
+/// (L'Huilier-free: Girard via dihedral angles through `atan2`).
+pub fn spherical_triangle_area(a: Vec3, b: Vec3, c: Vec3) -> f64 {
+    // Oosterom & Strackee: tan(E/2) = |a·(b×c)| / (1 + a·b + b·c + c·a)
+    let num = a.dot(b.cross(c)).abs();
+    let den = 1.0 + a.dot(b) + b.dot(c) + c.dot(a);
+    2.0 * num.atan2(den)
+}
+
+/// Circumcenter of the spherical triangle (a, b, c), on the unit sphere,
+/// oriented to the same hemisphere as the triangle.
+pub fn circumcenter(a: Vec3, b: Vec3, c: Vec3) -> Vec3 {
+    let n = b.sub(a).cross(c.sub(a));
+    let n = n.normalized();
+    // Choose the orientation pointing toward the triangle's centroid.
+    let centroid = a.add(b).add(c).scale(1.0 / 3.0);
+    if n.dot(centroid) < 0.0 {
+        n.scale(-1.0)
+    } else {
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    #[test]
+    fn arc_distance_quarter_circle() {
+        let a = Vec3::new(1.0, 0.0, 0.0);
+        let b = Vec3::new(0.0, 1.0, 0.0);
+        assert!((a.arc_distance(b) - PI / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn octant_triangle_area() {
+        // One octant of the sphere has area 4π/8 = π/2.
+        let a = Vec3::new(1.0, 0.0, 0.0);
+        let b = Vec3::new(0.0, 1.0, 0.0);
+        let c = Vec3::new(0.0, 0.0, 1.0);
+        assert!((spherical_triangle_area(a, b, c) - PI / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn circumcenter_equidistant() {
+        let a = Vec3::from_lat_lon(0.1, 0.0);
+        let b = Vec3::from_lat_lon(0.0, 0.15);
+        let c = Vec3::from_lat_lon(-0.12, -0.05);
+        let cc = circumcenter(a, b, c);
+        let da = cc.arc_distance(a);
+        let db = cc.arc_distance(b);
+        let dc = cc.arc_distance(c);
+        assert!((da - db).abs() < 1e-12 && (db - dc).abs() < 1e-12);
+    }
+
+    #[test]
+    fn latlon_roundtrip() {
+        let p = Vec3::from_lat_lon(0.7, -2.1);
+        assert!((p.lat() - 0.7).abs() < 1e-12);
+        assert!((p.lon() + 2.1).abs() < 1e-12);
+        assert!((p.norm() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn east_north_orthonormal() {
+        let p = Vec3::from_lat_lon(0.5, 1.0);
+        let e = p.east();
+        let n = p.north();
+        assert!(e.dot(n).abs() < 1e-12);
+        assert!(e.dot(p).abs() < 1e-12);
+        assert!(n.dot(p).abs() < 1e-12);
+        assert!((e.norm() - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,294 @@
+//! Tripolar structured ocean grid — the LICOM mesh.
+//!
+//! LICOM uses a `nlon × nlat` tripolar grid: regular longitude spacing, a
+//! latitude row structure that follows Mercator-like refinement, and two
+//! artificial poles placed over land north of ~65°N so that no singularity
+//! sits in the ocean. For everything AP3ESM computes — metric terms, masks,
+//! halos, point exclusion — what matters is the structured (i, j) topology,
+//! the per-row latitude/area metrics, and the displacement of the north
+//! poles onto land; all are modelled here.
+//!
+//! Dimension presets follow the paper's Table 1:
+//! 1 km → 36000×22018, 2 km → 18000×11511, 3 km → 10800×6907,
+//! 5 km → 7200×4605, 10 km → 3600×2302, all with 80 vertical levels.
+
+use crate::mask::MaskGenerator;
+use crate::sphere::Vec3;
+use crate::vertical::ocn_z_levels;
+use crate::EARTH_RADIUS;
+
+/// Table 1 dimension presets: `(resolution_km, nlon, nlat)`.
+pub const TABLE1_PRESETS: [(f64, usize, usize); 5] = [
+    (1.0, 36000, 22018),
+    (2.0, 18000, 11511),
+    (3.0, 10800, 6907),
+    (5.0, 7200, 4605),
+    (10.0, 3600, 2302),
+];
+
+/// Southernmost ocean row latitude (deg); LICOM grids start near the
+/// Antarctic coastline.
+const LAT_SOUTH_DEG: f64 = -78.5;
+/// Latitude (deg) where the tripolar fold begins.
+const TRIPOLE_LAT_DEG: f64 = 65.0;
+/// North of this latitude the (displaced-pole) grid is guaranteed land.
+pub const POLAR_CAP_DEG: f64 = 84.0;
+
+/// The structured tripolar grid with synthetic land/sea mask and bathymetry.
+#[derive(Debug, Clone)]
+pub struct TripolarGrid {
+    pub nlon: usize,
+    pub nlat: usize,
+    pub nlev: usize,
+    /// Latitude (rad) of each row center.
+    pub lat: Vec<f64>,
+    /// Longitude (rad) of each column center (row-independent south of the
+    /// fold; inside the fold the mapping is distorted but topology-identical).
+    pub lon: Vec<f64>,
+    /// Cell areas (m²), per row (zonally uniform).
+    pub row_area: Vec<f64>,
+    /// Depth levels (m) — interface depths of the 80 levels.
+    pub z_levels: Vec<f64>,
+    /// Number of active vertical levels per column (0 = land).
+    pub kmt: Vec<u16>,
+    /// First row index of the tripolar fold region.
+    pub fold_start_row: usize,
+}
+
+impl TripolarGrid {
+    /// Build the preset closest to `res_km` from Table 1.
+    pub fn from_table1(res_km: f64) -> Self {
+        let &(_, nlon, nlat) = TABLE1_PRESETS
+            .iter()
+            .min_by(|a, b| {
+                (a.0 - res_km)
+                    .abs()
+                    .partial_cmp(&(b.0 - res_km).abs())
+                    .expect("finite")
+            })
+            .expect("presets nonempty");
+        Self::new(nlon, nlat, 80, MaskGenerator::default())
+    }
+
+    /// Build an arbitrary-size grid (tests use small ones); `nlat` rows from
+    /// 78.5°S to 90°N, `nlev` z-levels, and a synthetic mask from `gen`.
+    pub fn new(nlon: usize, nlat: usize, nlev: usize, generator: MaskGenerator) -> Self {
+        assert!(nlon >= 4 && nlat >= 4 && nlev >= 1);
+        let lat_south = LAT_SOUTH_DEG.to_radians();
+        let lat_north = 90.0_f64.to_radians();
+        let dlat = (lat_north - lat_south) / nlat as f64;
+        let lat: Vec<f64> = (0..nlat)
+            .map(|j| lat_south + (j as f64 + 0.5) * dlat)
+            .collect();
+        let dlon = 2.0 * std::f64::consts::PI / nlon as f64;
+        let lon: Vec<f64> = (0..nlon).map(|i| (i as f64 + 0.5) * dlon).collect();
+        let row_area: Vec<f64> = lat
+            .iter()
+            .map(|&phi| EARTH_RADIUS * EARTH_RADIUS * dlon * dlat * phi.cos().max(1e-6))
+            .collect();
+        let fold_start_row = lat
+            .iter()
+            .position(|&phi| phi.to_degrees() >= TRIPOLE_LAT_DEG)
+            .unwrap_or(nlat);
+
+        let z_levels = ocn_z_levels(nlev);
+        let max_depth = *z_levels.last().expect("levels");
+
+        // Build kmt from the synthetic bathymetry. Land fraction targets the
+        // Earth's ~29 % at the surface; the Arctic cap (fold region) is
+        // forced to include land under the two displaced poles.
+        let points: Vec<Vec3> = (0..nlat)
+            .flat_map(|j| {
+                let phi = lat[j];
+                lon.iter()
+                    .map(move |&lam| Vec3::from_lat_lon(phi, lam))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        let (land, threshold) = generator.land_mask(&points, 0.29);
+        let mut kmt = vec![0u16; nlon * nlat];
+        for j in 0..nlat {
+            for i in 0..nlon {
+                let idx = j * nlon + i;
+                // The tripolar construction displaces both northern poles
+                // onto land so no ocean point sits at a metric singularity;
+                // we emulate that by forcing the polar cap (> 84°N) to land.
+                if land[idx] || lat[j].to_degrees() > POLAR_CAP_DEG {
+                    kmt[idx] = 0;
+                    continue;
+                }
+                let depth = generator.depth(points[idx], threshold, max_depth);
+                // Number of z-levels shallower than the local depth.
+                let k = z_levels.iter().take_while(|&&z| z <= depth).count();
+                kmt[idx] = k.max(1) as u16;
+            }
+        }
+
+        TripolarGrid {
+            nlon,
+            nlat,
+            nlev,
+            lat,
+            lon,
+            row_area,
+            z_levels,
+            kmt,
+            fold_start_row,
+        }
+    }
+
+    /// Flat column index.
+    #[inline]
+    pub fn idx(&self, i: usize, j: usize) -> usize {
+        debug_assert!(i < self.nlon && j < self.nlat);
+        j * self.nlon + i
+    }
+
+    /// Total horizontal columns.
+    pub fn ncols(&self) -> usize {
+        self.nlon * self.nlat
+    }
+
+    /// Total 3-D grid points, active or not (the paper's "No. of Grids").
+    pub fn npoints_3d(&self) -> usize {
+        self.ncols() * self.nlev
+    }
+
+    /// Number of *active* (ocean) 3-D points.
+    pub fn active_points_3d(&self) -> usize {
+        self.kmt.iter().map(|&k| k as usize).sum()
+    }
+
+    /// Fraction of 3-D points that are ocean.
+    pub fn active_fraction(&self) -> f64 {
+        self.active_points_3d() as f64 / self.npoints_3d() as f64
+    }
+
+    /// Is column (i, j) ocean at level k?
+    #[inline]
+    pub fn is_ocean(&self, i: usize, j: usize, k: usize) -> bool {
+        (k as u16) < self.kmt[self.idx(i, j)]
+    }
+
+    /// Zonal neighbor with periodic wrap.
+    #[inline]
+    pub fn east_of(&self, i: usize) -> usize {
+        (i + 1) % self.nlon
+    }
+
+    #[inline]
+    pub fn west_of(&self, i: usize) -> usize {
+        (i + self.nlon - 1) % self.nlon
+    }
+
+    /// Across-the-fold partner column for the top row (tripolar seam): row
+    /// `nlat-1` column `i` abuts row `nlat-1` column `nlon-1-i`.
+    pub fn fold_partner(&self, i: usize) -> usize {
+        self.nlon - 1 - i
+    }
+
+    /// Area-weighted mean of a surface field (ignores land).
+    pub fn ocean_area_mean(&self, field: &[f64]) -> f64 {
+        assert_eq!(field.len(), self.ncols());
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for j in 0..self.nlat {
+            for i in 0..self.nlon {
+                let idx = self.idx(i, j);
+                if self.kmt[idx] > 0 {
+                    num += field[idx] * self.row_area[j];
+                    den += self.row_area[j];
+                }
+            }
+        }
+        if den == 0.0 {
+            0.0
+        } else {
+            num / den
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> TripolarGrid {
+        TripolarGrid::new(72, 46, 20, MaskGenerator::default())
+    }
+
+    #[test]
+    fn presets_match_table1_counts() {
+        // 1 km: 36000 × 22018 × 80 = 6.34e10 ≈ paper's 6.3e10.
+        let (_, nlon, nlat) = TABLE1_PRESETS[0];
+        assert_eq!(nlon * nlat * 80, 63_411_840_000);
+        // 3 km: 10800 × 6907 × 80 = 5.97e9 ≈ paper's 5.8e9.
+        let (_, nlon, nlat) = TABLE1_PRESETS[2];
+        assert_eq!(nlon * nlat * 80, 5_967_648_000);
+    }
+
+    #[test]
+    fn lat_lon_ranges() {
+        let g = small();
+        assert!(g.lat[0].to_degrees() > -79.0 && g.lat[0].to_degrees() < -75.0);
+        assert!(g.lat[g.nlat - 1].to_degrees() < 90.0);
+        assert!(g.lon.iter().all(|&l| (0.0..2.0 * std::f64::consts::PI).contains(&l)));
+    }
+
+    #[test]
+    fn active_fraction_near_earth_like() {
+        let g = small();
+        let f = g.active_fraction();
+        // Surface ocean fraction is ~71 %, but deep levels lose points to
+        // bathymetry — total 3-D active fraction lands well below that.
+        assert!(f > 0.3 && f < 0.75, "active 3-D fraction = {f}");
+    }
+
+    #[test]
+    fn kmt_bounded_by_nlev() {
+        let g = small();
+        assert!(g.kmt.iter().all(|&k| (k as usize) <= g.nlev));
+        // Land exists, ocean exists.
+        assert!(g.kmt.iter().any(|&k| k == 0));
+        assert!(g.kmt.iter().any(|&k| k > 0));
+    }
+
+    #[test]
+    fn zonal_wrap() {
+        let g = small();
+        assert_eq!(g.east_of(g.nlon - 1), 0);
+        assert_eq!(g.west_of(0), g.nlon - 1);
+        assert_eq!(g.fold_partner(0), g.nlon - 1);
+        assert_eq!(g.fold_partner(g.nlon - 1), 0);
+    }
+
+    #[test]
+    fn area_mean_of_constant_is_constant() {
+        let g = small();
+        let field = vec![3.25; g.ncols()];
+        assert!((g.ocean_area_mean(&field) - 3.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn is_ocean_respects_kmt() {
+        let g = small();
+        for j in 0..g.nlat {
+            for i in 0..g.nlon {
+                let kmt = g.kmt[g.idx(i, j)] as usize;
+                if kmt > 0 {
+                    assert!(g.is_ocean(i, j, kmt - 1));
+                }
+                if kmt < g.nlev {
+                    assert!(!g.is_ocean(i, j, kmt));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fold_region_identified() {
+        let g = small();
+        assert!(g.fold_start_row > 0 && g.fold_start_row < g.nlat);
+        assert!(g.lat[g.fold_start_row].to_degrees() >= 65.0);
+    }
+}

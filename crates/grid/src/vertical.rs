@@ -1,0 +1,135 @@
+//! Vertical coordinates: 30 atmosphere sigma layers and 80 ocean z-levels
+//! (the paper's Table 1 configuration).
+
+/// Sigma mid-layer values for the atmosphere: `nlev` layers from the surface
+/// (σ≈1) to the model top (σ≈0), concentrated toward the surface the way
+/// operational configurations are. Returned top-down (σ decreasing… no —
+/// bottom-up: index 0 = lowest layer), each in (0, 1).
+pub fn atm_sigma_layers(nlev: usize) -> Vec<f64> {
+    assert!(nlev >= 1);
+    // Stretched distribution: uniform in s^1.7 puts more layers near σ = 1.
+    (0..nlev)
+        .map(|k| {
+            let s = (k as f64 + 0.5) / nlev as f64; // 0 near surface
+            1.0 - s.powf(1.7)
+        })
+        .collect()
+}
+
+/// Layer thicknesses dσ matching [`atm_sigma_layers`] (sum to 1).
+pub fn atm_sigma_thickness(nlev: usize) -> Vec<f64> {
+    let edges: Vec<f64> = (0..=nlev)
+        .map(|k| {
+            let s = k as f64 / nlev as f64;
+            1.0 - s.powf(1.7)
+        })
+        .collect();
+    (0..nlev).map(|k| edges[k] - edges[k + 1]).collect()
+}
+
+/// Bottom interface depth (m) of each of `nlev` ocean levels: ~10 m near the
+/// surface stretching to ~5500 m total, the classic LICOM/POP stretched
+/// z-grid shape. Monotonically increasing.
+pub fn ocn_z_levels(nlev: usize) -> Vec<f64> {
+    assert!(nlev >= 1);
+    let max_depth = 5500.0;
+    let surface_dz = 10.0;
+    // Geometric-ish stretching: dz_k = surface_dz * r^k with r chosen so the
+    // column sums to max_depth. Solve r by bisection.
+    let target = max_depth / surface_dz;
+    let sum_ratio = |r: f64| -> f64 {
+        if (r - 1.0).abs() < 1e-12 {
+            nlev as f64
+        } else {
+            (r.powi(nlev as i32) - 1.0) / (r - 1.0)
+        }
+    };
+    let (mut lo, mut hi) = (1.0, 2.0);
+    while sum_ratio(hi) < target {
+        hi *= 1.5;
+    }
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if sum_ratio(mid) < target {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    let r = 0.5 * (lo + hi);
+    let mut depth = 0.0;
+    let mut dz = surface_dz;
+    let mut out = Vec::with_capacity(nlev);
+    for _ in 0..nlev {
+        depth += dz;
+        out.push(depth);
+        dz *= r;
+    }
+    out
+}
+
+/// Level thicknesses dz (m) matching [`ocn_z_levels`].
+pub fn ocn_z_thickness(nlev: usize) -> Vec<f64> {
+    let z = ocn_z_levels(nlev);
+    let mut out = Vec::with_capacity(nlev);
+    let mut prev = 0.0;
+    for d in z {
+        out.push(d - prev);
+        prev = d;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sigma_layers_in_unit_interval_decreasing() {
+        let s = atm_sigma_layers(30);
+        assert_eq!(s.len(), 30);
+        assert!(s.iter().all(|&v| v > 0.0 && v < 1.0));
+        for w in s.windows(2) {
+            assert!(w[0] > w[1], "sigma must decrease with height index");
+        }
+    }
+
+    #[test]
+    fn sigma_thickness_sums_to_one() {
+        let d = atm_sigma_thickness(30);
+        let total: f64 = d.iter().sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        assert!(d.iter().all(|&v| v > 0.0));
+        // Near-surface layers thinner than top layers? Our stretching puts
+        // *more* resolution near the surface: first < last.
+        assert!(d[0] < d[29]);
+    }
+
+    #[test]
+    fn ocean_levels_reach_max_depth() {
+        let z = ocn_z_levels(80);
+        assert_eq!(z.len(), 80);
+        assert!((z[79] - 5500.0).abs() < 1.0, "bottom at {}", z[79]);
+        assert!((z[0] - 10.0).abs() < 1e-9);
+        for w in z.windows(2) {
+            assert!(w[1] > w[0]);
+        }
+    }
+
+    #[test]
+    fn ocean_thickness_monotone_increasing() {
+        let dz = ocn_z_thickness(80);
+        for w in dz.windows(2) {
+            assert!(w[1] >= w[0] * 0.999); // non-decreasing within tolerance
+        }
+        let total: f64 = dz.iter().sum();
+        assert!((total - 5500.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn few_level_configs_work() {
+        let z = ocn_z_levels(5);
+        assert_eq!(z.len(), 5);
+        assert!((z[4] - 5500.0).abs() < 1.0);
+    }
+}

@@ -1,0 +1,380 @@
+//! # AP3ESM sea-ice component (`ap3esm-ice`)
+//!
+//! The CICE4 analogue (the paper couples CICE4, CESM 2.2's default sea-ice
+//! model, optimised for the Sunway multi-core system and given the same
+//! 3-D point-exclusion treatment as the ocean). This implementation keeps
+//! the pieces the coupled system exercises:
+//!
+//! * zero-layer thermodynamics: ice grows when the mixed layer is at the
+//!   freezing point and loses heat, melts under warm air/ocean,
+//! * free-drift-lite dynamics: ice velocity follows wind and ocean
+//!   currents with a turning-ratio closure; upwind advection of ice mass,
+//! * runs on the ocean's tripolar grid blocks with the ocean's exclusion
+//!   machinery (only ocean columns can carry ice),
+//! * import/export state in the coupler's conventions (fraction, thickness,
+//!   surface temperature; freshwater + heat fluxes back to the ocean).
+
+use ap3esm_grid::decomp::{Block, BlockDecomp2d};
+use ap3esm_grid::tripolar::TripolarGrid;
+
+/// Latent heat of fusion of ice (J/kg) and ice density (kg/m³).
+pub const L_FUSION: f64 = 3.34e5;
+pub const RHO_ICE: f64 = 917.0;
+/// Freezing point of sea water (°C).
+pub const T_FREEZE: f64 = -1.8;
+
+/// Per-rank sea-ice state on an ocean block (interior-only layout, row-major
+/// `nj × ni`; ice needs no halo at the coupling cadence we run).
+#[derive(Debug, Clone)]
+pub struct IceState {
+    pub block: Block,
+    pub ni: usize,
+    pub nj: usize,
+    /// Ice concentration (0..1).
+    pub fraction: Vec<f64>,
+    /// Mean ice thickness over the ice-covered part (m).
+    pub thickness: Vec<f64>,
+    /// Ice surface temperature (°C).
+    pub tsfc: Vec<f64>,
+    /// Ocean mask (kmt > 0).
+    pub ocean: Vec<bool>,
+}
+
+/// Atmosphere/ocean inputs for one ice step (interior layout).
+#[derive(Debug, Clone)]
+pub struct IceForcing {
+    /// Air temperature at the surface (°C).
+    pub tair: Vec<f64>,
+    /// Sea-surface temperature (°C).
+    pub sst: Vec<f64>,
+    /// Net downward heat flux over ice (W/m²).
+    pub flux_down: Vec<f64>,
+    /// 10 m winds (m/s).
+    pub uwind: Vec<f64>,
+    pub vwind: Vec<f64>,
+    /// Surface ocean currents (m/s).
+    pub uocn: Vec<f64>,
+    pub vocn: Vec<f64>,
+}
+
+impl IceForcing {
+    pub fn uniform(n: usize, tair: f64, sst: f64) -> Self {
+        IceForcing {
+            tair: vec![tair; n],
+            sst: vec![sst; n],
+            flux_down: vec![0.0; n],
+            uwind: vec![0.0; n],
+            vwind: vec![0.0; n],
+            uocn: vec![0.0; n],
+            vocn: vec![0.0; n],
+        }
+    }
+}
+
+/// Fluxes the ice hands back to the ocean/coupler.
+#[derive(Debug, Clone)]
+pub struct IceExport {
+    /// Freshwater flux to the ocean from melt (kg/m²/s).
+    pub fresh: Vec<f64>,
+    /// Heat flux to the ocean (W/m², positive warms the ocean).
+    pub heat: Vec<f64>,
+    /// Ice fraction (for albedo/flux blending in the coupler).
+    pub fraction: Vec<f64>,
+}
+
+/// The sea-ice model.
+pub struct IceModel {
+    pub state: IceState,
+    /// Bulk heat-transfer coefficient air↔ice (W/m²/K).
+    pub k_air: f64,
+    /// Ocean↔ice heat coupling (W/m²/K).
+    pub k_ocn: f64,
+    /// Wind factor for free drift (ice speed ≈ 2 % of wind).
+    pub wind_factor: f64,
+    /// Grid spacings for advection.
+    dx: Vec<f64>,
+    dy: f64,
+}
+
+impl IceModel {
+    /// Initialise on the same decomposition as the ocean; polar ocean
+    /// starts with climatological ice cover where SST-like initial
+    /// temperature is below freezing.
+    pub fn new(grid: &TripolarGrid, decomp: &BlockDecomp2d, rank_id: usize) -> Self {
+        let block = decomp.block(rank_id);
+        let (ni, nj) = (block.ni(), block.nj());
+        let n = ni * nj;
+        let mut ocean = vec![false; n];
+        let mut fraction = vec![0.0; n];
+        let mut thickness = vec![0.0; n];
+        let mut tsfc = vec![T_FREEZE; n];
+        for j in 0..nj {
+            let phi = grid.lat[block.j0 + j];
+            let t_surf = 2.0 + 26.0 * phi.cos().powi(2); // matches ocn init
+            for i in 0..ni {
+                let idx = j * ni + i;
+                ocean[idx] = grid.kmt[grid.idx(block.i0 + i, block.j0 + j)] > 0;
+                if ocean[idx] && t_surf < 4.0 {
+                    // Cold high-latitude ocean: seed ice.
+                    fraction[idx] = ((4.0 - t_surf) / 4.0).clamp(0.0, 0.95);
+                    thickness[idx] = 1.5 * fraction[idx];
+                    tsfc[idx] = -5.0;
+                }
+            }
+        }
+        let dx: Vec<f64> = (0..nj)
+            .map(|j| {
+                let phi = grid.lat[block.j0 + j];
+                ap3esm_grid::EARTH_RADIUS * phi.cos().max(0.02) * 2.0 * std::f64::consts::PI
+                    / grid.nlon as f64
+            })
+            .collect();
+        let dy = ap3esm_grid::EARTH_RADIUS * (grid.lat[grid.nlat - 1] - grid.lat[0])
+            / (grid.nlat - 1).max(1) as f64;
+        IceModel {
+            state: IceState {
+                block,
+                ni,
+                nj,
+                fraction,
+                thickness,
+                tsfc,
+                ocean,
+            },
+            k_air: 20.0,
+            k_ocn: 50.0,
+            wind_factor: 0.02,
+            dx,
+            dy,
+        }
+    }
+
+    /// One thermodynamic + dynamic step of length `dt` seconds.
+    pub fn step(&mut self, forcing: &IceForcing, dt: f64) -> IceExport {
+        let st = &mut self.state;
+        let n = st.ni * st.nj;
+        assert_eq!(forcing.tair.len(), n, "forcing size");
+        let mut fresh = vec![0.0; n];
+        let mut heat = vec![0.0; n];
+
+        // --- Thermodynamics ---
+        for idx in 0..n {
+            if !st.ocean[idx] {
+                continue;
+            }
+            let vol = st.fraction[idx] * st.thickness[idx]; // m of ice
+            let mut dvol = 0.0;
+            // Ocean-side: warm water melts ice bottom; freezing water grows.
+            let dt_ocn = forcing.sst[idx] - T_FREEZE;
+            let q_ocn = self.k_ocn * dt_ocn; // W/m² ocean → ice
+            if vol > 0.0 || dt_ocn < 0.0 {
+                dvol -= q_ocn * dt / (RHO_ICE * L_FUSION);
+                heat[idx] -= q_ocn * st.fraction[idx].max(0.05);
+            }
+            // Air-side: heat into the ice melts it, heat loss grows it.
+            if vol > 0.0 {
+                let q_air = self.k_air * (forcing.tair[idx] - st.tsfc[idx])
+                    + forcing.flux_down[idx];
+                dvol -= q_air.clamp(-500.0, 500.0) * dt / (RHO_ICE * L_FUSION);
+                // Surface temperature relaxes toward air temperature, capped
+                // at the melting point.
+                st.tsfc[idx] += (forcing.tair[idx] - st.tsfc[idx]) * (dt / 86_400.0).min(1.0);
+                st.tsfc[idx] = st.tsfc[idx].min(0.0);
+            }
+            let new_vol = (vol + dvol).max(0.0);
+            let melted = (vol - new_vol).max(0.0);
+            fresh[idx] += melted * RHO_ICE / dt.max(1.0);
+            // Repartition volume into fraction/thickness (CICE-like: keep
+            // thickness ≥ 0.5 m for thin ice, cap fraction at 1).
+            if new_vol > 1e-6 {
+                let thick = (new_vol / st.fraction[idx].max(0.1)).max(0.5);
+                st.fraction[idx] = (new_vol / thick).clamp(0.0, 1.0);
+                st.thickness[idx] = thick;
+            } else {
+                st.fraction[idx] = 0.0;
+                st.thickness[idx] = 0.0;
+            }
+        }
+
+        // --- Free-drift advection of ice volume (upwind, interior only) ---
+        let vol: Vec<f64> = (0..n)
+            .map(|i| st.fraction[i] * st.thickness[i])
+            .collect();
+        let mut new_vol = vol.clone();
+        for j in 0..st.nj {
+            for i in 0..st.ni {
+                let idx = j * st.ni + i;
+                if !st.ocean[idx] || vol[idx] == 0.0 {
+                    continue;
+                }
+                let ui = self.wind_factor * forcing.uwind[idx] + forcing.uocn[idx];
+                let vi = self.wind_factor * forcing.vwind[idx] + forcing.vocn[idx];
+                let cfl_x = (ui * dt / self.dx[j]).clamp(-0.45, 0.45);
+                let cfl_y = (vi * dt / self.dy).clamp(-0.45, 0.45);
+                // Donor-cell: move a CFL fraction of the volume to the
+                // downstream neighbor if it is ocean.
+                let give = |target: Option<usize>, amount: f64, new_vol: &mut Vec<f64>| {
+                    if amount <= 0.0 {
+                        return;
+                    }
+                    if let Some(tgt) = target {
+                        if st.ocean[tgt] {
+                            new_vol[idx] -= amount;
+                            new_vol[tgt] += amount;
+                        }
+                    }
+                };
+                let east = (i + 1 < st.ni).then(|| j * st.ni + i + 1);
+                let west = (i > 0).then(|| j * st.ni + i - 1);
+                let north = (j + 1 < st.nj).then(|| (j + 1) * st.ni + i);
+                let south = (j > 0).then(|| (j - 1) * st.ni + i);
+                if cfl_x > 0.0 {
+                    give(east, cfl_x * vol[idx], &mut new_vol);
+                } else {
+                    give(west, -cfl_x * vol[idx], &mut new_vol);
+                }
+                if cfl_y > 0.0 {
+                    give(north, cfl_y * vol[idx], &mut new_vol);
+                } else {
+                    give(south, -cfl_y * vol[idx], &mut new_vol);
+                }
+            }
+        }
+        for idx in 0..n {
+            if st.ocean[idx] && new_vol[idx] > 1e-6 {
+                let thick = st.thickness[idx].max(0.5);
+                st.fraction[idx] = (new_vol[idx] / thick).clamp(0.0, 1.0);
+                st.thickness[idx] = if st.fraction[idx] > 0.0 {
+                    new_vol[idx] / st.fraction[idx]
+                } else {
+                    0.0
+                };
+            } else if st.ocean[idx] {
+                st.fraction[idx] = 0.0;
+                st.thickness[idx] = 0.0;
+            }
+        }
+
+        IceExport {
+            fresh,
+            heat,
+            fraction: st.fraction.clone(),
+        }
+    }
+
+    /// Total ice volume (m³) on this rank.
+    pub fn total_volume(&self) -> f64 {
+        let st = &self.state;
+        let mut v = 0.0;
+        for j in 0..st.nj {
+            for i in 0..st.ni {
+                let idx = j * st.ni + i;
+                v += st.fraction[idx] * st.thickness[idx] * self.dx[j] * self.dy;
+            }
+        }
+        v
+    }
+
+    /// Ice-covered area fraction of the rank's ocean.
+    pub fn ice_cover(&self) -> f64 {
+        let st = &self.state;
+        let ocean: f64 = st.ocean.iter().filter(|&&o| o).count() as f64;
+        if ocean == 0.0 {
+            return 0.0;
+        }
+        let covered: f64 = (0..st.fraction.len())
+            .filter(|&i| st.ocean[i])
+            .map(|i| st.fraction[i])
+            .sum();
+        covered / ocean
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ap3esm_grid::mask::MaskGenerator;
+
+    fn setup() -> IceModel {
+        let grid = TripolarGrid::new(36, 24, 6, MaskGenerator::default());
+        let decomp = BlockDecomp2d::new(36, 24, 1, 1);
+        IceModel::new(&grid, &decomp, 0)
+    }
+
+    #[test]
+    fn initial_ice_only_on_cold_ocean() {
+        let m = setup();
+        let st = &m.state;
+        for idx in 0..st.fraction.len() {
+            if st.fraction[idx] > 0.0 {
+                assert!(st.ocean[idx], "ice over land at {idx}");
+            }
+            assert!((0.0..=1.0).contains(&st.fraction[idx]));
+        }
+        assert!(m.total_volume() > 0.0, "no initial polar ice");
+        assert!(m.ice_cover() > 0.0 && m.ice_cover() < 0.6);
+    }
+
+    #[test]
+    fn warm_forcing_melts_ice() {
+        let mut m = setup();
+        let n = m.state.ni * m.state.nj;
+        let v0 = m.total_volume();
+        let forcing = IceForcing::uniform(n, 10.0, 5.0); // warm air, warm ocean
+        for _ in 0..30 {
+            m.step(&forcing, 86_400.0);
+        }
+        let v1 = m.total_volume();
+        assert!(v1 < v0 * 0.5, "ice did not melt: {v0} -> {v1}");
+    }
+
+    #[test]
+    fn cold_ocean_grows_ice() {
+        let mut m = setup();
+        let n = m.state.ni * m.state.nj;
+        let v0 = m.total_volume();
+        let forcing = IceForcing::uniform(n, -20.0, T_FREEZE - 0.2);
+        for _ in 0..30 {
+            m.step(&forcing, 86_400.0);
+        }
+        assert!(m.total_volume() > v0, "ice did not grow");
+        // Fractions stay physical.
+        assert!(m.state.fraction.iter().all(|&f| (0.0..=1.0).contains(&f)));
+    }
+
+    #[test]
+    fn melt_produces_freshwater_and_ocean_cooling_heat_sign() {
+        let mut m = setup();
+        let n = m.state.ni * m.state.nj;
+        let forcing = IceForcing::uniform(n, 15.0, 8.0);
+        let export = m.step(&forcing, 86_400.0);
+        let total_fresh: f64 = export.fresh.iter().sum();
+        assert!(total_fresh > 0.0, "melting must export fresh water");
+        // Warm ocean loses heat to the melting ice where ice exists.
+        let heat_sum: f64 = export.heat.iter().sum();
+        assert!(heat_sum < 0.0);
+        assert_eq!(export.fraction.len(), n);
+    }
+
+    #[test]
+    fn drift_conserves_volume() {
+        let mut m = setup();
+        let n = m.state.ni * m.state.nj;
+        let mut forcing = IceForcing::uniform(n, -5.0, T_FREEZE);
+        // Strong uniform wind, neutral thermodynamics (air at tsfc, ocean
+        // at freezing) — volume should only move, not change much.
+        for t in forcing.tair.iter_mut() {
+            *t = -5.0;
+        }
+        for u in forcing.uwind.iter_mut() {
+            *u = 10.0;
+        }
+        let v0 = m.total_volume();
+        m.step(&forcing, 3600.0);
+        let v1 = m.total_volume();
+        assert!(
+            (v1 - v0).abs() / v0 < 0.05,
+            "drift changed volume too much: {v0} -> {v1}"
+        );
+    }
+}

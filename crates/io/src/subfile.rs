@@ -1,0 +1,345 @@
+//! Sub-file partitioning, rank-group aggregation plan, and readers/writers.
+
+use std::fs::File;
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+
+use crate::format::{crc32, decode_payload, encode_payload, FieldHeader, HEADER_LEN};
+use crate::IoError;
+
+/// Assignment of ranks to sub-files: `nranks` writers are grouped so that
+/// each of the `nsubfiles` sub-files has one aggregator rank collecting its
+/// group's data (paper: "assign groups of MPI ranks to the I/O for a set of
+/// subfiles").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IoPlan {
+    pub nranks: usize,
+    pub nsubfiles: usize,
+}
+
+impl IoPlan {
+    pub fn new(nranks: usize, nsubfiles: usize) -> Self {
+        assert!(nranks >= 1 && nsubfiles >= 1);
+        assert!(
+            nsubfiles <= nranks,
+            "cannot have more sub-files than ranks"
+        );
+        IoPlan { nranks, nsubfiles }
+    }
+
+    /// Sub-file (group) that `rank` contributes to.
+    pub fn group_of(&self, rank: usize) -> usize {
+        // Contiguous rank blocks per group, remainder spread low.
+        let base = self.nranks / self.nsubfiles;
+        let rem = self.nranks % self.nsubfiles;
+        let big = (base + 1) * rem; // ranks covered by the larger groups
+        if rank < big {
+            rank / (base + 1)
+        } else {
+            rem + (rank - big) / base
+        }
+    }
+
+    /// The aggregator (writer) rank of group `g` — its first member.
+    pub fn aggregator_of(&self, g: usize) -> usize {
+        let base = self.nranks / self.nsubfiles;
+        let rem = self.nranks % self.nsubfiles;
+        if g < rem {
+            g * (base + 1)
+        } else {
+            rem * (base + 1) + (g - rem) * base
+        }
+    }
+
+    /// Members of group `g` in rank order.
+    pub fn members_of(&self, g: usize) -> Vec<usize> {
+        (0..self.nranks).filter(|&r| self.group_of(r) == g).collect()
+    }
+}
+
+/// Splits `total` elements into `n` near-equal contiguous ranges.
+pub fn partition_ranges(total: usize, n: usize) -> Vec<(usize, usize)> {
+    let base = total / n;
+    let rem = total % n;
+    let mut out = Vec::with_capacity(n);
+    let mut start = 0;
+    for k in 0..n {
+        let len = base + usize::from(k < rem);
+        out.push((start, start + len));
+        start += len;
+    }
+    out
+}
+
+fn subfile_path(dir: &Path, name: &str, index: usize) -> PathBuf {
+    dir.join(format!("{name}.{index:05}.a3f"))
+}
+
+/// Writes a global field as `nsubfiles` sub-files under `dir`.
+pub struct SubfileWriter {
+    dir: PathBuf,
+    name: String,
+    dims: [u64; 3],
+    ndims: u32,
+    nsubfiles: usize,
+}
+
+impl SubfileWriter {
+    pub fn new(dir: impl Into<PathBuf>, name: &str, dims: &[usize], nsubfiles: usize) -> Self {
+        assert!(!dims.is_empty() && dims.len() <= 3, "1-3 dims supported");
+        assert!(nsubfiles >= 1);
+        let mut d = [1u64; 3];
+        for (i, &v) in dims.iter().enumerate() {
+            d[i] = v as u64;
+        }
+        SubfileWriter {
+            dir: dir.into(),
+            name: name.to_owned(),
+            dims: d,
+            ndims: dims.len() as u32,
+            nsubfiles,
+        }
+    }
+
+    fn total(&self) -> usize {
+        (self.dims[0] * self.dims[1] * self.dims[2]) as usize
+    }
+
+    /// Write the whole field at once (serial convenience used by tests and
+    /// the single-writer baseline when `nsubfiles == 1`).
+    pub fn write_all(&self, field: &[f64]) -> Result<(), IoError> {
+        assert_eq!(field.len(), self.total(), "field size mismatch");
+        std::fs::create_dir_all(&self.dir)?;
+        for (idx, (s, e)) in partition_ranges(field.len(), self.nsubfiles)
+            .into_iter()
+            .enumerate()
+        {
+            self.write_partition(idx, s, &field[s..e])?;
+        }
+        Ok(())
+    }
+
+    /// Write one sub-file from an aggregator that already holds its slice.
+    pub fn write_partition(&self, index: usize, start: usize, data: &[f64]) -> Result<(), IoError> {
+        assert!(index < self.nsubfiles);
+        std::fs::create_dir_all(&self.dir)?;
+        let payload = encode_payload(data);
+        let header = FieldHeader {
+            dims: self.dims,
+            ndims: self.ndims,
+            subfile_index: index as u32,
+            subfile_count: self.nsubfiles as u32,
+            start: start as u64,
+            count: data.len() as u64,
+            crc: crc32(&payload),
+        };
+        let mut f = File::create(subfile_path(&self.dir, &self.name, index))?;
+        f.write_all(&header.encode())?;
+        f.write_all(&payload)?;
+        f.sync_all()?;
+        Ok(())
+    }
+}
+
+/// Reads a field previously written by [`SubfileWriter`].
+pub struct SubfileReader {
+    dir: PathBuf,
+    name: String,
+}
+
+impl SubfileReader {
+    pub fn new(dir: impl Into<PathBuf>, name: &str) -> Self {
+        SubfileReader {
+            dir: dir.into(),
+            name: name.to_owned(),
+        }
+    }
+
+    fn read_subfile(&self, index: usize) -> Result<(FieldHeader, Vec<f64>), IoError> {
+        let mut f = File::open(subfile_path(&self.dir, &self.name, index))?;
+        let mut bytes = Vec::new();
+        f.read_to_end(&mut bytes)?;
+        let header = FieldHeader::decode(&bytes)?;
+        let payload = &bytes[HEADER_LEN..];
+        if payload.len() != header.count as usize * 8 {
+            return Err(IoError::Inconsistent(format!(
+                "subfile {index}: payload {} bytes, expected {}",
+                payload.len(),
+                header.count * 8
+            )));
+        }
+        let actual = crc32(payload);
+        if actual != header.crc {
+            return Err(IoError::CrcMismatch {
+                expected: header.crc,
+                actual,
+            });
+        }
+        Ok((header, decode_payload(payload)?))
+    }
+
+    /// Read and reassemble the full global field, validating the sub-file
+    /// set for completeness, overlap, and CRC integrity.
+    pub fn read_all(&self) -> Result<(FieldHeader, Vec<f64>), IoError> {
+        let (first, data0) = self.read_subfile(0)?;
+        let total = (first.dims[0] * first.dims[1] * first.dims[2]) as usize;
+        let nsub = first.subfile_count as usize;
+        let mut field = vec![f64::NAN; total];
+        let mut covered = 0usize;
+        let mut place = |h: &FieldHeader, d: Vec<f64>| -> Result<(), IoError> {
+            let s = h.start as usize;
+            if s + d.len() > total {
+                return Err(IoError::Inconsistent(format!(
+                    "subfile {} overruns field",
+                    h.subfile_index
+                )));
+            }
+            field[s..s + d.len()].copy_from_slice(&d);
+            covered += d.len();
+            Ok(())
+        };
+        place(&first, data0)?;
+        for idx in 1..nsub {
+            let (h, d) = self.read_subfile(idx)?;
+            if h.subfile_count as usize != nsub || h.dims != first.dims {
+                return Err(IoError::Inconsistent(format!(
+                    "subfile {idx} disagrees with subfile 0 about the field"
+                )));
+            }
+            place(&h, d)?;
+        }
+        if covered != total {
+            return Err(IoError::Inconsistent(format!(
+                "sub-files cover {covered} of {total} elements"
+            )));
+        }
+        Ok((first, field))
+    }
+
+    /// Read only the elements in `[start, end)` touching as few sub-files as
+    /// possible (restart readers use this).
+    pub fn read_range(&self, start: usize, end: usize) -> Result<Vec<f64>, IoError> {
+        let (first, _) = self.read_subfile(0)?;
+        let nsub = first.subfile_count as usize;
+        let mut out = vec![f64::NAN; end - start];
+        for idx in 0..nsub {
+            let (h, d) = self.read_subfile(idx)?;
+            let s = h.start as usize;
+            let e = s + d.len();
+            let lo = start.max(s);
+            let hi = end.min(e);
+            if lo < hi {
+                out[lo - start..hi - start].copy_from_slice(&d[lo - s..hi - s]);
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("ap3esm-io-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn roundtrip_multiple_subfiles() {
+        let dir = tmpdir("rt");
+        let field: Vec<f64> = (0..1000).map(|i| (i as f64).sqrt()).collect();
+        let w = SubfileWriter::new(&dir, "sst", &[100, 10], 7);
+        w.write_all(&field).unwrap();
+        let r = SubfileReader::new(&dir, "sst");
+        let (h, back) = r.read_all().unwrap();
+        assert_eq!(h.dims, [100, 10, 1]);
+        assert_eq!(h.subfile_count, 7);
+        assert_eq!(back, field);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn single_subfile_baseline() {
+        let dir = tmpdir("single");
+        let field = vec![1.25; 64];
+        SubfileWriter::new(&dir, "x", &[64], 1)
+            .write_all(&field)
+            .unwrap();
+        let (_, back) = SubfileReader::new(&dir, "x").read_all().unwrap();
+        assert_eq!(back, field);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corruption_detected_by_crc() {
+        let dir = tmpdir("crc");
+        let field = vec![3.0; 100];
+        SubfileWriter::new(&dir, "t", &[100], 2)
+            .write_all(&field)
+            .unwrap();
+        // Flip a payload byte in subfile 1.
+        let path = dir.join("t.00001.a3f");
+        let mut bytes = std::fs::read(&path).unwrap();
+        let k = bytes.len() - 3;
+        bytes[k] ^= 0xFF;
+        std::fs::write(&path, bytes).unwrap();
+        let err = SubfileReader::new(&dir, "t").read_all().unwrap_err();
+        assert!(matches!(err, IoError::CrcMismatch { .. }), "got {err}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn range_read_crosses_subfiles() {
+        let dir = tmpdir("range");
+        let field: Vec<f64> = (0..90).map(|i| i as f64).collect();
+        SubfileWriter::new(&dir, "u", &[90], 4)
+            .write_all(&field)
+            .unwrap();
+        let got = SubfileReader::new(&dir, "u").read_range(20, 70).unwrap();
+        assert_eq!(got, (20..70).map(|i| i as f64).collect::<Vec<_>>());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn partition_ranges_cover_exactly() {
+        for (total, n) in [(100, 7), (5, 5), (3, 1), (0, 2)] {
+            let ranges = partition_ranges(total, n);
+            assert_eq!(ranges.len(), n);
+            let mut expect = 0;
+            for (s, e) in ranges {
+                assert_eq!(s, expect);
+                assert!(e >= s);
+                expect = e;
+            }
+            assert_eq!(expect, total);
+        }
+    }
+
+    #[test]
+    fn io_plan_groups_and_aggregators() {
+        let plan = IoPlan::new(10, 3);
+        // Every rank belongs to exactly one group; groups are contiguous.
+        let groups: Vec<usize> = (0..10).map(|r| plan.group_of(r)).collect();
+        for w in groups.windows(2) {
+            assert!(w[1] >= w[0]);
+        }
+        assert_eq!(*groups.last().unwrap(), 2);
+        for g in 0..3 {
+            let members = plan.members_of(g);
+            assert!(!members.is_empty());
+            assert_eq!(plan.aggregator_of(g), members[0]);
+        }
+        // 10 ranks over 3 groups: sizes 4, 3, 3.
+        assert_eq!(plan.members_of(0).len(), 4);
+        assert_eq!(plan.members_of(1).len(), 3);
+        assert_eq!(plan.members_of(2).len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot have more sub-files than ranks")]
+    fn too_many_subfiles_rejected() {
+        let _ = IoPlan::new(2, 3);
+    }
+}

@@ -1,0 +1,216 @@
+//! # AP3ESM land-surface component (`ap3esm-lnd`)
+//!
+//! In AP3ESM "GRIST and the land surface model directly exchange data,
+//! bypassing the coupler" (§5.1.1) — so this crate's model lives on the
+//! *atmosphere's* icosahedral cells and is stepped from inside the
+//! atmosphere's model step, not through CPL.
+//!
+//! A classic bucket model: surface energy balance (absorbed shortwave +
+//! longwave − outgoing longwave − sensible − latent) drives the skin
+//! temperature; a soil-moisture bucket gains precipitation and loses
+//! evaporation; wetness modulates the latent flux the atmosphere's surface
+//! scheme sees.
+
+use ap3esm_physics::constants::STEFAN_BOLTZMANN;
+
+/// Bucket capacity (kg/m² ≈ mm of water).
+pub const BUCKET_CAPACITY: f64 = 150.0;
+
+/// Land state on a subset of atmosphere cells.
+#[derive(Debug, Clone)]
+pub struct LndState {
+    /// Skin temperature (K).
+    pub tskin: Vec<f64>,
+    /// Soil moisture (kg/m²).
+    pub moisture: Vec<f64>,
+    /// Which atmosphere cells are land.
+    pub land: Vec<bool>,
+}
+
+/// Atmosphere inputs for one land step (all per atmosphere cell).
+#[derive(Debug, Clone)]
+pub struct LndForcing {
+    /// Surface downward shortwave (W/m²) — `gsw` from the radiation module.
+    pub gsw: Vec<f64>,
+    /// Surface downward longwave (W/m²) — `glw`.
+    pub glw: Vec<f64>,
+    /// Lowest-level air temperature (K).
+    pub tair: Vec<f64>,
+    /// Precipitation rate (kg/m²/s).
+    pub precip: Vec<f64>,
+    /// 10 m wind speed (m/s).
+    pub wind: Vec<f64>,
+}
+
+/// The bucket land model.
+pub struct LndModel {
+    pub state: LndState,
+    /// Surface albedo.
+    pub albedo: f64,
+    /// Surface emissivity.
+    pub emissivity: f64,
+    /// Effective surface heat capacity (J/m²/K).
+    pub heat_capacity: f64,
+    /// Bulk transfer coefficient × ρ·cp (W/m²/K per m/s of wind).
+    pub exchange: f64,
+}
+
+impl LndModel {
+    pub fn new(land: Vec<bool>, t0: f64) -> Self {
+        let n = land.len();
+        LndModel {
+            state: LndState {
+                tskin: vec![t0; n],
+                moisture: vec![0.5 * BUCKET_CAPACITY; n],
+                land,
+            },
+            albedo: 0.22,
+            emissivity: 0.95,
+            heat_capacity: 3.0e5,
+            exchange: 5.0,
+        }
+    }
+
+    /// Wetness factor (0..1) the atmosphere's surface-flux scheme uses.
+    pub fn wetness(&self) -> Vec<f64> {
+        self.state
+            .moisture
+            .iter()
+            .map(|m| (m / BUCKET_CAPACITY).clamp(0.0, 1.0))
+            .collect()
+    }
+
+    /// One step of length `dt` seconds. Returns the evaporation rate per
+    /// cell (kg/m²/s) for the atmosphere's moisture budget.
+    pub fn step(&mut self, forcing: &LndForcing, dt: f64) -> Vec<f64> {
+        let st = &mut self.state;
+        let n = st.land.len();
+        assert_eq!(forcing.gsw.len(), n);
+        let mut evap = vec![0.0; n];
+        for i in 0..n {
+            if !st.land[i] {
+                continue;
+            }
+            let wet = (st.moisture[i] / BUCKET_CAPACITY).clamp(0.0, 1.0);
+            let absorbed = (1.0 - self.albedo) * forcing.gsw[i]
+                + self.emissivity * forcing.glw[i];
+            let outgoing = self.emissivity * STEFAN_BOLTZMANN * st.tskin[i].powi(4);
+            let sensible = self.exchange * forcing.wind[i].max(0.5)
+                * (st.tskin[i] - forcing.tair[i]);
+            // Evaporation: bounded by available energy and moisture.
+            let latent_max = 0.3 * absorbed.max(0.0) * wet;
+            let latent = latent_max.min(st.moisture[i] / dt * ap3esm_physics::constants::L_VAP);
+            let net = absorbed - outgoing - sensible - latent;
+            st.tskin[i] += dt * net / self.heat_capacity;
+            st.tskin[i] = st.tskin[i].clamp(180.0, 340.0);
+            let e = latent / ap3esm_physics::constants::L_VAP;
+            evap[i] = e;
+            st.moisture[i] =
+                (st.moisture[i] + dt * (forcing.precip[i] - e)).clamp(0.0, BUCKET_CAPACITY);
+        }
+        evap
+    }
+
+    /// Mean land skin temperature (K); 0 if no land.
+    pub fn mean_tskin(&self) -> f64 {
+        let st = &self.state;
+        let (mut sum, mut cnt) = (0.0, 0usize);
+        for i in 0..st.land.len() {
+            if st.land[i] {
+                sum += st.tskin[i];
+                cnt += 1;
+            }
+        }
+        if cnt == 0 {
+            0.0
+        } else {
+            sum / cnt as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn forcing(n: usize, gsw: f64, tair: f64, precip: f64) -> LndForcing {
+        LndForcing {
+            gsw: vec![gsw; n],
+            glw: vec![330.0; n],
+            tair: vec![tair; n],
+            precip: vec![precip; n],
+            wind: vec![3.0; n],
+        }
+    }
+
+    #[test]
+    fn sunny_day_warms_the_surface() {
+        let mut m = LndModel::new(vec![true; 10], 285.0);
+        let f = forcing(10, 600.0, 285.0, 0.0);
+        for _ in 0..24 {
+            m.step(&f, 3600.0);
+        }
+        assert!(m.mean_tskin() > 288.0, "tskin {}", m.mean_tskin());
+        assert!(m.mean_tskin() < 340.0);
+    }
+
+    #[test]
+    fn night_cools_the_surface() {
+        let mut m = LndModel::new(vec![true; 10], 295.0);
+        let f = forcing(10, 0.0, 280.0, 0.0);
+        for _ in 0..24 {
+            m.step(&f, 3600.0);
+        }
+        assert!(m.mean_tskin() < 293.0, "tskin {}", m.mean_tskin());
+    }
+
+    #[test]
+    fn rain_fills_the_bucket_evaporation_empties_it() {
+        let mut m = LndModel::new(vec![true; 4], 290.0);
+        let m0 = m.state.moisture[0];
+        // Rain, no sun (no evaporation energy).
+        let f = forcing(4, 0.0, 290.0, 1e-4);
+        m.step(&f, 86_400.0);
+        assert!(m.state.moisture[0] > m0);
+        assert!(m.state.moisture[0] <= BUCKET_CAPACITY);
+        // Strong sun, no rain: moisture declines, evaporation positive.
+        let f = forcing(4, 800.0, 295.0, 0.0);
+        let before = m.state.moisture[0];
+        let evap = m.step(&f, 86_400.0);
+        assert!(evap[0] > 0.0);
+        assert!(m.state.moisture[0] < before);
+    }
+
+    #[test]
+    fn dry_bucket_suppresses_evaporation() {
+        let mut m = LndModel::new(vec![true; 1], 300.0);
+        m.state.moisture[0] = 0.0;
+        let f = forcing(1, 800.0, 295.0, 0.0);
+        let evap = m.step(&f, 3600.0);
+        assert_eq!(evap[0], 0.0);
+        assert_eq!(m.wetness()[0], 0.0);
+    }
+
+    #[test]
+    fn ocean_cells_untouched() {
+        let mut m = LndModel::new(vec![false, true], 290.0);
+        let f = forcing(2, 500.0, 285.0, 1e-5);
+        let evap = m.step(&f, 3600.0);
+        assert_eq!(evap[0], 0.0);
+        assert_eq!(m.state.tskin[0], 290.0);
+        assert_ne!(m.state.tskin[1], 290.0);
+    }
+
+    #[test]
+    fn equilibrium_is_reasonable() {
+        // With steady forcing the surface should settle near a physically
+        // sensible temperature (radiative-convective balance).
+        let mut m = LndModel::new(vec![true; 1], 280.0);
+        let f = forcing(1, 350.0, 288.0, 1e-5);
+        for _ in 0..500 {
+            m.step(&f, 3600.0);
+        }
+        let t = m.mean_tskin();
+        assert!((260.0..320.0).contains(&t), "equilibrium tskin {t}");
+    }
+}

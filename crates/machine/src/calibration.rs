@@ -1,0 +1,279 @@
+//! Embedded paper measurements (Table 2 / §7.2 text) used to calibrate the
+//! scaling model and as the "paper" column of EXPERIMENTS.md.
+//!
+//! The scanned table in the source text garbles some row labels; the values
+//! below follow the *running text* of §7.2, which is internally consistent
+//! (its quoted parallel efficiencies match its quoted SYPD ratios exactly).
+
+use serde::{Deserialize, Serialize};
+
+/// One measured point: node count, paper's core/GPU accounting, SYPD.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CalibrationPoint {
+    pub nodes: usize,
+    pub units: usize,
+    pub sypd: f64,
+}
+
+/// A full measured configuration from the paper.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConfigCalibration {
+    /// e.g. "ATM 3km CPE+OPT (Sunway)".
+    pub label: String,
+    /// "cores" or "GPUs" — what `units` counts.
+    pub unit_name: String,
+    /// true for Sunway OceanLight, false for ORISE.
+    pub sunway: bool,
+    /// Whether this is an accelerated (CPE+OPT / GPU-optimised) run.
+    pub accelerated: bool,
+    pub points: Vec<CalibrationPoint>,
+}
+
+fn cfg(
+    label: &str,
+    unit_name: &str,
+    sunway: bool,
+    accelerated: bool,
+    pts: &[(usize, usize, f64)],
+) -> ConfigCalibration {
+    ConfigCalibration {
+        label: label.to_owned(),
+        unit_name: unit_name.to_owned(),
+        sunway,
+        accelerated,
+        points: pts
+            .iter()
+            .map(|&(nodes, units, sypd)| CalibrationPoint { nodes, units, sypd })
+            .collect(),
+    }
+}
+
+/// All strong-scaling configurations of Table 2 / Fig. 8a.
+pub fn paper_table2() -> Vec<ConfigCalibration> {
+    vec![
+        // --- ORISE, 1 km ocean ---
+        // "Original": the 2024 Gordon Bell finalist record used as baseline
+        // (LICOMK++ 1.70 SYPD); OPT: this paper's systematic redesign with
+        // 3-D non-ocean point removal, 1.2× faster at the largest scale.
+        cfg(
+            "OCN 1km Original (ORISE)",
+            "GPUs",
+            false,
+            true,
+            &[
+                (1000, 4000, 0.77),
+                (2000, 8000, 1.25),
+                (3000, 12000, 1.49),
+                (4021, 16085, 1.65),
+            ],
+        ),
+        cfg(
+            "OCN 1km OPT (ORISE)",
+            "GPUs",
+            false,
+            true,
+            &[
+                (1015, 4060, 0.92),
+                (2015, 8060, 1.45),
+                (2982, 11927, 1.76),
+                (4021, 16085, 1.98),
+            ],
+        ),
+        // --- Sunway, ocean 2 km ---
+        // MPE text: 0.0014 → 0.019 SYPD, ~20k → >300k cores, 88.6 % eff.
+        cfg(
+            "OCN 2km MPE (Sunway)",
+            "cores",
+            true,
+            false,
+            &[
+                (3265, 19_608, 0.0014),
+                (6425, 38_550, 0.0033),
+                (12_671, 76_026, 0.0060),
+                (50_035, 300_210, 0.019),
+            ],
+        ),
+        // CPE+OPT text: 0.21 → 1.59 SYPD, 1 273 415 → 19 513 780 cores,
+        // 49.4 % eff; speedup vs MPE 84–150×.
+        cfg(
+            "OCN 2km CPE+OPT (Sunway)",
+            "cores",
+            true,
+            true,
+            &[
+                (3265, 1_273_415, 0.21),
+                (6425, 2_505_880, 0.42),
+                (12_671, 4_941_755, 0.72),
+                (50_035, 19_513_780, 1.59),
+            ],
+        ),
+        // --- Sunway, atmosphere ---
+        // MPE 3 km: 0.0032 → 0.0063 SYPD on 32 768 → 262 144 cores, 24.6 %.
+        cfg(
+            "ATM 3km MPE (Sunway)",
+            "cores",
+            true,
+            false,
+            &[(5462, 32_768, 0.0032), (43_691, 262_144, 0.0063)],
+        ),
+        // CPE+OPT 3 km: 0.36 → 1.16 SYPD on 2 129 920 → 17 039 360 cores,
+        // 40.3 %; speedup vs MPE 112–184×.
+        cfg(
+            "ATM 3km CPE+OPT (Sunway)",
+            "cores",
+            true,
+            true,
+            &[
+                (5462, 2_129_920, 0.36),
+                (10_923, 4_259_840, 0.70),
+                (21_846, 8_519_680, 0.92),
+                (43_691, 17_039_360, 1.16),
+            ],
+        ),
+        // CPE+OPT 1 km: 0.20 → 0.85 SYPD on 4 259 840 → 34 078 270 cores,
+        // 51.5 % eff (headline standalone-atmosphere result).
+        cfg(
+            "ATM 1km CPE+OPT (Sunway)",
+            "cores",
+            true,
+            true,
+            &[
+                (10_923, 4_259_840, 0.20),
+                (43_691, 17_039_360, 0.55),
+                (87_380, 34_078_270, 0.85),
+            ],
+        ),
+        // --- Coupled AP3ESM on Sunway ---
+        // 3v2 text: 0.18 → 1.01 SYPD from 3 403 335 → 36 553 140 cores,
+        // 52.2 % eff; table interior points 0.40 / 0.71.
+        cfg(
+            "AP3ESM 3v2 CPE+OPT (Sunway)",
+            "cores",
+            true,
+            true,
+            &[
+                (8726, 3_403_335, 0.18),
+                (21_846, 8_519_680, 0.40),
+                (43_691, 17_039_360, 0.71),
+                (93_726, 36_553_140, 1.01),
+            ],
+        ),
+        // 1v1 text: 0.14 → 0.54 SYPD from 8 745 360 → 37 172 980 cores,
+        // 90.7 % eff (headline coupled result).
+        cfg(
+            "AP3ESM 1v1 CPE+OPT (Sunway)",
+            "cores",
+            true,
+            true,
+            &[
+                (22_424, 8_745_360, 0.14),
+                (44_511, 17_359_160, 0.23),
+                (95_316, 37_172_980, 0.54),
+            ],
+        ),
+    ]
+}
+
+/// Fig. 8b weak-scaling configurations: `(label, resolutions_km, nodes,
+/// final parallel efficiency)`.
+pub struct WeakScalingConfig {
+    pub label: String,
+    pub resolutions_km: Vec<f64>,
+    pub nodes: Vec<usize>,
+    pub final_efficiency: f64,
+}
+
+pub fn paper_fig8b() -> Vec<WeakScalingConfig> {
+    vec![
+        WeakScalingConfig {
+            label: "ATM weak scaling (Sunway)".into(),
+            resolutions_km: vec![25.0, 10.0, 6.0, 3.0],
+            nodes: vec![683, 2731, 10_922, 43_691],
+            final_efficiency: 0.8785,
+        },
+        WeakScalingConfig {
+            label: "OCN weak scaling (Sunway)".into(),
+            resolutions_km: vec![10.0, 5.0, 3.0, 2.0],
+            nodes: vec![2107, 8212, 18_225, 50_035],
+            final_efficiency: 0.9657,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The quoted efficiencies of §7.2 must match the quoted SYPD ratios —
+    /// this is the internal-consistency check that justified preferring the
+    /// running text over the garbled table.
+    #[test]
+    fn text_efficiencies_are_self_consistent() {
+        let check = |label: &str, expected_eff: f64| {
+            let cfgs = paper_table2();
+            let c = cfgs.iter().find(|c| c.label == label).unwrap();
+            let first = c.points.first().unwrap();
+            let last = c.points.last().unwrap();
+            let ideal = first.sypd * last.nodes as f64 / first.nodes as f64;
+            let eff = last.sypd / ideal;
+            assert!(
+                (eff - expected_eff).abs() < 0.02,
+                "{label}: eff {eff} vs paper {expected_eff}"
+            );
+        };
+        check("ATM 3km CPE+OPT (Sunway)", 0.403);
+        check("OCN 2km CPE+OPT (Sunway)", 0.494);
+        check("OCN 2km MPE (Sunway)", 0.886);
+        check("AP3ESM 1v1 CPE+OPT (Sunway)", 0.907);
+        check("AP3ESM 3v2 CPE+OPT (Sunway)", 0.522);
+    }
+
+    #[test]
+    fn cpe_speedup_in_paper_band() {
+        // ATM: 112–184× (paper); compare at the shared 5462/43691 nodes.
+        let cfgs = paper_table2();
+        let mpe = cfgs
+            .iter()
+            .find(|c| c.label.contains("ATM 3km MPE"))
+            .unwrap();
+        let cpe = cfgs
+            .iter()
+            .find(|c| c.label.contains("ATM 3km CPE"))
+            .unwrap();
+        let s_small = cpe.points[0].sypd / mpe.points[0].sypd;
+        let s_large = cpe.points.last().unwrap().sypd / mpe.points.last().unwrap().sypd;
+        assert!(
+            (110.0..=190.0).contains(&s_small) && (110.0..=190.0).contains(&s_large),
+            "speedups {s_small} {s_large}"
+        );
+    }
+
+    #[test]
+    fn headline_numbers_present() {
+        let cfgs = paper_table2();
+        let atm1 = cfgs
+            .iter()
+            .find(|c| c.label.contains("ATM 1km"))
+            .unwrap();
+        assert_eq!(atm1.points.last().unwrap().sypd, 0.85);
+        assert_eq!(atm1.points.last().unwrap().units, 34_078_270);
+        let cpl = cfgs
+            .iter()
+            .find(|c| c.label.contains("1v1"))
+            .unwrap();
+        assert_eq!(cpl.points.last().unwrap().sypd, 0.54);
+        assert_eq!(cpl.points.last().unwrap().units, 37_172_980);
+    }
+
+    #[test]
+    fn orise_opt_beats_original_by_1_2x() {
+        let cfgs = paper_table2();
+        let orig = cfgs
+            .iter()
+            .find(|c| c.label.contains("Original"))
+            .unwrap();
+        let opt = cfgs.iter().find(|c| c.label.contains("1km OPT")).unwrap();
+        let ratio = opt.points.last().unwrap().sypd / orig.points.last().unwrap().sypd;
+        assert!((ratio - 1.2).abs() < 0.05, "ratio {ratio}");
+    }
+}

@@ -1,0 +1,228 @@
+//! Hardware descriptions of the two evaluation platforms (paper §6.3).
+
+use serde::{Deserialize, Serialize};
+
+/// A Sunway OceanLight node: one SW26010P processor with one management
+/// processing element (MPE) core group arrangement — 6 core groups (CGs),
+/// each with 1 MPE and 64 compute processing elements (CPEs), 390 cores
+/// total per node.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SunwayNode {
+    pub core_groups: usize,
+    pub cpes_per_cg: usize,
+    pub mpes_per_cg: usize,
+    /// Local device memory per CPE (bytes).
+    pub ldm_bytes: usize,
+}
+
+impl Default for SunwayNode {
+    fn default() -> Self {
+        SunwayNode {
+            core_groups: 6,
+            cpes_per_cg: 64,
+            mpes_per_cg: 1,
+            ldm_bytes: 256 * 1024,
+        }
+    }
+}
+
+impl SunwayNode {
+    /// Cores per node: 6 × (64 + 1) = 390 on SW26010P.
+    pub fn cores(&self) -> usize {
+        self.core_groups * (self.cpes_per_cg + self.mpes_per_cg)
+    }
+}
+
+/// An ORISE node: host CPU (4-way, 8-core, x86, 2 GHz) plus 4 HIP GPUs
+/// (performance akin to AMD MI60) over 16 GB/s PCIe DMA; 25 GB/s network.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OriseNode {
+    pub gpus: usize,
+    pub cpu_cores: usize,
+    /// PCIe DMA bandwidth per node (bytes/s).
+    pub pcie_bw: f64,
+}
+
+impl Default for OriseNode {
+    fn default() -> Self {
+        OriseNode {
+            gpus: 4,
+            cpu_cores: 32,
+            pcie_bw: 16e9,
+        }
+    }
+}
+
+/// Machine-level description used by the scaling model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MachineSpec {
+    pub name: String,
+    /// Maximum node count.
+    pub max_nodes: usize,
+    /// Parallel "units" per node the model scales over (core groups on
+    /// Sunway — one MPI process per CG — or GPUs on ORISE).
+    pub units_per_node: usize,
+    /// Cores accounted per node (for the paper's "core" columns).
+    pub cores_per_node: usize,
+    /// Nodes per supernode (leaf-switch group); 256 on OceanLight.
+    pub supernode_size: usize,
+    /// Fat-tree uplink oversubscription ratio (16:3 ≈ 5.33 on OceanLight).
+    pub oversubscription: f64,
+    /// Per-message network latency (s).
+    pub net_alpha: f64,
+    /// Per-node injection bandwidth (bytes/s).
+    pub net_beta: f64,
+}
+
+impl MachineSpec {
+    /// Sunway OceanLight (paper §6.3): >107 520 nodes, 390-core SW26010P,
+    /// 256-node supernodes, 16:3 oversubscribed multi-layer fat tree.
+    pub fn sunway_oceanlight() -> Self {
+        MachineSpec {
+            name: "Sunway OceanLight".into(),
+            max_nodes: 107_520,
+            units_per_node: 6, // one MPI process per core group
+            cores_per_node: SunwayNode::default().cores(),
+            supernode_size: 256,
+            oversubscription: 16.0 / 3.0,
+            net_alpha: 2.5e-6,
+            net_beta: 25e9,
+        }
+    }
+
+    /// ORISE (paper §6.3): CPU + 4 GPUs per node, 25 GB/s interconnect.
+    pub fn orise() -> Self {
+        MachineSpec {
+            name: "ORISE".into(),
+            max_nodes: 5000,
+            units_per_node: 4, // one process per GPU
+            cores_per_node: 32,
+            supernode_size: 64,
+            oversubscription: 2.0,
+            net_alpha: 2.0e-6,
+            net_beta: 25e9,
+        }
+    }
+
+    /// Total parallel units at `nodes`.
+    pub fn units(&self, nodes: usize) -> usize {
+        self.units_per_node * nodes
+    }
+
+    /// "Cores" at `nodes` in the paper's accounting.
+    pub fn cores(&self, nodes: usize) -> usize {
+        self.cores_per_node * nodes
+    }
+
+    /// Supernode id of a node.
+    pub fn supernode_of(&self, node: usize) -> usize {
+        node / self.supernode_size
+    }
+
+    /// Network hops between two nodes: 2 within a supernode (up to the leaf
+    /// switch and down), 4 across supernodes (through the spine).
+    pub fn hops(&self, a: usize, b: usize) -> usize {
+        if a == b {
+            0
+        } else if self.supernode_of(a) == self.supernode_of(b) {
+            2
+        } else {
+            4
+        }
+    }
+
+    /// Point-to-point message time (s) between two nodes for `bytes`.
+    /// Cross-supernode traffic pays the oversubscription factor on
+    /// bandwidth, matching the 16:3 uplink taper.
+    pub fn p2p_time(&self, a: usize, b: usize, bytes: f64) -> f64 {
+        if a == b {
+            // Intra-node: memory-bandwidth-ish copy, no NIC latency.
+            return bytes / (self.net_beta * 4.0);
+        }
+        let hops = self.hops(a, b) as f64;
+        let bw = if self.supernode_of(a) == self.supernode_of(b) {
+            self.net_beta
+        } else {
+            self.net_beta / self.oversubscription
+        };
+        self.net_alpha * hops / 2.0 + bytes / bw
+    }
+
+    /// Fraction of uniformly-random rank-pair traffic that crosses
+    /// supernode boundaries when `nodes` are in use.
+    pub fn cross_supernode_fraction(&self, nodes: usize) -> f64 {
+        if nodes <= self.supernode_size {
+            0.0
+        } else {
+            let s = self.supernode_size as f64 / nodes as f64;
+            1.0 - s
+        }
+    }
+
+    /// Effective bandwidth taper for halo-like (mostly-local) traffic: only
+    /// `locality_escape` of the traffic leaves the supernode; that share
+    /// pays the oversubscription.
+    pub fn halo_bandwidth_factor(&self, nodes: usize, locality_escape: f64) -> f64 {
+        let cross = self.cross_supernode_fraction(nodes) * locality_escape;
+        1.0 / (1.0 - cross + cross * self.oversubscription)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sunway_node_has_390_cores() {
+        assert_eq!(SunwayNode::default().cores(), 390);
+    }
+
+    #[test]
+    fn oceanlight_full_machine_core_count() {
+        let m = MachineSpec::sunway_oceanlight();
+        // Paper: 107 520 nodes → 41 932 800 cores.
+        assert_eq!(m.cores(107_520), 41_932_800);
+    }
+
+    #[test]
+    fn orise_units_are_gpus() {
+        let m = MachineSpec::orise();
+        // Paper Table 2: 1000 nodes ↔ 4000 GPUs.
+        assert_eq!(m.units(1000), 4000);
+        assert_eq!(m.units(4021), 16_084); // ~16085 GPUs at max scale
+    }
+
+    #[test]
+    fn hops_and_supernodes() {
+        let m = MachineSpec::sunway_oceanlight();
+        assert_eq!(m.hops(5, 5), 0);
+        assert_eq!(m.hops(0, 255), 2); // same 256-node supernode
+        assert_eq!(m.hops(0, 256), 4); // cross-supernode
+    }
+
+    #[test]
+    fn cross_supernode_traffic_penalised() {
+        let m = MachineSpec::sunway_oceanlight();
+        let near = m.p2p_time(0, 1, 1e6);
+        let far = m.p2p_time(0, 100_000, 1e6);
+        assert!(far > near * 2.0, "near {near} far {far}");
+    }
+
+    #[test]
+    fn cross_fraction_grows_with_scale() {
+        let m = MachineSpec::sunway_oceanlight();
+        assert_eq!(m.cross_supernode_fraction(128), 0.0);
+        let f1 = m.cross_supernode_fraction(1024);
+        let f2 = m.cross_supernode_fraction(100_000);
+        assert!(f1 > 0.0 && f2 > f1 && f2 < 1.0);
+    }
+
+    #[test]
+    fn halo_bandwidth_factor_bounds() {
+        let m = MachineSpec::sunway_oceanlight();
+        let f_small = m.halo_bandwidth_factor(100, 0.1);
+        let f_large = m.halo_bandwidth_factor(100_000, 0.1);
+        assert!((f_small - 1.0).abs() < 1e-12);
+        assert!(f_large < 1.0 && f_large > 1.0 / m.oversubscription);
+    }
+}

@@ -1,0 +1,115 @@
+//! Global ocean diagnostics (cross-rank reductions).
+
+use ap3esm_comm::collectives::{allreduce, allreduce_sum};
+use ap3esm_comm::Rank;
+
+use crate::model::OcnModel;
+
+/// Global kinetic energy (J-like; ∫½|u|² dV × ρ₀ omitted).
+pub fn global_kinetic_energy(model: &OcnModel, rank: &Rank) -> f64 {
+    allreduce_sum(rank, 300, model.state.kinetic_energy())
+}
+
+/// Global mean sea-surface temperature (°C) over ocean points.
+pub fn global_mean_sst(model: &OcnModel, rank: &Rank) -> f64 {
+    let (sum, count) = model.state.sst_sum_count();
+    let totals = allreduce(rank, 301, vec![sum, count as f64], |a, b| a + b);
+    if totals[1] > 0.0 {
+        totals[0] / totals[1]
+    } else {
+        0.0
+    }
+}
+
+/// Global max surface current speed (m/s).
+pub fn global_max_speed(model: &OcnModel, rank: &Rank) -> f64 {
+    let local = model
+        .state
+        .surface_speed()
+        .into_iter()
+        .fold(0.0f64, f64::max);
+    ap3esm_comm::collectives::allreduce_max(rank, 302, local)
+}
+
+/// Sea-surface kinetic-energy snapshot statistics for Fig. 1: mean and the
+/// high-speed tail fraction (share of ocean cells above `threshold` m/s).
+pub fn surface_ke_stats(model: &OcnModel, rank: &Rank, threshold: f64) -> (f64, f64) {
+    let speeds = model.state.surface_speed();
+    let st = &model.state;
+    let mut sum = 0.0;
+    let mut count = 0.0;
+    let mut above = 0.0;
+    for j in 0..st.nj {
+        for i in 0..st.ni {
+            if st.kmt[st.at(i, j)] > 0 {
+                let sp = speeds[j * st.ni + i];
+                sum += 0.5 * sp * sp;
+                count += 1.0;
+                if sp > threshold {
+                    above += 1.0;
+                }
+            }
+        }
+    }
+    let totals = allreduce(rank, 303, vec![sum, count, above], |a, b| a + b);
+    if totals[1] > 0.0 {
+        (totals[0] / totals[1], totals[2] / totals[1])
+    } else {
+        (0.0, 0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{OcnConfig, OcnForcing, OcnModel};
+    use ap3esm_comm::World;
+    use ap3esm_grid::decomp::BlockDecomp2d;
+    use ap3esm_grid::mask::MaskGenerator;
+    use ap3esm_grid::tripolar::TripolarGrid;
+
+    #[test]
+    fn diagnostics_agree_across_rank_counts() {
+        let grid = TripolarGrid::new(36, 24, 4, MaskGenerator::default());
+        let run = |px: usize, py: usize| -> (f64, f64) {
+            let world = World::new(px * py);
+            let out = world.run(|rank| {
+                let config = OcnConfig::for_grid(36, 24, 4, px, py);
+                let decomp = BlockDecomp2d::new(36, 24, px, py);
+                let mut model = OcnModel::new(&grid, config, rank.id());
+                let forcing = OcnForcing::climatology(&grid, &decomp, rank.id());
+                for _ in 0..3 {
+                    model.step(rank, &forcing);
+                }
+                (
+                    global_kinetic_energy(&model, rank),
+                    global_mean_sst(&model, rank),
+                )
+            });
+            out[0]
+        };
+        let (ke1, sst1) = run(1, 1);
+        let (ke4, sst4) = run(2, 2);
+        assert!((ke1 - ke4).abs() <= ke1.abs() * 1e-9, "KE {ke1} vs {ke4}");
+        assert!((sst1 - sst4).abs() < 1e-9, "SST {sst1} vs {sst4}");
+        assert!(ke1 > 0.0);
+    }
+
+    #[test]
+    fn ke_stats_fraction_in_range() {
+        let grid = TripolarGrid::new(36, 24, 4, MaskGenerator::default());
+        let world = World::new(1);
+        world.run(|rank| {
+            let config = OcnConfig::for_grid(36, 24, 4, 1, 1);
+            let decomp = BlockDecomp2d::new(36, 24, 1, 1);
+            let mut model = OcnModel::new(&grid, config, 0);
+            let forcing = OcnForcing::climatology(&grid, &decomp, 0);
+            for _ in 0..5 {
+                model.step(rank, &forcing);
+            }
+            let (mean_ke, frac) = surface_ke_stats(&model, rank, 1e-4);
+            assert!(mean_ke >= 0.0);
+            assert!((0.0..=1.0).contains(&frac));
+        });
+    }
+}

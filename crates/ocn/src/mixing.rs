@@ -1,0 +1,166 @@
+//! Canuto-style Richardson-number vertical mixing with an implicit
+//! (tridiagonal) solve.
+//!
+//! The *canuto* scheme is where the paper's 3-D point-removal optimisation
+//! was first applied (§5.2.2: "previous research utilized this technique
+//! for thread-level optimization only in the canuto parameterization
+//! scheme"); in AP3ESM it is extended to the whole component. Our
+//! diffusivity closure keeps the scheme's structure — stability-dependent
+//! coefficients from Ri — with a standard (1 + 5·Ri)⁻² fit.
+
+/// Mixing-scheme parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct CanutoMixing {
+    /// Maximum (neutral) diffusivity (m²/s).
+    pub k_max: f64,
+    /// Background (abyssal) diffusivity (m²/s).
+    pub k_background: f64,
+    /// Convective-adjustment diffusivity for unstable columns (m²/s).
+    pub k_convective: f64,
+}
+
+impl Default for CanutoMixing {
+    fn default() -> Self {
+        CanutoMixing {
+            k_max: 1.0e-2,
+            k_background: 1.0e-5,
+            k_convective: 1.0,
+        }
+    }
+}
+
+impl CanutoMixing {
+    /// Interface diffusivity from the local Richardson number
+    /// `Ri = N² / S²` (shear squared `s2`, buoyancy frequency `n2`).
+    pub fn diffusivity(&self, n2: f64, s2: f64) -> f64 {
+        if n2 < 0.0 {
+            return self.k_convective; // unstable: convective overturn
+        }
+        let ri = n2 / s2.max(1e-10);
+        self.k_background + self.k_max / (1.0 + 5.0 * ri).powi(2)
+    }
+
+    /// Implicit vertical diffusion of one column:
+    /// `(I − dt·D) xⁿ⁺¹ = xⁿ + dt·b`, where `D` is the diffusion operator
+    /// with interface diffusivities `k_int` (len = nlev−1), cell thicknesses
+    /// `dz`, and `surface_flux` enters the top cell (field·m/s). Solves the
+    /// tridiagonal system with the Thomas algorithm (unconditionally
+    /// stable, as LICOM's vmix must be at 80 levels).
+    pub fn diffuse_implicit(
+        &self,
+        x: &mut [f64],
+        dz: &[f64],
+        k_int: &[f64],
+        dt: f64,
+        surface_flux: f64,
+    ) {
+        let n = x.len();
+        assert_eq!(dz.len(), n);
+        if n == 0 {
+            return;
+        }
+        assert_eq!(k_int.len(), n.saturating_sub(1));
+        // Build tridiagonal coefficients: a·x[k-1] + b·x[k] + c·x[k+1] = d.
+        let mut a = vec![0.0; n];
+        let mut b = vec![0.0; n];
+        let mut c = vec![0.0; n];
+        let mut d = vec![0.0; n];
+        for k in 0..n {
+            let up = if k > 0 {
+                k_int[k - 1] / (0.5 * (dz[k - 1] + dz[k]))
+            } else {
+                0.0
+            };
+            let dn = if k + 1 < n {
+                k_int[k] / (0.5 * (dz[k] + dz[k + 1]))
+            } else {
+                0.0
+            };
+            a[k] = -dt * up / dz[k];
+            c[k] = -dt * dn / dz[k];
+            b[k] = 1.0 - a[k] - c[k];
+            d[k] = x[k];
+        }
+        d[0] += dt * surface_flux / dz[0];
+        // Thomas algorithm.
+        for k in 1..n {
+            let m = a[k] / b[k - 1];
+            b[k] -= m * c[k - 1];
+            d[k] -= m * d[k - 1];
+        }
+        x[n - 1] = d[n - 1] / b[n - 1];
+        for k in (0..n - 1).rev() {
+            x[k] = (d[k] - c[k] * x[k + 1]) / b[k];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diffusivity_regimes() {
+        let m = CanutoMixing::default();
+        // Unstable → convective.
+        assert_eq!(m.diffusivity(-1e-5, 1e-4), m.k_convective);
+        // Strongly stratified → background.
+        let k_strat = m.diffusivity(1e-3, 1e-6);
+        assert!(k_strat < 2.0 * m.k_background, "k = {k_strat}");
+        // Strong shear, weak stratification → near k_max.
+        let k_shear = m.diffusivity(1e-8, 1e-3);
+        assert!(k_shear > 0.5 * m.k_max, "k = {k_shear}");
+        assert!(k_shear > k_strat);
+    }
+
+    #[test]
+    fn implicit_diffusion_conserves_without_flux() {
+        let m = CanutoMixing::default();
+        let mut x = vec![20.0, 15.0, 10.0, 6.0, 4.0];
+        let dz = vec![10.0, 20.0, 40.0, 80.0, 160.0];
+        let total0: f64 = x.iter().zip(&dz).map(|(v, d)| v * d).sum();
+        let k = vec![1e-2; 4];
+        m.diffuse_implicit(&mut x, &dz, &k, 3600.0, 0.0);
+        let total1: f64 = x.iter().zip(&dz).map(|(v, d)| v * d).sum();
+        assert!(
+            ((total1 - total0) / total0).abs() < 1e-12,
+            "drift {}",
+            (total1 - total0) / total0
+        );
+        // Gradient weakened.
+        assert!(x[0] < 20.0 && x[4] > 4.0);
+    }
+
+    #[test]
+    fn implicit_diffusion_stable_at_huge_dt() {
+        // K·dt/dz² ≈ 360: explicit would explode; implicit must stay
+        // bounded by the initial extrema.
+        let m = CanutoMixing::default();
+        let mut x = vec![25.0, 5.0, 5.0, 5.0];
+        let dz = vec![10.0; 4];
+        let k = vec![1.0; 3];
+        m.diffuse_implicit(&mut x, &dz, &k, 3600.0, 0.0);
+        assert!(x.iter().all(|&v| v >= 5.0 - 1e-9 && v <= 25.0 + 1e-9), "{x:?}");
+        // Nearly homogenised.
+        assert!((x[0] - x[3]).abs() < 1.0);
+    }
+
+    #[test]
+    fn surface_flux_enters_top_cell() {
+        let m = CanutoMixing::default();
+        let mut x = vec![10.0; 5];
+        let dz = vec![10.0; 5];
+        let k = vec![0.0; 4]; // no mixing: flux stays in the top cell
+        m.diffuse_implicit(&mut x, &dz, &k, 100.0, 0.05);
+        assert!((x[0] - 10.0 - 100.0 * 0.05 / 10.0).abs() < 1e-12);
+        assert!(x[1..].iter().all(|&v| v == 10.0));
+    }
+
+    #[test]
+    fn single_level_column() {
+        let m = CanutoMixing::default();
+        let mut x = vec![5.0];
+        m.diffuse_implicit(&mut x, &[10.0], &[], 100.0, 0.1);
+        assert!((x[0] - 6.0).abs() < 1e-12);
+    }
+}

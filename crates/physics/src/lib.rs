@@ -1,0 +1,78 @@
+//! # AP3ESM conventional physics suite (`ap3esm-physics`)
+//!
+//! The "conventional physical parameterizations suite" the paper's AI
+//! physics replaces (§5.2.1), plus the conventional diagnostic module that
+//! remains in the AI suite. It is the supervision source for training the
+//! AI modules (our stand-in for the paper's 5 km GRIST training fields) and
+//! the baseline side of the F4 ablation benchmark.
+//!
+//! Components:
+//! * [`constants`] — physical constants,
+//! * [`radiation`] — gray two-stream radiative transfer (surface fluxes +
+//!   layer heating rates),
+//! * [`surface`] — bulk aerodynamic surface fluxes (stress, sensible,
+//!   latent),
+//! * [`pbl`] — K-profile boundary-layer vertical diffusion,
+//! * [`convection`] — moist convective adjustment + large-scale
+//!   condensation (Kessler-style precipitation),
+//! * [`suite`] — the assembled column physics: one call per column per
+//!   physics step, mirroring the AI suite's interface.
+
+pub mod constants;
+pub mod convection;
+pub mod pbl;
+pub mod radiation;
+pub mod suite;
+pub mod surface;
+
+pub use suite::{Column, ColumnPhysicsOutput, ConventionalSuite, SurfaceProperties};
+
+/// Saturation vapor pressure (Pa) over water, Tetens formula.
+pub fn saturation_vapor_pressure(t_kelvin: f64) -> f64 {
+    let tc = t_kelvin - 273.15;
+    610.78 * (17.27 * tc / (tc + 237.3)).exp()
+}
+
+/// Saturation specific humidity (kg/kg) at temperature `t` (K) and pressure
+/// `p` (Pa).
+pub fn saturation_specific_humidity(t: f64, p: f64) -> f64 {
+    let es = saturation_vapor_pressure(t);
+    let es = es.min(0.5 * p); // guard for very low pressure
+    0.622 * es / (p - 0.378 * es)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn es_at_freezing_is_611pa() {
+        let es = saturation_vapor_pressure(273.15);
+        assert!((es - 610.78).abs() < 1.0, "es = {es}");
+    }
+
+    #[test]
+    fn es_roughly_doubles_per_10k() {
+        let r = saturation_vapor_pressure(293.15) / saturation_vapor_pressure(283.15);
+        assert!(r > 1.8 && r < 2.2, "ratio {r}");
+    }
+
+    #[test]
+    fn qsat_sane_at_surface() {
+        let q = saturation_specific_humidity(300.0, 101_325.0);
+        // ~22 g/kg at 27 °C, 1 atm.
+        assert!(q > 0.018 && q < 0.027, "qsat = {q}");
+    }
+
+    #[test]
+    fn qsat_increases_with_temperature_decreases_with_pressure() {
+        assert!(
+            saturation_specific_humidity(300.0, 1e5)
+                > saturation_specific_humidity(280.0, 1e5)
+        );
+        assert!(
+            saturation_specific_humidity(300.0, 8e4)
+                > saturation_specific_humidity(300.0, 1e5)
+        );
+    }
+}

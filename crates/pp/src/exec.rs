@@ -1,0 +1,452 @@
+//! Execution spaces: the backend abstraction of the portability layer.
+//!
+//! Mirrors Kokkos execution spaces as used by LICOMK++ (paper §5.3). A kernel
+//! written against [`ExecSpace`] runs unchanged on every backend; only
+//! performance differs. The `Serial` backend corresponds to the paper's
+//! MPE-only baseline; `Threads` to host/device parallel execution; and
+//! `SimulatedCpe` emulates a Sunway SW26010P core group, including its
+//! 64-lane structure and limited local device memory (LDM), so that kernels
+//! exercise the same tiling discipline the Athread/CPE code path requires.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+
+/// A backend capable of executing data-parallel index ranges.
+///
+/// The two primitive operations (`for_each`, `reduce`) take `&dyn` closures
+/// so the trait stays object-safe: AP3ESM components hold a
+/// `Box<dyn ExecSpace>` chosen at configuration time, exactly as the paper's
+/// ocean component "flexibly selects the most suitable implementation for
+/// each architecture" (§5.1.1).
+pub trait ExecSpace: Sync + Send {
+    /// Human-readable backend name (used in profiles and experiment CSVs).
+    fn name(&self) -> &'static str;
+
+    /// Number of hardware lanes the backend exposes (1 for serial, thread
+    /// count for `Threads`, 64 for a CPE cluster).
+    fn concurrency(&self) -> usize;
+
+    /// Execute `f(i)` for every `i in 0..n`.
+    fn for_each(&self, n: usize, f: &(dyn Fn(usize) + Sync));
+
+    /// Reduce `f(i)` over `0..n` into a single `f64` via `combine`.
+    ///
+    /// The f64-typed primitive keeps the trait object-safe; the generic
+    /// typed wrapper is [`ExecSpace::reduce`].
+    fn reduce_f64(
+        &self,
+        n: usize,
+        identity: f64,
+        f: &(dyn Fn(usize) -> f64 + Sync),
+        combine: &(dyn Fn(f64, f64) -> f64 + Sync),
+    ) -> f64;
+}
+
+/// Generic typed reduction built on `for_each` (works for any `ExecSpace`).
+pub trait ExecSpaceExt: ExecSpace {
+    fn reduce<T: Send + Sync + Clone>(
+        &self,
+        n: usize,
+        identity: T,
+        f: &(dyn Fn(usize) -> T + Sync),
+        combine: &(dyn Fn(T, T) -> T + Sync),
+    ) -> T {
+        // Accumulate per-chunk partials under short-lived locks, then fold.
+        const CHUNK: usize = 2048;
+        let nchunks = n.div_ceil(CHUNK);
+        let partials: Vec<Mutex<Option<T>>> = (0..nchunks).map(|_| Mutex::new(None)).collect();
+        self.for_each(nchunks, &|c| {
+            let lo = c * CHUNK;
+            let hi = ((c + 1) * CHUNK).min(n);
+            let mut acc = identity.clone();
+            for i in lo..hi {
+                acc = combine(acc, f(i));
+            }
+            *partials[c].lock() = Some(acc);
+        });
+        partials
+            .into_iter()
+            .map(|m| m.into_inner().expect("partial"))
+            .fold(identity, |a, b| combine(a, b))
+    }
+}
+
+impl<E: ExecSpace + ?Sized> ExecSpaceExt for E {}
+
+// ---------------------------------------------------------------------------
+// Serial
+// ---------------------------------------------------------------------------
+
+/// Reference backend: runs every index on the calling thread.
+///
+/// This is the "MPE" execution path of the paper's Table 2 (the Sunway
+/// management processing element running the kernel alone, without CPE
+/// offload).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Serial;
+
+impl ExecSpace for Serial {
+    fn name(&self) -> &'static str {
+        "serial"
+    }
+
+    fn concurrency(&self) -> usize {
+        1
+    }
+
+    fn for_each(&self, n: usize, f: &(dyn Fn(usize) + Sync)) {
+        for i in 0..n {
+            f(i);
+        }
+    }
+
+    fn reduce_f64(
+        &self,
+        n: usize,
+        identity: f64,
+        f: &(dyn Fn(usize) -> f64 + Sync),
+        combine: &(dyn Fn(f64, f64) -> f64 + Sync),
+    ) -> f64 {
+        let mut acc = identity;
+        for i in 0..n {
+            acc = combine(acc, f(i));
+        }
+        acc
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Threads
+// ---------------------------------------------------------------------------
+
+enum Job {
+    Run(RawJob),
+    Shutdown,
+}
+
+/// A borrowed kernel smuggled to persistent workers as a raw pointer.
+///
+/// SAFETY invariant: the submitting thread blocks until `state.remaining`
+/// reaches zero (signalled through `done_tx`) before the borrow ends, so the
+/// pointee is alive for as long as any worker can dereference it.
+struct RawJob {
+    f: *const (dyn Fn(usize) + Sync + 'static),
+    state: Arc<JobState>,
+}
+
+// SAFETY: see RawJob invariant above; the pointee is Sync so shared calls
+// from many workers are allowed.
+unsafe impl Send for RawJob {}
+
+struct JobState {
+    next: AtomicUsize,
+    n: usize,
+    chunk: usize,
+    remaining: AtomicUsize,
+    done_tx: Sender<()>,
+}
+
+impl JobState {
+    /// Grab-and-run loop shared by workers and the submitting thread.
+    fn drive(&self, f: &(dyn Fn(usize) + Sync)) {
+        loop {
+            let start = self.next.fetch_add(self.chunk, Ordering::Relaxed);
+            if start >= self.n {
+                break;
+            }
+            let end = (start + self.chunk).min(self.n);
+            for i in start..end {
+                f(i);
+            }
+            let prev = self.remaining.fetch_sub(end - start, Ordering::AcqRel);
+            if prev == end - start {
+                let _ = self.done_tx.send(());
+            }
+        }
+    }
+}
+
+/// Persistent thread-pool backend with dynamic (chunk-grabbing) scheduling.
+///
+/// Built directly on crossbeam channels and atomics rather than an external
+/// task framework, so the scheduling policy is visible and tunable — the
+/// dynamic chunk size plays the role of the paper's "automatic loop space
+/// mapping" on CPEs (SWGOMP, §5.3).
+pub struct Threads {
+    txs: Vec<Sender<Job>>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+    nthreads: usize,
+}
+
+impl Threads {
+    /// Spawn a pool of `nthreads` workers (at least 1).
+    pub fn new(nthreads: usize) -> Self {
+        let nthreads = nthreads.max(1);
+        let mut txs = Vec::with_capacity(nthreads);
+        let mut handles = Vec::with_capacity(nthreads);
+        for t in 0..nthreads {
+            let (tx, rx): (Sender<Job>, Receiver<Job>) = unbounded();
+            txs.push(tx);
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("pp-worker-{t}"))
+                    .spawn(move || {
+                        while let Ok(job) = rx.recv() {
+                            match job {
+                                // SAFETY: upheld by RawJob's invariant — the
+                                // submitter waits for completion before the
+                                // borrow ends.
+                                Job::Run(raw) => raw.state.drive(unsafe { &*raw.f }),
+                                Job::Shutdown => break,
+                            }
+                        }
+                    })
+                    .expect("spawn pp worker"),
+            );
+        }
+        Threads {
+            txs,
+            handles,
+            nthreads,
+        }
+    }
+
+    /// Pool sized to the machine's available parallelism.
+    pub fn auto() -> Self {
+        let n = std::thread::available_parallelism()
+            .map(|v| v.get())
+            .unwrap_or(4);
+        Self::new(n)
+    }
+
+    fn run_job(&self, n: usize, f: &(dyn Fn(usize) + Sync)) {
+        if n == 0 {
+            return;
+        }
+        // Aim for ~8 chunks per worker so dynamic scheduling can balance load.
+        let chunk = (n / (self.nthreads * 8)).max(1);
+        let (done_tx, done_rx) = unbounded();
+        let state = Arc::new(JobState {
+            next: AtomicUsize::new(0),
+            n,
+            chunk,
+            remaining: AtomicUsize::new(n),
+            done_tx,
+        });
+        // Hand the borrowed kernel to every persistent worker, then help
+        // drive the job from this thread and wait for full completion. The
+        // wait is what makes the raw-pointer hand-off sound.
+        let fp: *const (dyn Fn(usize) + Sync) = f;
+        // SAFETY: lifetime erasure only; RawJob's completion-wait invariant
+        // guarantees the pointee outlives all uses.
+        let fp: *const (dyn Fn(usize) + Sync + 'static) = unsafe { std::mem::transmute(fp) };
+        for tx in &self.txs {
+            let _ = tx.send(Job::Run(RawJob {
+                f: fp,
+                state: Arc::clone(&state),
+            }));
+        }
+        state.drive(f);
+        while state.remaining.load(Ordering::Acquire) != 0 {
+            let _ = done_rx.recv();
+        }
+    }
+}
+
+impl Drop for Threads {
+    fn drop(&mut self) {
+        for tx in &self.txs {
+            let _ = tx.send(Job::Shutdown);
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl ExecSpace for Threads {
+    fn name(&self) -> &'static str {
+        "threads"
+    }
+
+    fn concurrency(&self) -> usize {
+        self.nthreads
+    }
+
+    fn for_each(&self, n: usize, f: &(dyn Fn(usize) + Sync)) {
+        self.run_job(n, f);
+    }
+
+    fn reduce_f64(
+        &self,
+        n: usize,
+        identity: f64,
+        f: &(dyn Fn(usize) -> f64 + Sync),
+        combine: &(dyn Fn(f64, f64) -> f64 + Sync),
+    ) -> f64 {
+        self.reduce(n, identity, f, combine)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SimulatedCpe
+// ---------------------------------------------------------------------------
+
+/// Emulation of a Sunway SW26010P core group: 64 compute processing elements,
+/// each with a fixed-size local device memory (LDM).
+///
+/// Kernels run through the same 64-lane round-robin tiling that Athread code
+/// uses on the real hardware, and the emulator counts LDM tile loads so that
+/// the machine model (crate `ap3esm-machine`) can charge DMA traffic. Work is
+/// executed on a host thread pool, one pool thread per emulated CPE row.
+pub struct SimulatedCpe {
+    /// Emulated CPEs per core group (64 on SW26010P).
+    pub lanes: usize,
+    /// LDM capacity per CPE in bytes (256 KiB on SW26010P).
+    pub ldm_bytes: usize,
+    /// Bytes of state a kernel needs per index; determines the tile size the
+    /// LDM can hold. Kernels refine this via [`SimulatedCpe::with_state_bytes`].
+    pub state_bytes_per_index: usize,
+    /// Number of LDM tile loads performed so far (≈ DMA transactions).
+    tile_loads: AtomicUsize,
+    pool: Threads,
+}
+
+impl Default for SimulatedCpe {
+    fn default() -> Self {
+        Self::new(64, 256 * 1024, 64)
+    }
+}
+
+impl SimulatedCpe {
+    pub fn new(lanes: usize, ldm_bytes: usize, state_bytes_per_index: usize) -> Self {
+        SimulatedCpe {
+            lanes: lanes.max(1),
+            ldm_bytes,
+            state_bytes_per_index: state_bytes_per_index.max(1),
+            tile_loads: AtomicUsize::new(0),
+            pool: Threads::new(
+                std::thread::available_parallelism()
+                    .map(|v| v.get())
+                    .unwrap_or(4)
+                    .min(8),
+            ),
+        }
+    }
+
+    /// Set per-index working-set size in bytes (shrinks the LDM tile).
+    pub fn with_state_bytes(mut self, bytes: usize) -> Self {
+        self.state_bytes_per_index = bytes.max(1);
+        self
+    }
+
+    /// Indices one LDM tile can hold.
+    pub fn tile_len(&self) -> usize {
+        (self.ldm_bytes / self.state_bytes_per_index).max(1)
+    }
+
+    /// Total LDM tile loads since construction (proxy for DMA transactions).
+    pub fn tile_loads(&self) -> usize {
+        self.tile_loads.load(Ordering::Relaxed)
+    }
+}
+
+impl ExecSpace for SimulatedCpe {
+    fn name(&self) -> &'static str {
+        "simulated-cpe"
+    }
+
+    fn concurrency(&self) -> usize {
+        self.lanes
+    }
+
+    fn for_each(&self, n: usize, f: &(dyn Fn(usize) + Sync)) {
+        if n == 0 {
+            return;
+        }
+        let tile = self.tile_len();
+        // Round-robin tiles over the 64 emulated lanes, exactly like Athread
+        // static scheduling; lanes map onto the host pool.
+        let ntiles = n.div_ceil(tile);
+        self.tile_loads.fetch_add(ntiles, Ordering::Relaxed);
+        self.pool.for_each(ntiles, &|t| {
+            let lo = t * tile;
+            let hi = ((t + 1) * tile).min(n);
+            for i in lo..hi {
+                f(i);
+            }
+        });
+    }
+
+    fn reduce_f64(
+        &self,
+        n: usize,
+        identity: f64,
+        f: &(dyn Fn(usize) -> f64 + Sync),
+        combine: &(dyn Fn(f64, f64) -> f64 + Sync),
+    ) -> f64 {
+        self.reduce(n, identity, f, combine)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    fn check_space(space: &dyn ExecSpace) {
+        let n = 10_000usize;
+        let counter = AtomicU64::new(0);
+        space.for_each(n, &|i| {
+            counter.fetch_add(i as u64, Ordering::Relaxed);
+        });
+        assert_eq!(
+            counter.load(Ordering::Relaxed),
+            (n as u64 - 1) * n as u64 / 2,
+            "{} for_each visited wrong index set",
+            space.name()
+        );
+        let sum = space.reduce_f64(n, 0.0, &|i| i as f64, &|a, b| a + b);
+        assert_eq!(sum, ((n - 1) * n / 2) as f64);
+    }
+
+    #[test]
+    fn serial_visits_all_indices() {
+        check_space(&Serial);
+    }
+
+    #[test]
+    fn threads_visits_all_indices() {
+        check_space(&Threads::new(4));
+    }
+
+    #[test]
+    fn threads_single_worker_ok() {
+        check_space(&Threads::new(1));
+    }
+
+    #[test]
+    fn cpe_visits_all_indices_and_counts_tiles() {
+        let cpe = SimulatedCpe::new(64, 1024, 8); // tiny LDM => many tiles
+        check_space(&cpe);
+        // 10_000 indices, 128 per tile -> 79 tiles for for_each, plus the
+        // reduce's internal chunked for_each.
+        assert!(cpe.tile_loads() >= 79, "tile loads = {}", cpe.tile_loads());
+    }
+
+    #[test]
+    fn empty_range_is_noop() {
+        let space = Threads::new(3);
+        space.for_each(0, &|_| panic!("must not be called"));
+    }
+
+    #[test]
+    fn typed_reduce_max() {
+        let space = Threads::new(4);
+        let m = space.reduce(1000, i64::MIN, &|i| (i as i64 % 97) * 3, &|a, b| a.max(b));
+        assert_eq!(m, 96 * 3);
+    }
+}

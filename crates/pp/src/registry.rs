@@ -1,0 +1,207 @@
+//! Hash-based kernel registration and callback.
+//!
+//! The Sunway compiler cannot instantiate C++ template metaprogramming on
+//! CPEs, so LICOMK++ registers each kernel under a hashed name at start-up
+//! and launches it later through a callback table (paper §5.3: "we propose a
+//! hash-based function registration and callback mechanism to enable Kokkos
+//! execution on TMP-constrained Sunway processors"). This module reproduces
+//! the mechanism: kernels are erased to `fn(&KernelArgs)`-style closures and
+//! dispatched by an FNV-1a hash of their name.
+
+use std::collections::HashMap;
+
+use parking_lot::RwLock;
+
+use crate::exec::ExecSpace;
+
+/// FNV-1a 64-bit hash — the classic cheap hash used for registration tables
+/// on accelerators (no allocation, stable across runs).
+pub fn fnv1a(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Arguments passed to a registered kernel: the iteration extent plus
+/// borrowed input/output buffers. Buffers are type-erased to `f64` slices,
+/// matching the flat field panels AP3ESM kernels operate on.
+pub struct KernelArgs<'a> {
+    pub n: usize,
+    pub inputs: Vec<&'a [f64]>,
+    pub outputs: Vec<&'a mut [f64]>,
+    /// Scalar parameters (timestep, coefficients, …).
+    pub scalars: Vec<f64>,
+}
+
+type Kernel = Box<dyn Fn(&dyn ExecSpace, &mut KernelArgs) + Send + Sync>;
+
+/// The registration table: hash(name) → kernel callback.
+#[derive(Default)]
+pub struct KernelRegistry {
+    table: RwLock<HashMap<u64, (String, Kernel)>>,
+}
+
+/// Error returned by [`KernelRegistry::launch`] for unknown kernels.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownKernel(pub u64);
+
+impl std::fmt::Display for UnknownKernel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "no kernel registered under hash {:#018x}", self.0)
+    }
+}
+
+impl std::error::Error for UnknownKernel {}
+
+impl KernelRegistry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register `kernel` under `name`. Returns the hash handle used to
+    /// launch it. Registering the same name twice replaces the kernel
+    /// (mirroring re-registration on model restart).
+    pub fn register(
+        &self,
+        name: &str,
+        kernel: impl Fn(&dyn ExecSpace, &mut KernelArgs) + Send + Sync + 'static,
+    ) -> u64 {
+        let h = fnv1a(name);
+        let mut table = self.table.write();
+        if let Some((existing, _)) = table.get(&h) {
+            // FNV collisions across *different* names would silently alias
+            // kernels; the paper's registry assumes none, we verify it.
+            assert_eq!(
+                existing, name,
+                "kernel-name hash collision: {existing:?} vs {name:?}"
+            );
+        }
+        table.insert(h, (name.to_owned(), Box::new(kernel)));
+        h
+    }
+
+    /// Launch the kernel registered under `hash` on `space`.
+    pub fn launch(
+        &self,
+        hash: u64,
+        space: &dyn ExecSpace,
+        args: &mut KernelArgs,
+    ) -> Result<(), UnknownKernel> {
+        let table = self.table.read();
+        let (_, kernel) = table.get(&hash).ok_or(UnknownKernel(hash))?;
+        kernel(space, args);
+        Ok(())
+    }
+
+    /// Launch by name (hash computed on the fly).
+    pub fn launch_by_name(
+        &self,
+        name: &str,
+        space: &dyn ExecSpace,
+        args: &mut KernelArgs,
+    ) -> Result<(), UnknownKernel> {
+        self.launch(fnv1a(name), space, args)
+    }
+
+    /// Number of registered kernels.
+    pub fn len(&self) -> usize {
+        self.table.read().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Registered kernel names (sorted, for diagnostics).
+    pub fn names(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.table.read().values().map(|(n, _)| n.clone()).collect();
+        v.sort();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::{Serial, Threads};
+
+    #[test]
+    fn fnv_is_stable_and_distinct() {
+        assert_eq!(fnv1a("axpy"), fnv1a("axpy"));
+        assert_ne!(fnv1a("axpy"), fnv1a("axpby"));
+        // Known FNV-1a vector: empty string.
+        assert_eq!(fnv1a(""), 0xcbf2_9ce4_8422_2325);
+    }
+
+    #[test]
+    fn register_and_launch_axpy() {
+        let reg = KernelRegistry::new();
+        let h = reg.register("axpy", |space, args| {
+            let a = args.scalars[0];
+            let x: Vec<f64> = args.inputs[0].to_vec();
+            let y = &mut args.outputs[0];
+            space.for_each(args.n, &|_| {}); // exercise the space
+            for i in 0..args.n {
+                y[i] += a * x[i];
+            }
+        });
+        let x = vec![1.0, 2.0, 3.0];
+        let mut y = vec![10.0, 10.0, 10.0];
+        let mut args = KernelArgs {
+            n: 3,
+            inputs: vec![&x],
+            outputs: vec![&mut y],
+            scalars: vec![2.0],
+        };
+        reg.launch(h, &Serial, &mut args).unwrap();
+        assert_eq!(y, vec![12.0, 14.0, 16.0]);
+    }
+
+    #[test]
+    fn launch_by_name_matches_hash_launch() {
+        let reg = KernelRegistry::new();
+        reg.register("fill7", |_s, args| {
+            for o in args.outputs.iter_mut() {
+                for v in o.iter_mut() {
+                    *v = 7.0;
+                }
+            }
+        });
+        let mut out = vec![0.0; 4];
+        let mut args = KernelArgs {
+            n: 4,
+            inputs: vec![],
+            outputs: vec![&mut out],
+            scalars: vec![],
+        };
+        reg.launch_by_name("fill7", &Threads::new(2), &mut args)
+            .unwrap();
+        assert_eq!(out, vec![7.0; 4]);
+    }
+
+    #[test]
+    fn unknown_kernel_is_an_error() {
+        let reg = KernelRegistry::new();
+        let mut args = KernelArgs {
+            n: 0,
+            inputs: vec![],
+            outputs: vec![],
+            scalars: vec![],
+        };
+        let err = reg.launch(42, &Serial, &mut args).unwrap_err();
+        assert_eq!(err, UnknownKernel(42));
+        assert!(err.to_string().contains("no kernel registered"));
+    }
+
+    #[test]
+    fn names_listed_sorted() {
+        let reg = KernelRegistry::new();
+        reg.register("zeta", |_, _| {});
+        reg.register("alpha", |_, _| {});
+        assert_eq!(reg.names(), vec!["alpha".to_string(), "zeta".to_string()]);
+        assert_eq!(reg.len(), 2);
+    }
+}

@@ -1,0 +1,89 @@
+//! Disjoint-write shared slices — the OpenMP "parallel loop writes its own
+//! index" pattern that SWGOMP generates for GRIST loops (§5.1.1: "most of
+//! the GRIST loops are conflict-free").
+
+use std::marker::PhantomData;
+
+/// A slice handle that permits concurrent writes from a data-parallel loop
+/// **provided each index is written by at most one iteration** — the
+/// conflict-free property the paper's loop annotations assert.
+pub struct SharedSlice<'a, T> {
+    ptr: *mut T,
+    len: usize,
+    _marker: PhantomData<&'a mut [T]>,
+}
+
+// SAFETY: concurrent access is only sound under the disjoint-index contract
+// of `set`; the type exists precisely to express that contract.
+unsafe impl<T: Send> Sync for SharedSlice<'_, T> {}
+unsafe impl<T: Send> Send for SharedSlice<'_, T> {}
+
+impl<'a, T> SharedSlice<'a, T> {
+    pub fn new(slice: &'a mut [T]) -> Self {
+        SharedSlice {
+            ptr: slice.as_mut_ptr(),
+            len: slice.len(),
+            _marker: PhantomData,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Write `value` at `i`.
+    ///
+    /// # Safety
+    /// Each index must be written by at most one concurrent iteration, and
+    /// no concurrent reads of the same index may occur during the loop.
+    #[inline]
+    pub unsafe fn set(&self, i: usize, value: T) {
+        debug_assert!(i < self.len);
+        unsafe { *self.ptr.add(i) = value };
+    }
+
+    /// Read the value at `i`.
+    ///
+    /// # Safety
+    /// No concurrent write to the same index may occur.
+    #[inline]
+    pub unsafe fn get(&self, i: usize) -> &T {
+        debug_assert!(i < self.len);
+        unsafe { &*self.ptr.add(i) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::{ExecSpace, Threads};
+
+    #[test]
+    fn parallel_disjoint_writes_land() {
+        let mut data = vec![0usize; 10_000];
+        {
+            let shared = SharedSlice::new(&mut data);
+            let pool = Threads::new(4);
+            pool.for_each(10_000, &|i| unsafe { shared.set(i, i * 3) });
+        }
+        for (i, v) in data.iter().enumerate() {
+            assert_eq!(*v, i * 3);
+        }
+    }
+
+    #[test]
+    fn reads_after_loop_are_consistent() {
+        let mut data = vec![1.5f64; 64];
+        let shared = SharedSlice::new(&mut data);
+        assert_eq!(shared.len(), 64);
+        unsafe {
+            shared.set(3, 9.0);
+            assert_eq!(*shared.get(3), 9.0);
+            assert_eq!(*shared.get(0), 1.5);
+        }
+    }
+}

@@ -1,0 +1,302 @@
+//! Multi-dimensional array views with explicit memory layout.
+//!
+//! The Kokkos `View` analogue. AP3ESM's ocean kernels are written against
+//! (k, j, i) panels whose fastest-varying dimension must match the backend:
+//! `LayoutRight` (C order, i fastest) suits CPUs/CPEs, `LayoutLeft`
+//! (Fortran order) matches the legacy LICOM arrays the paper refactors.
+
+/// Memory layout of a 2-D/3-D view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Layout {
+    /// Row-major / C order: last index fastest.
+    Right,
+    /// Column-major / Fortran order: first index fastest.
+    Left,
+}
+
+/// Owned 2-D array of `T` with a runtime-selected layout.
+#[derive(Debug, Clone, PartialEq)]
+pub struct View<T> {
+    data: Vec<T>,
+    n0: usize,
+    n1: usize,
+    layout: Layout,
+}
+
+impl<T: Clone + Default> View<T> {
+    /// Zero-initialised (n0 × n1) view with the given layout.
+    pub fn new(n0: usize, n1: usize, layout: Layout) -> Self {
+        View {
+            data: vec![T::default(); n0 * n1],
+            n0,
+            n1,
+            layout,
+        }
+    }
+}
+
+impl<T> View<T> {
+    /// Construct from existing data (length must equal n0*n1).
+    pub fn from_vec(data: Vec<T>, n0: usize, n1: usize, layout: Layout) -> Self {
+        assert_eq!(data.len(), n0 * n1, "View::from_vec size mismatch");
+        View {
+            data,
+            n0,
+            n1,
+            layout,
+        }
+    }
+
+    #[inline]
+    fn offset(&self, i0: usize, i1: usize) -> usize {
+        debug_assert!(i0 < self.n0 && i1 < self.n1);
+        match self.layout {
+            Layout::Right => i0 * self.n1 + i1,
+            Layout::Left => i1 * self.n0 + i0,
+        }
+    }
+
+    #[inline]
+    pub fn get(&self, i0: usize, i1: usize) -> &T {
+        &self.data[self.offset(i0, i1)]
+    }
+
+    #[inline]
+    pub fn get_mut(&mut self, i0: usize, i1: usize) -> &mut T {
+        let o = self.offset(i0, i1);
+        &mut self.data[o]
+    }
+
+    #[inline]
+    pub fn set(&mut self, i0: usize, i1: usize, v: T) {
+        let o = self.offset(i0, i1);
+        self.data[o] = v;
+    }
+
+    pub fn dims(&self) -> (usize, usize) {
+        (self.n0, self.n1)
+    }
+
+    pub fn layout(&self) -> Layout {
+        self.layout
+    }
+
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Flat access in storage order (for kernels that don't care about shape).
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+}
+
+impl<T: Clone> View<T> {
+    /// Deep-copy into the opposite layout (a Kokkos `deep_copy` with
+    /// remapping); used when a kernel prefers the other stride order.
+    pub fn relayout(&self, layout: Layout) -> View<T> {
+        if layout == self.layout {
+            return self.clone();
+        }
+        let mut out = Vec::with_capacity(self.data.len());
+        match layout {
+            Layout::Right => {
+                for i0 in 0..self.n0 {
+                    for i1 in 0..self.n1 {
+                        out.push(self.get(i0, i1).clone());
+                    }
+                }
+            }
+            Layout::Left => {
+                for i1 in 0..self.n1 {
+                    for i0 in 0..self.n0 {
+                        out.push(self.get(i0, i1).clone());
+                    }
+                }
+            }
+        }
+        View {
+            data: out,
+            n0: self.n0,
+            n1: self.n1,
+            layout,
+        }
+    }
+}
+
+/// Owned 3-D array of `T` (n0 × n1 × n2) with a runtime-selected layout.
+#[derive(Debug, Clone, PartialEq)]
+pub struct View3<T> {
+    data: Vec<T>,
+    n0: usize,
+    n1: usize,
+    n2: usize,
+    layout: Layout,
+}
+
+impl<T: Clone + Default> View3<T> {
+    pub fn new(n0: usize, n1: usize, n2: usize, layout: Layout) -> Self {
+        View3 {
+            data: vec![T::default(); n0 * n1 * n2],
+            n0,
+            n1,
+            n2,
+            layout,
+        }
+    }
+}
+
+impl<T> View3<T> {
+    pub fn from_vec(data: Vec<T>, n0: usize, n1: usize, n2: usize, layout: Layout) -> Self {
+        assert_eq!(data.len(), n0 * n1 * n2, "View3::from_vec size mismatch");
+        View3 {
+            data,
+            n0,
+            n1,
+            n2,
+            layout,
+        }
+    }
+
+    #[inline]
+    fn offset(&self, i0: usize, i1: usize, i2: usize) -> usize {
+        debug_assert!(i0 < self.n0 && i1 < self.n1 && i2 < self.n2);
+        match self.layout {
+            Layout::Right => (i0 * self.n1 + i1) * self.n2 + i2,
+            Layout::Left => (i2 * self.n1 + i1) * self.n0 + i0,
+        }
+    }
+
+    #[inline]
+    pub fn get(&self, i0: usize, i1: usize, i2: usize) -> &T {
+        &self.data[self.offset(i0, i1, i2)]
+    }
+
+    #[inline]
+    pub fn get_mut(&mut self, i0: usize, i1: usize, i2: usize) -> &mut T {
+        let o = self.offset(i0, i1, i2);
+        &mut self.data[o]
+    }
+
+    #[inline]
+    pub fn set(&mut self, i0: usize, i1: usize, i2: usize, v: T) {
+        let o = self.offset(i0, i1, i2);
+        self.data[o] = v;
+    }
+
+    pub fn dims(&self) -> (usize, usize, usize) {
+        (self.n0, self.n1, self.n2)
+    }
+
+    pub fn layout(&self) -> Layout {
+        self.layout
+    }
+
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn view2_roundtrip_both_layouts() {
+        for layout in [Layout::Right, Layout::Left] {
+            let mut v = View::<f64>::new(3, 5, layout);
+            for i in 0..3 {
+                for j in 0..5 {
+                    v.set(i, j, (i * 10 + j) as f64);
+                }
+            }
+            for i in 0..3 {
+                for j in 0..5 {
+                    assert_eq!(*v.get(i, j), (i * 10 + j) as f64);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn view2_storage_order() {
+        let mut right = View::<u32>::new(2, 3, Layout::Right);
+        let mut left = View::<u32>::new(2, 3, Layout::Left);
+        for i in 0..2 {
+            for j in 0..3 {
+                right.set(i, j, (i * 3 + j) as u32);
+                left.set(i, j, (i * 3 + j) as u32);
+            }
+        }
+        assert_eq!(right.as_slice(), &[0, 1, 2, 3, 4, 5]);
+        assert_eq!(left.as_slice(), &[0, 3, 1, 4, 2, 5]);
+    }
+
+    #[test]
+    fn relayout_preserves_logical_content() {
+        let mut v = View::<i32>::new(4, 7, Layout::Right);
+        for i in 0..4 {
+            for j in 0..7 {
+                v.set(i, j, (100 * i + j) as i32);
+            }
+        }
+        let w = v.relayout(Layout::Left);
+        for i in 0..4 {
+            for j in 0..7 {
+                assert_eq!(v.get(i, j), w.get(i, j));
+            }
+        }
+        assert_ne!(v.as_slice(), w.as_slice()); // storage differs
+    }
+
+    #[test]
+    fn view3_roundtrip() {
+        for layout in [Layout::Right, Layout::Left] {
+            let mut v = View3::<i64>::new(2, 3, 4, layout);
+            let mut c = 0;
+            for k in 0..2 {
+                for j in 0..3 {
+                    for i in 0..4 {
+                        v.set(k, j, i, c);
+                        c += 1;
+                    }
+                }
+            }
+            let mut c = 0;
+            for k in 0..2 {
+                for j in 0..3 {
+                    for i in 0..4 {
+                        assert_eq!(*v.get(k, j, i), c);
+                        c += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "size mismatch")]
+    fn from_vec_rejects_wrong_size() {
+        let _ = View::from_vec(vec![1, 2, 3], 2, 2, Layout::Right);
+    }
+}

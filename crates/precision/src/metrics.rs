@@ -1,0 +1,189 @@
+//! Accuracy metrics of §5.2.3.
+//!
+//! GRIST: surface-pressure / relative-vorticity deviation measured as a
+//! relative L2 norm against the FP64 baseline, accepted below 5 %.
+//! LICOM: grid-area-weighted RMSD over 30 days of daily means, accepted at
+//! the paper's reported levels (0.018 °C, 0.0098 psu, 0.0005 m).
+
+/// Relative L2 norm of the deviation of `x` from baseline `y`:
+/// `‖x − y‖₂ / ‖y‖₂`. Returns 0 for an identically-zero baseline with zero
+/// deviation, +∞ for a zero baseline with nonzero deviation.
+pub fn relative_l2(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "relative_l2 length mismatch");
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for (a, b) in x.iter().zip(y) {
+        num += (a - b) * (a - b);
+        den += b * b;
+    }
+    if den == 0.0 {
+        if num == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        (num / den).sqrt()
+    }
+}
+
+/// Grid-area-weighted root-mean-square deviation:
+/// `sqrt( Σ wᵢ (xᵢ−yᵢ)² / Σ wᵢ )`. The paper "incorporated grid area into
+/// RMSD calculations" because tripolar cells shrink toward the fold.
+pub fn area_weighted_rmsd(x: &[f64], y: &[f64], area: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "rmsd length mismatch");
+    assert_eq!(x.len(), area.len(), "rmsd area length mismatch");
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for ((a, b), w) in x.iter().zip(y).zip(area) {
+        assert!(*w >= 0.0, "negative area weight");
+        num += w * (a - b) * (a - b);
+        den += w;
+    }
+    if den == 0.0 {
+        0.0
+    } else {
+        (num / den).sqrt()
+    }
+}
+
+/// The paper's acceptance thresholds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AccuracyBudget {
+    /// Relative L2 ceiling for GRIST dycore diagnostics (0.05 in the paper).
+    pub max_relative_l2: f64,
+    /// RMSD ceilings for LICOM tracers/SSH (°C, psu, m).
+    pub max_rmsd_temperature: f64,
+    pub max_rmsd_salinity: f64,
+    pub max_rmsd_ssh: f64,
+}
+
+impl AccuracyBudget {
+    /// The §5.2.3 GRIST criterion: 5 % relative L2 for long-term stability.
+    pub fn grist_default() -> Self {
+        AccuracyBudget {
+            max_relative_l2: 0.05,
+            max_rmsd_temperature: f64::INFINITY,
+            max_rmsd_salinity: f64::INFINITY,
+            max_rmsd_ssh: f64::INFINITY,
+        }
+    }
+
+    /// The §5.2.3 LICOM results as a budget (our mixed run must not exceed
+    /// the paper's reported deviations by more than ~2× to count as
+    /// reproducing the experiment's character).
+    pub fn licom_paper() -> Self {
+        AccuracyBudget {
+            max_relative_l2: 0.05,
+            max_rmsd_temperature: 0.018,
+            max_rmsd_salinity: 0.0098,
+            max_rmsd_ssh: 0.0005,
+        }
+    }
+
+    pub fn accepts_l2(&self, rel_l2: f64) -> bool {
+        rel_l2 <= self.max_relative_l2
+    }
+
+    pub fn accepts_ocean(&self, rmsd_t: f64, rmsd_s: f64, rmsd_ssh: f64) -> bool {
+        rmsd_t <= self.max_rmsd_temperature
+            && rmsd_s <= self.max_rmsd_salinity
+            && rmsd_ssh <= self.max_rmsd_ssh
+    }
+}
+
+/// Accumulates daily means for the 30-day averaging protocol of §5.2.3.
+#[derive(Debug, Clone, Default)]
+pub struct DailyMeanAccumulator {
+    sum: Vec<f64>,
+    days: usize,
+}
+
+impl DailyMeanAccumulator {
+    pub fn new(n: usize) -> Self {
+        DailyMeanAccumulator {
+            sum: vec![0.0; n],
+            days: 0,
+        }
+    }
+
+    pub fn add_day(&mut self, field: &[f64]) {
+        assert_eq!(field.len(), self.sum.len());
+        for (s, v) in self.sum.iter_mut().zip(field) {
+            *s += v;
+        }
+        self.days += 1;
+    }
+
+    pub fn days(&self) -> usize {
+        self.days
+    }
+
+    pub fn mean(&self) -> Vec<f64> {
+        assert!(self.days > 0, "no days accumulated");
+        self.sum.iter().map(|s| s / self.days as f64).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relative_l2_basics() {
+        let y = vec![3.0, 4.0]; // ‖y‖ = 5
+        let x = vec![3.0, 4.5]; // dev = 0.5
+        assert!((relative_l2(&x, &y) - 0.1).abs() < 1e-12);
+        assert_eq!(relative_l2(&y, &y), 0.0);
+    }
+
+    #[test]
+    fn relative_l2_zero_baseline() {
+        assert_eq!(relative_l2(&[0.0], &[0.0]), 0.0);
+        assert_eq!(relative_l2(&[1.0], &[0.0]), f64::INFINITY);
+    }
+
+    #[test]
+    fn rmsd_weighting_matters() {
+        let x = vec![1.0, 0.0];
+        let y = vec![0.0, 0.0];
+        // Error only in the first element; weight it 3:1.
+        let w_hi = area_weighted_rmsd(&x, &y, &[3.0, 1.0]);
+        let w_lo = area_weighted_rmsd(&x, &y, &[1.0, 3.0]);
+        assert!(w_hi > w_lo);
+        assert!((w_hi - (3.0f64 / 4.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rmsd_uniform_weights_is_plain_rmsd() {
+        let x = vec![1.0, 2.0, 3.0];
+        let y = vec![1.0, 1.0, 1.0];
+        let w = vec![2.0, 2.0, 2.0];
+        let expected = ((0.0 + 1.0 + 4.0) / 3.0f64).sqrt();
+        assert!((area_weighted_rmsd(&x, &y, &w) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn budgets_accept_paper_numbers() {
+        let b = AccuracyBudget::licom_paper();
+        assert!(b.accepts_ocean(0.018, 0.0098, 0.0005));
+        assert!(!b.accepts_ocean(0.05, 0.0098, 0.0005));
+        assert!(AccuracyBudget::grist_default().accepts_l2(0.049));
+        assert!(!AccuracyBudget::grist_default().accepts_l2(0.051));
+    }
+
+    #[test]
+    fn daily_mean_accumulator() {
+        let mut acc = DailyMeanAccumulator::new(2);
+        acc.add_day(&[1.0, 10.0]);
+        acc.add_day(&[3.0, 30.0]);
+        assert_eq!(acc.days(), 2);
+        assert_eq!(acc.mean(), vec![2.0, 20.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_rejected() {
+        let _ = relative_l2(&[1.0], &[1.0, 2.0]);
+    }
+}

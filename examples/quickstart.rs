@@ -1,0 +1,73 @@
+//! Quickstart: build the two grids, run the standalone atmosphere and
+//! ocean components for a few steps, and print basic diagnostics.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use ap3esm::prelude::*;
+use ap3esm_atm::dycore::{Dycore, DycoreConfig};
+use ap3esm_atm::state::AtmState;
+use ap3esm_grid::decomp::BlockDecomp2d;
+use ap3esm_grid::mask::MaskGenerator;
+use ap3esm_ocn::model::{OcnConfig, OcnForcing, OcnModel};
+
+fn main() {
+    // --- Atmosphere: icosahedral grid, hydrostatic dycore -----------------
+    let grid = std::sync::Arc::new(GeodesicGrid::new(4));
+    println!(
+        "atmosphere grid: G4 = {} cells / {} edges / {} corners (~{:.0} km)",
+        grid.ncells(),
+        grid.nedges(),
+        grid.ncorners(),
+        grid.mean_spacing_km()
+    );
+    let dycore = Dycore::new(
+        std::sync::Arc::clone(&grid),
+        DycoreConfig::for_spacing_km(grid.mean_spacing_km()),
+    );
+    let mut atm = AtmState::isothermal(std::sync::Arc::clone(&grid), 8, 288.0);
+    // Perturb and integrate a few model steps.
+    atm.ps[0] += 500.0;
+    let mass0 = atm.total_mass();
+    for step in 0..3 {
+        dycore.step_model_dynamics(&mut atm);
+        println!(
+            "  atm model step {step}: max wind {:.2} m/s, mass drift {:.1e}",
+            atm.max_wind(),
+            (atm.total_mass() - mass0) / mass0
+        );
+    }
+
+    // --- Ocean: tripolar grid, split barotropic/baroclinic stepping -------
+    let ocn_grid = TripolarGrid::new(72, 46, 10, MaskGenerator::default());
+    println!(
+        "\nocean grid: {}×{}×{}, ocean fraction of 3-D points = {:.1}%",
+        ocn_grid.nlon,
+        ocn_grid.nlat,
+        ocn_grid.nlev,
+        100.0 * ocn_grid.active_fraction()
+    );
+    let config = OcnConfig::for_grid(72, 46, 10, 1, 1);
+    let world = World::new(1);
+    world.run(|rank| {
+        let decomp = BlockDecomp2d::new(72, 46, 1, 1);
+        let mut ocn = OcnModel::new(&ocn_grid, config.clone(), 0);
+        let forcing = OcnForcing::climatology(&ocn_grid, &decomp, 0);
+        for step in 0..5 {
+            ocn.step(rank, &forcing);
+            if step % 2 == 0 {
+                println!(
+                    "  ocn step {step}: KE {:.3e}, max surface speed {:.3} m/s",
+                    ocn.state.kinetic_energy(),
+                    ocn.state
+                        .surface_speed()
+                        .into_iter()
+                        .fold(0.0f64, f64::max)
+                );
+            }
+        }
+    });
+
+    println!("\nquickstart complete — see examples/coupled_esm.rs for the full model.");
+}

@@ -1,0 +1,47 @@
+//! Project AP3ESM throughput onto the paper's machines with the calibrated
+//! scaling model: "what SYPD would configuration X reach on N nodes of
+//! Sunway OceanLight?"
+//!
+//! ```sh
+//! cargo run --release --example scaling_projection [nodes…]
+//! ```
+
+use ap3esm::prelude::*;
+use ap3esm_machine::calibration::paper_table2;
+use ap3esm_machine::perf::ScalingModel;
+
+fn main() {
+    let nodes: Vec<usize> = std::env::args()
+        .skip(1)
+        .filter_map(|a| a.parse().ok())
+        .collect();
+    let nodes = if nodes.is_empty() {
+        vec![10_000, 25_000, 50_000, 107_520]
+    } else {
+        nodes
+    };
+
+    let cal = paper_table2()
+        .into_iter()
+        .find(|c| c.label.contains("AP3ESM 1v1"))
+        .expect("calibration");
+    let model = ScalingModel::fit(MachineSpec::sunway_oceanlight(), &cal);
+    println!("coupled AP3ESM 1v1 on Sunway OceanLight (calibrated model):\n");
+    println!("{:>10} {:>14} {:>10} {:>12}", "nodes", "cores", "SYPD", "efficiency");
+    for &n in &nodes {
+        let m = MachineSpec::sunway_oceanlight();
+        println!(
+            "{:>10} {:>14} {:>10.3} {:>11.1}%",
+            n,
+            m.cores(n),
+            model.sypd(n),
+            model.efficiency(n) * 100.0
+        );
+    }
+    println!(
+        "\npaper headline: 0.54 SYPD at 37.2M cores — model gives {:.3} at {} nodes",
+        model.sypd(95_316),
+        95_316
+    );
+    println!("\nusage: cargo run --release --example scaling_projection 20000 40000");
+}

@@ -1,0 +1,57 @@
+//! # AP3ESM-RS
+//!
+//! A Rust reproduction of the kilometer-scale **AI-Powered and
+//! Performance-Portable Earth System Model (AP3ESM)** — SC '25 Gordon Bell
+//! Prize for Climate Modelling submission — as a workspace of buildable,
+//! testable crates. This facade crate re-exports every subsystem; see
+//! `README.md` for the architecture and `DESIGN.md` for the experiment
+//! index and paper-to-substitute mapping.
+//!
+//! ```no_run
+//! use ap3esm::prelude::*;
+//!
+//! // Run the coupled model for one simulated day at test scale.
+//! let config = CoupledConfig::test_tiny();
+//! let world = World::new(config.world_size());
+//! let opts = CoupledOptions { days: 1.0, ..Default::default() };
+//! let stats = world.run(|rank| run_coupled(rank, &config, &opts));
+//! println!("measured SYPD: {:.2}", stats[0].sypd);
+//! ```
+
+pub use ap3esm_ai as ai;
+pub use ap3esm_atm as atm;
+pub use ap3esm_comm as comm;
+pub use ap3esm_cpl as cpl;
+pub use ap3esm_esm as esm;
+pub use ap3esm_grid as grid;
+pub use ap3esm_ice as ice;
+pub use ap3esm_io as io;
+pub use ap3esm_lnd as lnd;
+pub use ap3esm_machine as machine;
+pub use ap3esm_ocn as ocn;
+pub use ap3esm_physics as physics;
+pub use ap3esm_pp as pp;
+pub use ap3esm_precision as precision;
+
+/// The most commonly used items in one import.
+pub mod prelude {
+    pub use ap3esm_comm::World;
+    pub use ap3esm_esm::config::{CoupledConfig, Resolution};
+    pub use ap3esm_esm::coupled::{run_coupled, CoupledOptions, CoupledStats};
+    pub use ap3esm_esm::forecast::run_forecast;
+    pub use ap3esm_esm::timing::get_timing;
+    pub use ap3esm_grid::{GeodesicGrid, TripolarGrid};
+    pub use ap3esm_machine::topology::MachineSpec;
+    pub use ap3esm_pp::{ExecSpace, Serial, SimulatedCpe, Threads};
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn facade_reexports_resolve() {
+        // Compile-time check that the whole workspace wires together.
+        let _ = crate::grid::icosahedral::GeodesicCounts::at_glevel(3);
+        let _ = crate::machine::topology::MachineSpec::sunway_oceanlight();
+        let _ = crate::esm::config::CoupledConfig::test_tiny();
+    }
+}

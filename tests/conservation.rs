@@ -1,0 +1,95 @@
+//! Integration: conservation and accuracy invariants across crates.
+
+use ap3esm::atm::dycore::{Dycore, DycoreConfig};
+use ap3esm::atm::state::AtmState;
+use ap3esm::grid::decomp::BlockDecomp2d;
+use ap3esm::grid::mask::MaskGenerator;
+use ap3esm::grid::{GeodesicGrid, TripolarGrid};
+use ap3esm::ocn::model::{OcnConfig, OcnForcing, OcnModel};
+use ap3esm::prelude::*;
+
+#[test]
+fn atmosphere_conserves_mass_and_theta_through_long_run() {
+    let grid = std::sync::Arc::new(GeodesicGrid::new(3));
+    let dycore = Dycore::new(
+        std::sync::Arc::clone(&grid),
+        DycoreConfig::for_spacing_km(grid.mean_spacing_km()),
+    );
+    let mut state = AtmState::isothermal(std::sync::Arc::clone(&grid), 5, 287.0);
+    let n = grid.ncells();
+    for i in 0..n {
+        state.ps[i] += 250.0 * ((i * 13 % 97) as f64 / 97.0 - 0.5);
+    }
+    let mass0 = state.total_mass();
+    let theta0 = state.theta_mass();
+    for _ in 0..10 {
+        dycore.step_model_dynamics(&mut state);
+    }
+    assert!(((state.total_mass() - mass0) / mass0).abs() < 1e-12);
+    assert!(((state.theta_mass() - theta0) / theta0).abs() < 1e-9);
+    assert!(state.max_wind() < 80.0, "unstable: {}", state.max_wind());
+}
+
+#[test]
+fn ocean_volume_and_salt_behave_across_rank_counts() {
+    let grid = TripolarGrid::new(48, 30, 6, MaskGenerator::default());
+    for (px, py) in [(1, 1), (2, 2)] {
+        let config = OcnConfig::for_grid(48, 30, 6, px, py);
+        let world = World::new(px * py);
+        let totals = world.run(|rank| {
+            let mut model = OcnModel::new(&grid, config.clone(), rank.id());
+            let forcing = OcnForcing::zeros(model.state.ni, model.state.nj);
+            let v0 = model.local_volume_anomaly();
+            for _ in 0..10 {
+                model.step(rank, &forcing);
+            }
+            (v0, model.local_volume_anomaly())
+        });
+        let before: f64 = totals.iter().map(|(a, _)| a).sum();
+        let after: f64 = totals.iter().map(|(_, b)| b).sum();
+        assert!(
+            (after - before).abs() < 1e-6,
+            "volume drift {before} -> {after} on {px}x{py}"
+        );
+    }
+}
+
+#[test]
+fn mixed_precision_storage_meets_paper_budgets_on_model_fields() {
+    use ap3esm::precision::{relative_l2, AccuracyBudget, GroupScaled};
+    // A realistic prognostic field: stratified ocean temperature column
+    // stack with wide vertical dynamic range.
+    let field: Vec<f64> = (0..4096)
+        .map(|i| {
+            let k = i % 64;
+            2.0 + 26.0 * (-0.05 * k as f64).exp() + 0.01 * ((i / 64) as f64).sin()
+        })
+        .collect();
+    let gs = GroupScaled::from_f64(&field, 64);
+    let back = gs.to_f64();
+    let err = relative_l2(&back, &field);
+    assert!(AccuracyBudget::grist_default().accepts_l2(err));
+    assert!(gs.storage_bytes() < field.len() * 8 * 6 / 10);
+}
+
+#[test]
+fn remap_preserves_global_mean_of_smooth_fields() {
+    use ap3esm::cpl::mapping::RemapMatrix;
+    use ap3esm::grid::sphere::Vec3;
+    let grid = GeodesicGrid::new(3);
+    let ocn = TripolarGrid::new(60, 40, 4, MaskGenerator::default());
+    let ocn_points: Vec<Vec3> = (0..ocn.nlat)
+        .flat_map(|j| (0..ocn.nlon).map(move |i| (i, j)).collect::<Vec<_>>())
+        .map(|(i, j)| Vec3::from_lat_lon(ocn.lat[j], ocn.lon[i]))
+        .collect();
+    let m = RemapMatrix::inverse_distance(&grid.cells, &ocn_points, 3);
+    let field: Vec<f64> = grid.cells.iter().map(|p| p.z * 2.0 + 3.0).collect();
+    let out = m.apply(&field);
+    // Compare area-ish means (uniform weights are adequate for this check).
+    let mean_in = field.iter().sum::<f64>() / field.len() as f64;
+    let mean_out = out.iter().sum::<f64>() / out.len() as f64;
+    assert!(
+        (mean_in - mean_out).abs() < 0.35,
+        "remap mean drift {mean_in} vs {mean_out}"
+    );
+}
