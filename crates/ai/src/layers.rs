@@ -157,11 +157,12 @@ impl Layer for Conv1d {
                     let mut acc = bias;
                     for i in 0..self.in_ch {
                         let xrow = &xb[i * len..(i + 1) * len];
-                        let wrow = &self.w.data[(o * self.in_ch + i) * self.k..];
-                        for t in 0..self.k {
+                        let base = (o * self.in_ch + i) * self.k;
+                        let wrow = &self.w.data[base..base + self.k];
+                        for (t, &w) in wrow.iter().enumerate() {
                             let src = l + t;
                             if src >= half && src - half < len {
-                                acc += wrow[t] * xrow[src - half];
+                                acc += w * xrow[src - half];
                             }
                         }
                     }
@@ -192,11 +193,10 @@ impl Layer for Conv1d {
                     for t in 0..self.k {
                         let w = self.w.data[wbase + t];
                         let mut dwt = 0.0;
-                        for l in 0..len {
+                        for (l, &g) in dyrow.iter().enumerate() {
                             let src = l + t;
                             if src >= half && src - half < len {
                                 let xv = xrow[src - half];
-                                let g = dyrow[l];
                                 dwt += g * xv;
                                 dxb[i * len + src - half] += g * w;
                             }

@@ -11,7 +11,7 @@ use crate::state::AtmState;
 pub fn cloud_fraction(state: &AtmState) -> Vec<f64> {
     let n = state.ncells();
     let mut out = vec![0.0; n];
-    for i in 0..n {
+    for (i, frac) in out.iter_mut().enumerate() {
         let mut max_rh = 0.0f64;
         for k in 0..state.nlev {
             let p = state.sigma[k] * state.ps[i];
@@ -19,7 +19,7 @@ pub fn cloud_fraction(state: &AtmState) -> Vec<f64> {
             let qsat = saturation_specific_humidity(t, p);
             max_rh = max_rh.max(state.q[k * n + i] / qsat.max(1e-12));
         }
-        out[i] = ((max_rh - 0.8) / 0.2).clamp(0.0, 1.0);
+        *frac = ((max_rh - 0.8) / 0.2).clamp(0.0, 1.0);
     }
     out
 }

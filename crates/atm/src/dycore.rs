@@ -156,7 +156,7 @@ impl Dycore {
             edge_tangent.push([t.x, t.y, t.z]);
             edge_normal.push([n.x, n.y, n.z]);
             let (c0, c1) = grid.edge_corners[e];
-            let along = grid.corners[c1].sub(grid.corners[c0]);
+            let along = grid.corners[c1] - grid.corners[c0];
             if along.dot(t) >= 0.0 {
                 edge_corners_oriented.push((c0, c1));
             } else {
@@ -278,9 +278,9 @@ impl Dycore {
         // --- Forward-backward staging: apply continuity and tracer-mass
         //     updates first, so the pressure-gradient force below sees the
         //     *new* mass field (stabilises external gravity waves). ---
-        for i in 0..n {
+        for (i, &dps) in dps_dt.iter().enumerate() {
             let ps_old = state.ps[i];
-            let ps_new = ps_old + dt * dps_dt[i];
+            let ps_new = ps_old + dt * dps;
             for k in 0..nlev {
                 let dp_old = state.dsigma[k] * ps_old;
                 let dp_new = state.dsigma[k] * ps_new;
@@ -406,16 +406,21 @@ impl Dycore {
     /// substeps with tracer filtering at the tracer rate. Physics is applied
     /// by the caller (the physics–dynamics coupler) afterwards.
     pub fn step_model_dynamics(&self, state: &mut AtmState) {
+        let _span = ap3esm_obs::span("dycore");
         let ne = self.grid.nedges();
         let mut mass_flux = vec![0.0; state.nlev * ne];
         for _ in 0..self.config.tracer_substeps() {
             mass_flux.fill(0.0);
-            for _ in 0..self.config.dyn_substeps() {
-                self.step_dyn(state, self.config.dt_dyn, &mut mass_flux);
+            {
+                let _dyn = ap3esm_obs::span("dyn_substeps");
+                for _ in 0..self.config.dyn_substeps() {
+                    self.step_dyn(state, self.config.dt_dyn, &mut mass_flux);
+                }
             }
             for f in mass_flux.iter_mut() {
                 *f /= self.config.dt_tracer;
             }
+            let _tracer = ap3esm_obs::span("tracer_step");
             self.step_tracer(state, &mass_flux);
         }
     }

@@ -37,6 +37,9 @@ impl SurfaceForcing {
 }
 
 /// Which physics suite drives the model step.
+// One instance per model; the AI variant's network weights dominate its
+// size and boxing them would only add indirection on the hot path.
+#[allow(clippy::large_enum_variant)]
 pub enum PhysicsDriver {
     Conventional(ConventionalSuite),
     AiSuite {
@@ -90,6 +93,7 @@ impl PhysicsDynamicsCoupler {
     /// Apply one physics step of length `dt` to every column. Returns the
     /// global mean precipitation rate (kg/m²/s) for diagnostics.
     pub fn apply(&mut self, state: &mut AtmState, forcing: &SurfaceForcing, dt: f64) -> f64 {
+        let _span = ap3esm_obs::span("physics");
         let n = state.ncells();
         let nlev = state.nlev;
         let e = state.nedges();

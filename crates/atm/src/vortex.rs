@@ -98,7 +98,7 @@ pub fn seed_vortex(state: &mut AtmState, spec: &VortexSpec) {
         }
         let vt = tangential_wind(spec, r);
         // Cyclonic unit vector: k̂ × r̂_from_center, with k̂ the local up.
-        let radial = m.sub(center.scale(center.dot(m))).normalized();
+        let radial = (m - center.scale(center.dot(m))).normalized();
         let tangential = m.cross(radial); // CCW around the center in the NH
         let sign = if spec.lat >= 0.0 { 1.0 } else { -1.0 };
         for k in 0..nlev {
@@ -143,9 +143,8 @@ pub fn track_vortex(state: &AtmState, prev: Option<(f64, f64)>, search_radius_m:
     let center_vec = grid.cells[center];
     let winds = state.surface_wind();
     let mut max_wind = 0.0f64;
-    for i in 0..n {
+    for (i, &(u, v)) in winds.iter().enumerate() {
         if center_vec.arc_distance(grid.cells[i]) * EARTH_RADIUS < 600_000.0 {
-            let (u, v) = winds[i];
             max_wind = max_wind.max((u * u + v * v).sqrt());
         }
     }
@@ -241,8 +240,7 @@ mod tests {
         for i in 0..grid.ncells() {
             let r = center.arc_distance(grid.cells[i]) * EARTH_RADIUS;
             if r > 0.2 * spec.rmw && r < 4.0 * spec.rmw {
-                let radial = grid.cells[i]
-                    .sub(center.scale(center.dot(grid.cells[i])))
+                let radial = (grid.cells[i] - center.scale(center.dot(grid.cells[i])))
                     .normalized();
                 let tangential = grid.cells[i].cross(radial);
                 let (ue, un) = winds[i];

@@ -20,7 +20,6 @@ fn bench_rearrange(c: &mut Criterion) {
             let e = (((r + 1) * nglobal) / nranks + shift).min(nglobal);
             (s, e)
         })
-        .map(|(s, e)| (s, e))
         .collect();
     // Fix coverage: prepend the wrapped head to rank 0.
     let mut ranges = ranges;

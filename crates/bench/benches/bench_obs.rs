@@ -1,0 +1,57 @@
+//! Observability overhead: the span instrumentation inside the dycore hot
+//! loop must cost nothing measurable when no collector is installed, and
+//! <2% when an `Obs` is installed with the profiler disabled. Compare the
+//! `dycore_model_step` entries across the three modes.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use ap3esm_atm::dycore::{Dycore, DycoreConfig};
+use ap3esm_atm::state::AtmState;
+use ap3esm_obs::Obs;
+
+fn bench_dycore_modes(c: &mut Criterion) {
+    let grid = Arc::new(ap3esm_grid::GeodesicGrid::new(3));
+    let dx = grid.mean_spacing_km();
+    let dycore = Dycore::new(Arc::clone(&grid), DycoreConfig::for_spacing_km(dx));
+    let mut group = c.benchmark_group("dycore_model_step");
+    group.sample_size(20);
+    for mode in ["uninstalled", "installed_disabled", "installed_enabled"] {
+        group.bench_with_input(BenchmarkId::from_parameter(mode), &mode, |b, &mode| {
+            let _guard = match mode {
+                "uninstalled" => None,
+                "installed_disabled" => {
+                    let obs = Arc::new(Obs::new());
+                    obs.profiler.set_enabled(false);
+                    Some(ap3esm_obs::install(obs))
+                }
+                _ => Some(ap3esm_obs::install(Arc::new(Obs::new()))),
+            };
+            let mut state = AtmState::isothermal(Arc::clone(&grid), 5, 288.0);
+            state.ps[0] += 300.0;
+            b.iter(|| dycore.step_model_dynamics(&mut state));
+        });
+    }
+    group.finish();
+}
+
+fn bench_primitives(c: &mut Criterion) {
+    // Raw cost of one span enter/exit and one metric update, both with a
+    // live collector and on the disabled path.
+    let obs = Arc::new(Obs::new());
+    let _guard = ap3esm_obs::install(Arc::clone(&obs));
+    c.bench_function("span_enter_exit_enabled", |b| {
+        b.iter(|| ap3esm_obs::span("bench"));
+    });
+    c.bench_function("histogram_record", |b| {
+        b.iter(|| ap3esm_obs::histogram_record("bench.ns", 1234));
+    });
+    obs.profiler.set_enabled(false);
+    c.bench_function("span_enter_exit_disabled", |b| {
+        b.iter(|| ap3esm_obs::span("bench"));
+    });
+}
+
+criterion_group!(benches, bench_dycore_modes, bench_primitives);
+criterion_main!(benches);

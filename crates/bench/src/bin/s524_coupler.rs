@@ -45,7 +45,7 @@ fn main() {
         "taux", "tauy", "qnet", "precip", "dust1", "dust2", "dust3", "dust4", "co2prog",
         "co2diag", "bcphidry", "bcphodry", "ocphidry", "ocphodry", "isotope18o", "isotopehdo",
     ];
-    let mut av = AttrVect::new(100_000, &full_fields.iter().copied().collect::<Vec<_>>());
+    let mut av = AttrVect::new(100_000, full_fields.as_ref());
     let before = av.payload_bytes();
     let trimmed = av.retain_used(&["taux", "tauy", "qnet", "precip"]);
     let after = av.payload_bytes();

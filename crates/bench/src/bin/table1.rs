@@ -11,6 +11,13 @@ use ap3esm_grid::icosahedral::GeodesicCounts;
 fn main() {
     banner("table1", "Table 1: configurations of GRIST, LICOM, AP3ESM");
 
+    // Route the table through the observability sink too: each table is a
+    // span, each configuration's size a counter, and the whole run lands in
+    // target/obs/run-table1.json next to the CSVs.
+    let obs = std::sync::Arc::new(ap3esm_obs::Obs::new());
+    let _guard = ap3esm_obs::install(std::sync::Arc::clone(&obs));
+
+    let grist_span = ap3esm_obs::span("table1_grist");
     println!("\nGRIST (atmosphere, 30 vertical layers):");
     println!(
         "{:>8} {:>6} {:>14} {:>14} {:>14}",
@@ -36,9 +43,12 @@ fn main() {
             c.edges,
             c.corners
         ));
+        ap3esm_obs::counter_add(&format!("grist.g{g}.cells"), c.cells as u64);
     }
     write_csv("table1_grist", "res_km,glevel,cells,edges,vertices", &rows);
+    drop(grist_span);
 
+    let licom_span = ap3esm_obs::span("table1_licom");
     println!("\nLICOM (ocean, 80 vertical levels):");
     println!(
         "{:>8} {:>10} {:>10} {:>16}",
@@ -49,9 +59,12 @@ fn main() {
         let points = nlon as u64 * nlat as u64 * 80;
         println!("{res:>8} {nlon:>10} {nlat:>10} {points:>16}");
         rows.push(format!("{res},{nlon},{nlat},{points}"));
+        ap3esm_obs::counter_add(&format!("licom.{res}km.points3d"), points);
     }
     write_csv("table1_licom", "res_km,nlon,nlat,points3d", &rows);
+    drop(licom_span);
 
+    let ap3esm_span = ap3esm_obs::span("table1_ap3esm");
     println!("\nAP3ESM coupled configurations:");
     println!("{:>6} {:>12} {:>12} {:>16}", "label", "atm(km)", "ocn(km)", "total grids");
     let mut rows = Vec::new();
@@ -71,8 +84,24 @@ fn main() {
             o,
             res.total_gridpoints()
         ));
+        ap3esm_obs::counter_add(
+            &format!("ap3esm.{}.total_gridpoints", res.label()),
+            res.total_gridpoints(),
+        );
     }
     write_csv("table1_ap3esm", "label,atm_km,ocn_km,total_gridpoints", &rows);
+    drop(ap3esm_span);
+
+    let report = ap3esm_obs::ReportBuilder::new("table1")
+        .meta("tables", 3usize)
+        .meta("resolutions", Resolution::ALL.len())
+        .spans(obs.profiler.snapshot())
+        .metrics(obs.metrics.snapshot())
+        .build();
+    match report.write() {
+        Ok(path) => println!("\nobs report: {}", path.display()),
+        Err(e) => eprintln!("\nobs report not written: {e}"),
+    }
 
     println!(
         "\nNote: the paper's 1-km GRIST row prints its cells/vertices columns"

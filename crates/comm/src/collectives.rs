@@ -23,6 +23,13 @@ pub(crate) const TAG_SPLIT: u64 = TAG_BASE + 0x6000;
 pub(crate) const TAG_SUB_BARRIER: u64 = TAG_BASE + 0x7000;
 pub(crate) const TAG_SCATTER: u64 = TAG_BASE + 0x8000;
 
+/// The wire tag an `alltoallv` with user tag `tag` sends under — lets
+/// traffic observers ([`crate::CommStats::tag_traffic`]) attribute bytes to
+/// the collective that moved them.
+pub fn alltoall_wire_tag(tag: u64) -> u64 {
+    TAG_ALLTOALL + tag
+}
+
 /// Broadcast `data` from `root` to every rank; each rank returns the value.
 pub fn bcast<T: Send + Clone + 'static>(rank: &Rank, tag: u64, root: usize, data: Vec<T>) -> Vec<T> {
     let tag = TAG_BCAST + tag;
@@ -50,9 +57,9 @@ pub fn gather<T: Send + 'static>(
     if rank.id() == root {
         let mut out: Vec<Option<Vec<T>>> = (0..rank.size()).map(|_| None).collect();
         out[root] = Some(data);
-        for src in 0..rank.size() {
+        for (src, slot) in out.iter_mut().enumerate() {
             if src != root {
-                out[src] = Some(rank.recv(src, tag).expect("gather recv"));
+                *slot = Some(rank.recv(src, tag).expect("gather recv"));
             }
         }
         Some(out.into_iter().map(|v| v.expect("gather slot")).collect())
@@ -158,9 +165,9 @@ pub fn alltoallv<T: Send + 'static>(
             rank.send(dst, tag, buf);
         }
     }
-    for src in 0..rank.size() {
+    for (src, slot) in recvs.iter_mut().enumerate() {
         if src != me {
-            recvs[src] = Some(rank.recv(src, tag)?);
+            *slot = Some(rank.recv(src, tag)?);
         }
     }
     Ok(recvs.into_iter().map(|r| r.expect("a2a slot")).collect())

@@ -2,26 +2,59 @@
 //!
 //! Every send in a [`crate::World`] is tallied here. The per-rank-pair
 //! volumes let the `ap3esm-machine` network model charge fat-tree hops and
-//! oversubscription for an equivalent run on Sunway OceanLight.
+//! oversubscription for an equivalent run on Sunway OceanLight, and the
+//! per-tag volumes let the observability layer attribute bytes to coupling
+//! phases (scatter vs gather rearrangement, halos, collectives).
+//!
+//! Totals are lock-free atomics. The pair/tag maps are **sharded by source
+//! rank**: each sending thread is its own rank, so with up to
+//! [`N_SHARDS`] ranks every sender owns a private shard and the map lock is
+//! never contended (beyond that, contention is 1/[`N_SHARDS`] of a single
+//! global lock — the pre-sharding design took one lock on *every* send).
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use parking_lot::Mutex;
 
-/// Counters for one world. All methods are thread-safe and lock-free on the
-/// hot path (totals); the pair matrix takes a short lock.
+/// Number of source-rank shards for the pair/tag maps.
+pub const N_SHARDS: usize = 16;
+
 #[derive(Default)]
+struct ShardMaps {
+    /// (src, dst) → bytes.
+    pairs: HashMap<(usize, usize), u64>,
+    /// wire tag → (messages, bytes).
+    tags: HashMap<u64, (u64, u64)>,
+}
+
+/// Counters for one world. All methods are thread-safe; the totals are
+/// lock-free and the detail maps take only the sender's shard lock.
 pub struct CommStats {
     messages: AtomicU64,
     bytes: AtomicU64,
-    pairs: Mutex<std::collections::HashMap<(usize, usize), u64>>,
+    shards: Vec<Mutex<ShardMaps>>,
+}
+
+impl Default for CommStats {
+    fn default() -> Self {
+        CommStats {
+            messages: AtomicU64::new(0),
+            bytes: AtomicU64::new(0),
+            shards: (0..N_SHARDS).map(|_| Mutex::new(ShardMaps::default())).collect(),
+        }
+    }
 }
 
 impl CommStats {
-    pub fn record_send(&self, src: usize, dst: usize, bytes: usize) {
+    pub fn record_send(&self, src: usize, dst: usize, tag: u64, bytes: usize) {
         self.messages.fetch_add(1, Ordering::Relaxed);
         self.bytes.fetch_add(bytes as u64, Ordering::Relaxed);
-        *self.pairs.lock().entry((src, dst)).or_insert(0) += bytes as u64;
+        let mut shard = self.shards[src % N_SHARDS].lock();
+        *shard.pairs.entry((src, dst)).or_insert(0) += bytes as u64;
+        let t = shard.tags.entry(tag).or_insert((0, 0));
+        t.0 += 1;
+        t.1 += bytes as u64;
     }
 
     /// Total messages sent in the world so far.
@@ -36,12 +69,61 @@ impl CommStats {
 
     /// Bytes sent from `src` to `dst`.
     pub fn pair_bytes(&self, src: usize, dst: usize) -> u64 {
-        self.pairs.lock().get(&(src, dst)).copied().unwrap_or(0)
+        self.shards[src % N_SHARDS]
+            .lock()
+            .pairs
+            .get(&(src, dst))
+            .copied()
+            .unwrap_or(0)
     }
 
-    /// Snapshot of the full (src, dst) → bytes matrix.
+    /// Snapshot of the full (src, dst) → bytes matrix, sorted by key.
     pub fn pair_matrix(&self) -> Vec<((usize, usize), u64)> {
-        let mut v: Vec<_> = self.pairs.lock().iter().map(|(k, b)| (*k, *b)).collect();
+        let mut v: Vec<_> = self
+            .shards
+            .iter()
+            .flat_map(|s| s.lock().pairs.iter().map(|(k, b)| (*k, *b)).collect::<Vec<_>>())
+            .collect();
+        v.sort();
+        v
+    }
+
+    /// The `k` hottest (src, dst) pairs by bytes, descending (ties broken
+    /// by rank pair for determinism).
+    pub fn top_pairs(&self, k: usize) -> Vec<(usize, usize, u64)> {
+        let mut v: Vec<(usize, usize, u64)> = self
+            .pair_matrix()
+            .into_iter()
+            .map(|((src, dst), b)| (src, dst, b))
+            .collect();
+        v.sort_by(|a, b| b.2.cmp(&a.2).then((a.0, a.1).cmp(&(b.0, b.1))));
+        v.truncate(k);
+        v
+    }
+
+    /// (messages, bytes) sent under one wire tag.
+    pub fn tag_traffic(&self, tag: u64) -> (u64, u64) {
+        let mut total = (0, 0);
+        for s in &self.shards {
+            if let Some(&(m, b)) = s.lock().tags.get(&tag) {
+                total.0 += m;
+                total.1 += b;
+            }
+        }
+        total
+    }
+
+    /// Snapshot of the wire tag → (messages, bytes) map, sorted by tag.
+    pub fn tag_matrix(&self) -> Vec<(u64, (u64, u64))> {
+        let mut merged: HashMap<u64, (u64, u64)> = HashMap::new();
+        for s in &self.shards {
+            for (&tag, &(m, b)) in s.lock().tags.iter() {
+                let e = merged.entry(tag).or_insert((0, 0));
+                e.0 += m;
+                e.1 += b;
+            }
+        }
+        let mut v: Vec<_> = merged.into_iter().collect();
         v.sort();
         v
     }
@@ -50,7 +132,11 @@ impl CommStats {
     pub fn reset(&self) {
         self.messages.store(0, Ordering::Relaxed);
         self.bytes.store(0, Ordering::Relaxed);
-        self.pairs.lock().clear();
+        for s in &self.shards {
+            let mut shard = s.lock();
+            shard.pairs.clear();
+            shard.tags.clear();
+        }
     }
 }
 
@@ -61,9 +147,9 @@ mod tests {
     #[test]
     fn records_accumulate_and_reset() {
         let s = CommStats::default();
-        s.record_send(0, 1, 100);
-        s.record_send(0, 1, 50);
-        s.record_send(1, 0, 8);
+        s.record_send(0, 1, 7, 100);
+        s.record_send(0, 1, 7, 50);
+        s.record_send(1, 0, 9, 8);
         assert_eq!(s.total_messages(), 3);
         assert_eq!(s.total_bytes(), 158);
         assert_eq!(s.pair_bytes(0, 1), 150);
@@ -74,5 +160,66 @@ mod tests {
         assert_eq!(s.total_messages(), 0);
         assert_eq!(s.total_bytes(), 0);
         assert!(s.pair_matrix().is_empty());
+        assert!(s.tag_matrix().is_empty());
+    }
+
+    #[test]
+    fn per_tag_traffic_separates_streams() {
+        let s = CommStats::default();
+        s.record_send(0, 1, 21, 800);
+        s.record_send(0, 2, 21, 800);
+        s.record_send(1, 0, 22, 160);
+        assert_eq!(s.tag_traffic(21), (2, 1600));
+        assert_eq!(s.tag_traffic(22), (1, 160));
+        assert_eq!(s.tag_traffic(99), (0, 0));
+        assert_eq!(
+            s.tag_matrix(),
+            vec![(21, (2, 1600)), (22, (1, 160))]
+        );
+    }
+
+    #[test]
+    fn top_pairs_sort_by_bytes_then_rank() {
+        let s = CommStats::default();
+        s.record_send(0, 1, 1, 100);
+        s.record_send(2, 3, 1, 900);
+        s.record_send(1, 0, 1, 900);
+        s.record_send(3, 0, 1, 5);
+        assert_eq!(
+            s.top_pairs(3),
+            vec![(1, 0, 900), (2, 3, 900), (0, 1, 100)]
+        );
+        assert_eq!(s.top_pairs(0), vec![]);
+    }
+
+    #[test]
+    fn sharded_maps_agree_across_many_sources() {
+        // Sources spread over more ranks than shards still aggregate right.
+        let s = CommStats::default();
+        for src in 0..(3 * N_SHARDS) {
+            s.record_send(src, 0, 4, 10);
+        }
+        assert_eq!(s.total_messages(), 3 * N_SHARDS as u64);
+        assert_eq!(s.pair_matrix().len(), 3 * N_SHARDS);
+        assert_eq!(s.tag_traffic(4).1, 30 * N_SHARDS as u64);
+    }
+
+    #[test]
+    fn concurrent_senders_lose_nothing() {
+        let s = std::sync::Arc::new(CommStats::default());
+        std::thread::scope(|scope| {
+            for src in 0..8 {
+                let s = std::sync::Arc::clone(&s);
+                scope.spawn(move || {
+                    for i in 0..500 {
+                        s.record_send(src, (src + 1) % 8, (i % 3) as u64, 8);
+                    }
+                });
+            }
+        });
+        assert_eq!(s.total_messages(), 4000);
+        assert_eq!(s.total_bytes(), 32_000);
+        let tags = s.tag_matrix();
+        assert_eq!(tags.iter().map(|(_, (m, _))| m).sum::<u64>(), 4000);
     }
 }

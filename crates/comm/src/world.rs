@@ -154,7 +154,7 @@ impl Rank {
         assert!(dst < self.shared.n, "send to invalid rank {dst}");
         self.shared
             .stats
-            .record_send(self.id, dst, std::mem::size_of::<T>() * data.len());
+            .record_send(self.id, dst, tag, std::mem::size_of::<T>() * data.len());
         let mailbox = &self.shared.mailboxes[dst];
         {
             let mut inner = mailbox.inner.lock();

@@ -11,6 +11,9 @@ use ap3esm_comm::Rank;
 
 use crate::router::Router;
 
+/// Wire-tag namespace of the non-blocking point-to-point strategy.
+const P2P_TAG_BASE: u64 = 0x5240_0000;
+
 /// Which MPI pattern moves the data.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RearrangeStrategy {
@@ -45,10 +48,24 @@ impl Rearranger {
         src_data: &[f64],
         dst_len: usize,
     ) -> Vec<f64> {
-        match strategy {
+        let _span = ap3esm_obs::span("rearrange");
+        let t0 = std::time::Instant::now();
+        let out = match strategy {
             RearrangeStrategy::AllToAll => self.rearrange_a2a(rank, src_data, dst_len),
             RearrangeStrategy::NonBlockingP2p => self.rearrange_p2p(rank, src_data, dst_len),
-        }
+        };
+        ap3esm_obs::histogram_record("cpl.rearrange.ns", t0.elapsed().as_nanos() as u64);
+        out
+    }
+
+    /// The wire tags this rearranger's traffic travels under (all-to-all
+    /// collective, then point-to-point), for per-phase byte attribution via
+    /// [`ap3esm_comm::CommStats::tag_traffic`].
+    pub fn wire_tags(&self) -> [u64; 2] {
+        [
+            ap3esm_comm::collectives::alltoall_wire_tag(self.tag),
+            P2P_TAG_BASE + self.tag,
+        ]
     }
 
     fn gather_for(&self, me: usize, dst: usize, src_data: &[f64]) -> Vec<f64> {
@@ -92,7 +109,7 @@ impl Rearranger {
 
     fn rearrange_p2p(&self, rank: &Rank, src_data: &[f64], dst_len: usize) -> Vec<f64> {
         let me = rank.id();
-        let tag = 0x5240_0000 + self.tag;
+        let tag = P2P_TAG_BASE + self.tag;
         // Post sends only to destinations with nonempty legs.
         if me < self.router.src_ranks {
             for dst in 0..self.router.dst_ranks {
@@ -210,6 +227,36 @@ mod tests {
         assert_eq!(r.p2p_message_count(0), 6);
         for rank in 1..6 {
             assert_eq!(r.p2p_message_count(rank), 0);
+        }
+    }
+
+    #[test]
+    fn wire_tags_attribute_traffic_per_strategy() {
+        let nglobal = 40;
+        let nranks = 4;
+        let src = GSMap::all_on_rank(nglobal, nranks, 0);
+        let dst = GSMap::even(nglobal, nranks);
+        for (strategy, tag_slot) in [
+            (RearrangeStrategy::AllToAll, 0),
+            (RearrangeStrategy::NonBlockingP2p, 1),
+        ] {
+            let world = World::new(nranks);
+            let tags = world.run(|rank| {
+                let r = Rearranger::new(Router::build(&src, &dst), 11);
+                let data: Vec<f64> = if rank.id() == 0 {
+                    (0..nglobal).map(|g| g as f64).collect()
+                } else {
+                    Vec::new()
+                };
+                r.rearrange(rank, strategy, &data, dst.local_size(rank.id()));
+                r.wire_tags()
+            });
+            let (msgs, bytes) = world.stats().tag_traffic(tags[0][tag_slot]);
+            assert!(msgs > 0 && bytes > 0, "{strategy:?} left no traffic on its tag");
+            // The other strategy's tag stays quiet (a2a runs through the
+            // collective namespace, p2p through its own).
+            let (other_msgs, _) = world.stats().tag_traffic(tags[0][1 - tag_slot]);
+            assert_eq!(other_msgs, 0, "{strategy:?} leaked onto the other tag");
         }
     }
 

@@ -36,6 +36,7 @@ impl Router {
     /// Online construction from two GSMaps over the same global space.
     pub fn build(src: &GSMap, dst: &GSMap) -> Self {
         assert_eq!(src.nglobal, dst.nglobal, "GSMap size mismatch");
+        let _span = ap3esm_obs::span("router_build");
         let t0 = Instant::now();
         let mut legs = vec![vec![RouteLeg::default(); dst.nranks]; src.nranks];
         // Local position of each global index on its owner, per map.
@@ -164,8 +165,8 @@ fn local_positions(map: &GSMap) -> Vec<u32> {
     let mut counters = vec![0u32; map.nranks];
     for s in &map.segments {
         let c = &mut counters[s.owner];
-        for gid in s.start..s.start + s.length {
-            pos[gid] = *c;
+        for p in &mut pos[s.start..s.start + s.length] {
+            *p = *c;
             *c += 1;
         }
     }

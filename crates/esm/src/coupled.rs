@@ -133,6 +133,10 @@ pub struct CoupledOptions {
     pub vortex: Option<VortexSpec>,
     /// Track the vortex at every atmosphere coupling.
     pub record_track: bool,
+    /// Emit a JSON run report named `run-<name>.json` under `target/obs/`.
+    /// Collective: every rank contributes its span tree to the cross-rank
+    /// section table; rank 0 writes the file.
+    pub report_name: Option<String>,
 }
 
 impl Default for CoupledOptions {
@@ -141,6 +145,7 @@ impl Default for CoupledOptions {
             days: 1.0,
             vortex: None,
             record_track: false,
+            report_name: None,
         }
     }
 }
@@ -164,6 +169,10 @@ pub struct CoupledStats {
     pub ice_series: Vec<f64>,
     /// Coupler bytes moved (from the world's stats, measured by rank 0).
     pub per_section_seconds: Vec<(String, f64)>,
+    /// The serialised run report (rank 0, when `report_name` was set).
+    pub report_json: Option<String>,
+    /// Where the report was written (rank 0, when `report_name` was set).
+    pub report_path: Option<std::path::PathBuf>,
 }
 
 /// Fit the atmosphere stepping so an integer number of model steps covers
@@ -246,7 +255,11 @@ pub fn run_coupled(rank: &Rank, config: &CoupledConfig, opts: &CoupledOptions) -
     let ocn_period = clock.ocn_alarm.period as f64;
     let ice_period = clock.ice_alarm.period as f64;
 
-    let mut timers = Timers::new();
+    // One observability instance per rank: timer sections and the leaf-crate
+    // spans (dycore substeps, rearranger, sub-file I/O) land in one tree.
+    let obs = std::sync::Arc::new(ap3esm_obs::Obs::new());
+    let _obs_guard = ap3esm_obs::install(std::sync::Arc::clone(&obs));
+    let mut timers = Timers::attached(std::sync::Arc::clone(&obs));
     let t_start = std::time::Instant::now();
     let total_seconds = (opts.days * 86_400.0).round();
     let mut stats = CoupledStats::default();
@@ -600,6 +613,45 @@ pub fn run_coupled(rank: &Rank, config: &CoupledConfig, opts: &CoupledOptions) -
         .iter()
         .map(|s| (s.to_string(), timers.seconds(s)))
         .collect();
+
+    if let Some(name) = &opts.report_name {
+        // Paper §6.2 measurement rule: per-section times reduced to the
+        // maximum across ranks. Collective — every rank participates.
+        let spans = obs.profiler.snapshot();
+        let sections = ap3esm_obs::aggregate_sections(rank, 0x0B70, &spans);
+        if is_root {
+            let comm = rank.stats();
+            let stream = |label: &str, tags: [u64; 2]| {
+                let (m, b) = tags.iter().fold((0u64, 0u64), |(m, b), &t| {
+                    let (tm, tb) = comm.tag_traffic(t);
+                    (m + tm, b + tb)
+                });
+                (label.to_string(), m, b)
+            };
+            let report = ap3esm_obs::ReportBuilder::new(name)
+                .meta("world_size", world_ranks)
+                .meta("layout", if config.single_domain { "sequential" } else { "concurrent" })
+                .meta("strategy", format!("{:?}", config.strategy).as_str())
+                .meta("simulated_seconds", stats.simulated_seconds)
+                .meta("wall_seconds", stats.wall_seconds)
+                .meta("sypd", stats.sypd)
+                .spans(spans)
+                .sections(sections)
+                .metrics(obs.metrics.snapshot())
+                .comm(ap3esm_obs::CommSummary {
+                    total_messages: comm.total_messages(),
+                    total_bytes: comm.total_bytes(),
+                    top_pairs: comm.top_pairs(5),
+                    streams: vec![
+                        stream("cpl_scatter", scatter.wire_tags()),
+                        stream("cpl_gather", gather.wire_tags()),
+                    ],
+                })
+                .build();
+            stats.report_json = Some(report.to_json());
+            stats.report_path = report.write().ok();
+        }
+    }
     stats
 }
 
@@ -635,6 +687,86 @@ mod tests {
         assert!(*root.ke_series.last().unwrap() > 0.0);
         // The coupler actually moved data.
         assert!(world.stats().total_bytes() > 0);
+    }
+
+    #[test]
+    fn coupled_run_emits_json_report() {
+        let config = CoupledConfig::test_tiny();
+        let world = World::new(config.world_size());
+        let opts = CoupledOptions {
+            days: 0.5,
+            report_name: Some("esm-report-test".to_string()),
+            ..Default::default()
+        };
+        let all = world.run(|rank| run_coupled(rank, &config, &opts));
+        let root = &all[0];
+
+        // Only rank 0 writes; ocean ranks still participated in aggregation.
+        assert!(all[1..].iter().all(|s| s.report_json.is_none()));
+        let json = root.report_json.as_ref().expect("rank 0 report");
+        assert!(json.starts_with(r#"{"schema":"ap3esm-obs/1","name":"esm-report-test""#));
+
+        // The sink wrote the same bytes to target/obs/.
+        let path = root.report_path.as_ref().expect("report written");
+        assert_eq!(path.file_name().unwrap(), "run-esm-report-test.json");
+        let body = std::fs::read_to_string(path).unwrap();
+        assert_eq!(body.trim_end(), json);
+
+        // ≥8 distinct spans with a correct parent/child tree on rank 0:
+        // driver sections parent the leaf-crate instrumentation.
+        let spans_json = json
+            .split(r#""spans":["#)
+            .nth(1)
+            .unwrap()
+            .split(r#""rank_sections""#)
+            .next()
+            .unwrap();
+        let span_paths: Vec<&str> = spans_json
+            .split(r#""path":""#)
+            .skip(1)
+            .map(|s| s.split('"').next().unwrap())
+            .collect();
+        for want in [
+            "atm_run",
+            "atm_run/dycore",
+            "atm_run/dycore/dyn_substeps",
+            "atm_run/dycore/tracer_step",
+            "atm_run/physics",
+            "ice_run",
+            "cpl_rearrange",
+            "cpl_rearrange/rearrange",
+        ] {
+            assert!(span_paths.contains(&want), "missing span {want}: {span_paths:?}");
+        }
+        let distinct: std::collections::BTreeSet<&&str> = span_paths.iter().collect();
+        assert!(distinct.len() >= 8, "only {} distinct spans", distinct.len());
+
+        // Cross-rank sections: the ocean ran on every domain-O rank (rank 0
+        // never does, so "ocn_run" only reaches the report through the
+        // collective aggregation) and the stats carry an imbalance ratio.
+        let sections_json = json.split(r#""rank_sections":["#).nth(1).unwrap();
+        assert!(!span_paths.contains(&"ocn_run"), "rank 0 should not run the ocean");
+        assert!(sections_json.contains(r#""path":"ocn_run""#), "ocean missing from aggregation");
+        assert!(sections_json.contains(r#""imbalance":"#));
+
+        // Comm digest: real bytes moved, attributed to the coupling phases.
+        assert!(json.contains(r#""comm":{"total_messages":"#));
+        assert!(world.stats().total_bytes() > 0);
+        let streams = json.split(r#""streams":["#).nth(1).unwrap();
+        assert!(streams.contains(r#""label":"cpl_scatter""#));
+        assert!(streams.contains(r#""label":"cpl_gather""#));
+        // Scatter moved 4 forcing fields per ocean coupling; non-zero bytes.
+        let scatter_bytes: u64 = streams
+            .split(r#""label":"cpl_scatter","messages":"#)
+            .nth(1)
+            .and_then(|s| s.split(r#""bytes":"#).nth(1))
+            .and_then(|s| s.split(['}', ',']).next())
+            .and_then(|s| s.parse().ok())
+            .unwrap();
+        assert!(scatter_bytes > 0, "no scatter traffic attributed");
+
+        // The rearranger histogram flowed into the metrics registry.
+        assert!(json.contains(r#""cpl.rearrange.ns":{"count":"#));
     }
 
     #[test]

@@ -57,6 +57,7 @@ pub fn run_forecast(config: &CoupledConfig, days: f64) -> ForecastResult {
         days,
         vortex: Some(spec),
         record_track: true,
+        ..Default::default()
     };
     let world = World::new(config.world_size());
     let mut all = world.run(|rank| run_coupled(rank, config, &opts));

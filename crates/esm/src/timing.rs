@@ -2,38 +2,87 @@
 //! "Wall-clock time measurements are obtained using timers … with the
 //! maximum value across all MPI ranks recorded to account for potential
 //! load imbalance."
+//!
+//! [`Timers`] is a thin facade over the `ap3esm-obs` span profiler: every
+//! `start`/`stop` section also opens/closes a span on the attached
+//! [`Obs`](ap3esm_obs::Obs) instance, so driver-level sections and the
+//! leaf-crate instrumentation (dycore substeps, rearranger, I/O) land in
+//! one call tree. Re-entrant `start` of the same name nests like a stack —
+//! recursion is recorded, never aborted.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 use std::time::Instant;
 
 use ap3esm_comm::collectives::allreduce_max;
 use ap3esm_comm::Rank;
+use ap3esm_obs::{Obs, SpanGuard};
 
 /// Named accumulating timers (one instance per rank).
-#[derive(Debug, Default)]
 pub struct Timers {
-    running: BTreeMap<String, Instant>,
+    obs: Arc<Obs>,
+    /// Open sections, innermost last.
+    open: Vec<(String, Instant, SpanGuard)>,
     accum: BTreeMap<String, f64>,
     counts: BTreeMap<String, u64>,
 }
 
+impl Default for Timers {
+    fn default() -> Self {
+        Timers::new()
+    }
+}
+
+impl std::fmt::Debug for Timers {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Timers")
+            .field("open", &self.open.iter().map(|(n, _, _)| n).collect::<Vec<_>>())
+            .field("accum", &self.accum)
+            .field("counts", &self.counts)
+            .finish()
+    }
+}
+
 impl Timers {
+    /// Timers over a private observability instance.
     pub fn new() -> Self {
-        Self::default()
+        Timers::attached(Arc::new(Obs::new()))
     }
 
+    /// Timers feeding spans into an existing instance (typically the one
+    /// the driver installed with [`ap3esm_obs::install`], so timer sections
+    /// parent the leaf-crate spans).
+    pub fn attached(obs: Arc<Obs>) -> Self {
+        Timers {
+            obs,
+            open: Vec::new(),
+            accum: BTreeMap::new(),
+            counts: BTreeMap::new(),
+        }
+    }
+
+    /// The observability instance this facade feeds.
+    pub fn obs(&self) -> &Arc<Obs> {
+        &self.obs
+    }
+
+    /// Open the section `name`. Starting an already-running section nests
+    /// (stack semantics); each `stop` closes the innermost open instance.
     pub fn start(&mut self, name: &str) {
-        let prev = self.running.insert(name.to_string(), Instant::now());
-        assert!(prev.is_none(), "timer {name:?} already running");
+        let guard = self.obs.profiler.enter(name);
+        self.open.push((name.to_string(), Instant::now(), guard));
     }
 
     pub fn stop(&mut self, name: &str) {
-        let t0 = self
-            .running
-            .remove(name)
+        let pos = self
+            .open
+            .iter()
+            .rposition(|(n, _, _)| n == name)
             .unwrap_or_else(|| panic!("timer {name:?} not running"));
-        *self.accum.entry(name.to_string()).or_insert(0.0) += t0.elapsed().as_secs_f64();
-        *self.counts.entry(name.to_string()).or_insert(0) += 1;
+        let (name, t0, guard) = self.open.remove(pos);
+        drop(guard); // closes the span now, not at scope end
+        *self.accum.entry(name.clone()).or_insert(0.0) += t0.elapsed().as_secs_f64();
+        *self.counts.entry(name).or_insert(0) += 1;
     }
 
     /// Time a closure under `name`.
@@ -92,11 +141,35 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "already running")]
-    fn double_start_rejected() {
+    fn reentrant_start_nests_instead_of_panicking() {
         let mut t = Timers::new();
         t.start("x");
-        t.start("x");
+        t.start("x"); // the pre-obs implementation aborted here
+        t.stop("x");
+        t.stop("x");
+        assert_eq!(t.count("x"), 2);
+        // The profiler recorded the recursion as a nested span.
+        let paths: Vec<String> = t.obs().profiler.snapshot().into_iter().map(|s| s.path).collect();
+        assert_eq!(paths, vec!["x", "x/x"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not running")]
+    fn stopping_a_never_started_section_is_loud() {
+        let mut t = Timers::new();
+        t.stop("ghost");
+    }
+
+    #[test]
+    fn sections_mirror_into_the_span_tree() {
+        let mut t = Timers::new();
+        t.start("outer");
+        t.time("inner", || {});
+        t.stop("outer");
+        let snap = t.obs().profiler.snapshot();
+        let paths: Vec<&str> = snap.iter().map(|s| s.path.as_str()).collect();
+        assert_eq!(paths, vec!["outer", "outer/inner"]);
+        assert_eq!(snap[1].count, 1);
     }
 
     #[test]

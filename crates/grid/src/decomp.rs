@@ -51,7 +51,7 @@ impl BlockDecomp2d {
         let mut best = (1, nranks);
         let mut best_score = f64::INFINITY;
         for px in 1..=nranks {
-            if nranks % px != 0 {
+            if !nranks.is_multiple_of(px) {
                 continue;
             }
             let py = nranks / px;

@@ -126,7 +126,7 @@ impl GeodesicGrid {
             let mut midpoint = |a: usize, b: usize, vertices: &mut Vec<Vec3>| -> usize {
                 let key = (a.min(b), a.max(b));
                 *midpoint_cache.entry(key).or_insert_with(|| {
-                    let m = vertices[a].add(vertices[b]).normalized();
+                    let m = (vertices[a] + vertices[b]).normalized();
                     vertices.push(m);
                     vertices.len() - 1
                 })
@@ -188,11 +188,11 @@ impl GeodesicGrid {
         for (e, &(a, b)) in edges.iter().enumerate() {
             let pa = vertices[a];
             let pb = vertices[b];
-            let mid = pa.add(pb).normalized();
+            let mid = (pa + pb).normalized();
             edge_midpoints.push(mid);
             // Normal: tangent direction a → b at the midpoint.
-            let n = pb.sub(pa);
-            let n = n.sub(mid.scale(n.dot(mid))).normalized();
+            let n = pb - pa;
+            let n = (n - mid.scale(n.dot(mid))).normalized();
             edge_normals.push(n);
             edge_cell_dist.push(pa.arc_distance(pb));
             let (t0, t1) = edge_corners[e];

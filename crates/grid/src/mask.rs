@@ -177,7 +177,7 @@ mod tests {
             if is_land {
                 assert_eq!(d, 0.0);
             } else {
-                assert!(d >= 0.0 && d <= 5500.0);
+                assert!((0.0..=5500.0).contains(&d));
             }
         }
         // Some deep ocean must exist.

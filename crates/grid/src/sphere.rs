@@ -35,14 +35,6 @@ impl Vec3 {
         Vec3::new(self.x / n, self.y / n, self.z / n)
     }
 
-    pub fn add(self, o: Vec3) -> Vec3 {
-        Vec3::new(self.x + o.x, self.y + o.y, self.z + o.z)
-    }
-
-    pub fn sub(self, o: Vec3) -> Vec3 {
-        Vec3::new(self.x - o.x, self.y - o.y, self.z - o.z)
-    }
-
     pub fn scale(self, s: f64) -> Vec3 {
         Vec3::new(self.x * s, self.y * s, self.z * s)
     }
@@ -88,6 +80,20 @@ impl Vec3 {
     }
 }
 
+impl std::ops::Add for Vec3 {
+    type Output = Vec3;
+    fn add(self, o: Vec3) -> Vec3 {
+        Vec3::new(self.x + o.x, self.y + o.y, self.z + o.z)
+    }
+}
+
+impl std::ops::Sub for Vec3 {
+    type Output = Vec3;
+    fn sub(self, o: Vec3) -> Vec3 {
+        Vec3::new(self.x - o.x, self.y - o.y, self.z - o.z)
+    }
+}
+
 /// Spherical area of the triangle (a, b, c) on the unit sphere
 /// (L'Huilier-free: Girard via dihedral angles through `atan2`).
 pub fn spherical_triangle_area(a: Vec3, b: Vec3, c: Vec3) -> f64 {
@@ -100,10 +106,10 @@ pub fn spherical_triangle_area(a: Vec3, b: Vec3, c: Vec3) -> f64 {
 /// Circumcenter of the spherical triangle (a, b, c), on the unit sphere,
 /// oriented to the same hemisphere as the triangle.
 pub fn circumcenter(a: Vec3, b: Vec3, c: Vec3) -> Vec3 {
-    let n = b.sub(a).cross(c.sub(a));
+    let n = (b - a).cross(c - a);
     let n = n.normalized();
     // Choose the orientation pointing toward the triangle's centroid.
-    let centroid = a.add(b).add(c).scale(1.0 / 3.0);
+    let centroid = (a + b + c).scale(1.0 / 3.0);
     if n.dot(centroid) < 0.0 {
         n.scale(-1.0)
     } else {

@@ -107,13 +107,13 @@ impl TripolarGrid {
             .collect();
         let (land, threshold) = generator.land_mask(&points, 0.29);
         let mut kmt = vec![0u16; nlon * nlat];
-        for j in 0..nlat {
+        for (j, &latj) in lat.iter().enumerate() {
             for i in 0..nlon {
                 let idx = j * nlon + i;
                 // The tripolar construction displaces both northern poles
                 // onto land so no ocean point sits at a metric singularity;
                 // we emulate that by forcing the polar cap (> 84°N) to land.
-                if land[idx] || lat[j].to_degrees() > POLAR_CAP_DEG {
+                if land[idx] || latj.to_degrees() > POLAR_CAP_DEG {
                     kmt[idx] = 0;
                     continue;
                 }
@@ -249,7 +249,7 @@ mod tests {
         let g = small();
         assert!(g.kmt.iter().all(|&k| (k as usize) <= g.nlev));
         // Land exists, ocean exists.
-        assert!(g.kmt.iter().any(|&k| k == 0));
+        assert!(g.kmt.contains(&0));
         assert!(g.kmt.iter().any(|&k| k > 0));
     }
 

@@ -240,12 +240,12 @@ impl IceModel {
                 }
             }
         }
-        for idx in 0..n {
-            if st.ocean[idx] && new_vol[idx] > 1e-6 {
+        for (idx, &nv) in new_vol.iter().enumerate() {
+            if st.ocean[idx] && nv > 1e-6 {
                 let thick = st.thickness[idx].max(0.5);
-                st.fraction[idx] = (new_vol[idx] / thick).clamp(0.0, 1.0);
+                st.fraction[idx] = (nv / thick).clamp(0.0, 1.0);
                 st.thickness[idx] = if st.fraction[idx] > 0.0 {
-                    new_vol[idx] / st.fraction[idx]
+                    nv / st.fraction[idx]
                 } else {
                     0.0
                 };

@@ -124,7 +124,7 @@ pub fn encode_payload(data: &[f64]) -> Bytes {
 
 /// Decode a little-endian payload back to f64s.
 pub fn decode_payload(mut buf: &[u8]) -> Result<Vec<f64>, IoError> {
-    if buf.len() % 8 != 0 {
+    if !buf.len().is_multiple_of(8) {
         return Err(IoError::Inconsistent("payload not a multiple of 8".into()));
     }
     let mut out = Vec::with_capacity(buf.len() / 8);

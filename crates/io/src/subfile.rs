@@ -122,8 +122,11 @@ impl SubfileWriter {
     /// Write one sub-file from an aggregator that already holds its slice.
     pub fn write_partition(&self, index: usize, start: usize, data: &[f64]) -> Result<(), IoError> {
         assert!(index < self.nsubfiles);
+        let _span = ap3esm_obs::span("io_write_subfile");
         std::fs::create_dir_all(&self.dir)?;
         let payload = encode_payload(data);
+        ap3esm_obs::counter_add("io.write.bytes", (HEADER_LEN + payload.len()) as u64);
+        ap3esm_obs::counter_add("io.write.subfiles", 1);
         let header = FieldHeader {
             dims: self.dims,
             ndims: self.ndims,
@@ -156,9 +159,11 @@ impl SubfileReader {
     }
 
     fn read_subfile(&self, index: usize) -> Result<(FieldHeader, Vec<f64>), IoError> {
+        let _span = ap3esm_obs::span("io_read_subfile");
         let mut f = File::open(subfile_path(&self.dir, &self.name, index))?;
         let mut bytes = Vec::new();
         f.read_to_end(&mut bytes)?;
+        ap3esm_obs::counter_add("io.read.bytes", bytes.len() as u64);
         let header = FieldHeader::decode(&bytes)?;
         let payload = &bytes[HEADER_LEN..];
         if payload.len() != header.count as usize * 8 {

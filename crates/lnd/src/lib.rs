@@ -87,7 +87,7 @@ impl LndModel {
         let n = st.land.len();
         assert_eq!(forcing.gsw.len(), n);
         let mut evap = vec![0.0; n];
-        for i in 0..n {
+        for (i, e) in evap.iter_mut().enumerate() {
             if !st.land[i] {
                 continue;
             }
@@ -103,10 +103,9 @@ impl LndModel {
             let net = absorbed - outgoing - sensible - latent;
             st.tskin[i] += dt * net / self.heat_capacity;
             st.tskin[i] = st.tskin[i].clamp(180.0, 340.0);
-            let e = latent / ap3esm_physics::constants::L_VAP;
-            evap[i] = e;
+            *e = latent / ap3esm_physics::constants::L_VAP;
             st.moisture[i] =
-                (st.moisture[i] + dt * (forcing.precip[i] - e)).clamp(0.0, BUCKET_CAPACITY);
+                (st.moisture[i] + dt * (forcing.precip[i] - *e)).clamp(0.0, BUCKET_CAPACITY);
         }
         evap
     }

@@ -1,0 +1,158 @@
+//! Minimal JSON value + writer for the run-report sink.
+//!
+//! The workspace has no serde_json (offline build — see `vendor/README.md`),
+//! and the report only needs *emission*, so this module provides an
+//! insertion-ordered value tree and a deterministic compact writer. Object
+//! keys keep insertion order, making report output byte-stable for the
+//! golden-schema test.
+
+/// An insertion-ordered JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    Int(i64),
+    UInt(u64),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    pub fn obj() -> Json {
+        Json::Obj(Vec::new())
+    }
+
+    /// Appends `key: value` (object variant only; panics otherwise).
+    pub fn set(&mut self, key: &str, value: Json) -> &mut Self {
+        match self {
+            Json::Obj(pairs) => pairs.push((key.to_string(), value)),
+            other => panic!("Json::set on non-object {other:?}"),
+        }
+        self
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Int(i) => out.push_str(&i.to_string()),
+            Json::UInt(u) => out.push_str(&u.to_string()),
+            Json::Num(x) => {
+                if x.is_finite() {
+                    // `{}` prints the shortest round-trip form, which is
+                    // valid JSON for finite values.
+                    out.push_str(&x.to_string());
+                } else {
+                    out.push_str("null"); // JSON has no NaN/Inf
+                }
+            }
+            Json::Str(s) => write_escaped(s, out),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    v.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(k, out);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+/// Compact serialisation (no whitespace), deterministic field order.
+impl std::fmt::Display for Json {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut out = String::new();
+        self.write(&mut out);
+        f.write_str(&out)
+    }
+}
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl From<&str> for Json {
+    fn from(s: &str) -> Json {
+        Json::Str(s.to_string())
+    }
+}
+
+impl From<f64> for Json {
+    fn from(x: f64) -> Json {
+        Json::Num(x)
+    }
+}
+
+impl From<u64> for Json {
+    fn from(x: u64) -> Json {
+        Json::UInt(x)
+    }
+}
+
+impl From<usize> for Json {
+    fn from(x: usize) -> Json {
+        Json::UInt(x as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writes_compact_deterministic_objects() {
+        let mut o = Json::obj();
+        o.set("name", "coupled".into())
+            .set("sypd", Json::Num(0.5))
+            .set("ranks", Json::UInt(3))
+            .set("list", Json::Arr(vec![Json::Int(-1), Json::Bool(true), Json::Null]));
+        assert_eq!(
+            o.to_string(),
+            r#"{"name":"coupled","sypd":0.5,"ranks":3,"list":[-1,true,null]}"#
+        );
+    }
+
+    #[test]
+    fn escapes_strings_and_maps_nonfinite_to_null() {
+        let mut o = Json::obj();
+        o.set("s", "a\"b\\c\nd".into()).set("nan", Json::Num(f64::NAN));
+        assert_eq!(o.to_string(), r#"{"s":"a\"b\\c\nd","nan":null}"#);
+    }
+
+    #[test]
+    fn float_formatting_is_round_trip_safe() {
+        for x in [0.1, 1.0, 1e-9, 12345.678901, 1e300] {
+            let s = Json::Num(x).to_string();
+            assert_eq!(s.parse::<f64>().unwrap(), x, "via {s}");
+        }
+    }
+}

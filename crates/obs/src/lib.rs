@@ -1,0 +1,169 @@
+//! # AP3ESM unified observability layer (`ap3esm-obs`)
+//!
+//! The paper's §6.2 measurement methodology in library form, shared by the
+//! coupled driver, the component dycores, the coupler and the I/O layer:
+//!
+//! * [`span`] — a hierarchical wall-clock profiler: nestable named spans
+//!   form a call tree (GPTL-analogue), with per-node total time, self time
+//!   and call counts. Entering a span when profiling is disabled costs one
+//!   relaxed atomic load.
+//! * [`metrics`] — a registry of named counters, gauges and log-bucketed
+//!   histograms (p50/p95/max), all atomic on the hot path.
+//! * [`rankagg`] — per-section max/min/mean across the ranks of a
+//!   [`World`](ap3esm_comm::World) plus the load-imbalance ratio, following
+//!   the paper's rule of recording "the maximum value across all MPI ranks".
+//! * [`report`] — a run-report sink that renders the span tree for humans
+//!   and writes one machine-readable JSON object per run to
+//!   `target/obs/run-<name>.json`.
+//!
+//! Leaf crates instrument hot paths through the free functions below
+//! ([`span()`], [`counter_add()`], …), which act on a **thread-local active
+//! [`Obs`]** installed by the driver with [`install`]. A rank thread with no
+//! active `Obs` (every unit test of the physics crates, and any production
+//! run that did not opt in) pays only a thread-local read per call, so the
+//! bitwise trajectory of the model is unchanged whether or not profiling is
+//! on — timing is observed, never consulted.
+
+pub mod json;
+pub mod metrics;
+pub mod rankagg;
+pub mod report;
+pub mod span;
+
+pub use metrics::{Counter, Gauge, Histogram, Metrics, MetricSnapshot};
+pub use rankagg::{aggregate_sections, SectionStats};
+pub use report::{CommSummary, ReportBuilder, RunReport};
+pub use span::{Profiler, SpanGuard, SpanSnapshot};
+
+use std::cell::RefCell;
+use std::sync::Arc;
+
+/// One rank's observability state: a span profiler plus a metrics registry.
+#[derive(Default)]
+pub struct Obs {
+    pub profiler: Profiler,
+    pub metrics: Metrics,
+}
+
+impl Obs {
+    /// A fully enabled instance.
+    pub fn new() -> Self {
+        Obs::default()
+    }
+
+    /// An instance whose profiler ignores every span (for overhead tests).
+    pub fn disabled() -> Self {
+        Obs {
+            profiler: Profiler::disabled(),
+            metrics: Metrics::default(),
+        }
+    }
+}
+
+thread_local! {
+    static ACTIVE: RefCell<Vec<Arc<Obs>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Makes `obs` the calling thread's active instance until the guard drops;
+/// installs nest (the previous instance is restored).
+pub fn install(obs: Arc<Obs>) -> InstallGuard {
+    ACTIVE.with(|a| a.borrow_mut().push(obs));
+    InstallGuard { _private: () }
+}
+
+/// RAII guard returned by [`install`].
+pub struct InstallGuard {
+    _private: (),
+}
+
+impl Drop for InstallGuard {
+    fn drop(&mut self) {
+        ACTIVE.with(|a| {
+            a.borrow_mut().pop();
+        });
+    }
+}
+
+/// The calling thread's active instance, if one is installed.
+pub fn active() -> Option<Arc<Obs>> {
+    ACTIVE.with(|a| a.borrow().last().cloned())
+}
+
+/// Opens a span on the active profiler; a no-op guard when none is
+/// installed or profiling is disabled.
+pub fn span(name: &str) -> SpanGuard {
+    match active() {
+        Some(obs) => obs.profiler.enter(name),
+        None => SpanGuard::inactive(),
+    }
+}
+
+/// Adds to a named counter on the active metrics registry (no-op without
+/// an active instance).
+pub fn counter_add(name: &str, delta: u64) {
+    if let Some(obs) = active() {
+        obs.metrics.counter(name).add(delta);
+    }
+}
+
+/// Sets a named gauge on the active metrics registry.
+pub fn gauge_set(name: &str, value: f64) {
+    if let Some(obs) = active() {
+        obs.metrics.gauge(name).set(value);
+    }
+}
+
+/// Records a value into a named histogram on the active metrics registry.
+pub fn histogram_record(name: &str, value: u64) {
+    if let Some(obs) = active() {
+        obs.metrics.histogram(name).record(value);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn free_functions_are_noops_without_install() {
+        // Must not panic or allocate state anywhere observable.
+        let _g = span("orphan");
+        counter_add("orphan", 1);
+        gauge_set("orphan", 1.0);
+        histogram_record("orphan", 1);
+        assert!(active().is_none());
+    }
+
+    #[test]
+    fn install_scopes_nest_and_restore() {
+        let a = Arc::new(Obs::new());
+        let b = Arc::new(Obs::new());
+        {
+            let _ga = install(Arc::clone(&a));
+            assert!(Arc::ptr_eq(&active().unwrap(), &a));
+            {
+                let _gb = install(Arc::clone(&b));
+                assert!(Arc::ptr_eq(&active().unwrap(), &b));
+                counter_add("hits", 2);
+            }
+            assert!(Arc::ptr_eq(&active().unwrap(), &a));
+            counter_add("hits", 1);
+        }
+        assert!(active().is_none());
+        assert_eq!(a.metrics.counter("hits").get(), 1);
+        assert_eq!(b.metrics.counter("hits").get(), 2);
+    }
+
+    #[test]
+    fn spans_route_to_the_installed_profiler() {
+        let obs = Arc::new(Obs::new());
+        {
+            let _i = install(Arc::clone(&obs));
+            let _outer = span("outer");
+            let _inner = span("inner");
+        }
+        let snap = obs.profiler.snapshot();
+        let paths: Vec<&str> = snap.iter().map(|s| s.path.as_str()).collect();
+        assert_eq!(paths, vec!["outer", "outer/inner"]);
+    }
+}

@@ -1,0 +1,341 @@
+//! Metrics registry: named counters, gauges, and log-bucketed histograms.
+//!
+//! Handles are `Arc`s resolved once through the registry lock and then
+//! updated with relaxed atomics, so hot loops (per-message byte counts,
+//! per-substep durations) never contend on a map.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Monotonic event/byte counter.
+#[derive(Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    pub fn add(&self, delta: u64) {
+        self.value.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Last-write-wins f64 gauge (stored as bits).
+#[derive(Default)]
+pub struct Gauge {
+    bits: AtomicU64,
+}
+
+impl Gauge {
+    pub fn set(&self, value: f64) {
+        self.bits.store(value.to_bits(), Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+// Histogram bucket layout: values below 2^LINEAR_BITS get exact unit
+// buckets; above that, each power of two is split into 2^SUB_BITS
+// sub-buckets, bounding the relative quantile error by 2^-SUB_BITS (~3%).
+const SUB_BITS: u32 = 5;
+const LINEAR_MAX: u64 = 1 << SUB_BITS; // 32 exact buckets
+const N_BUCKETS: usize = (LINEAR_MAX as usize) + ((64 - SUB_BITS as usize) << SUB_BITS);
+
+fn bucket_of(v: u64) -> usize {
+    if v < LINEAR_MAX {
+        v as usize
+    } else {
+        let msb = 63 - v.leading_zeros(); // >= SUB_BITS
+        let sub = ((v >> (msb - SUB_BITS)) & (LINEAR_MAX - 1)) as usize;
+        LINEAR_MAX as usize + (((msb - SUB_BITS) as usize) << SUB_BITS) + sub
+    }
+}
+
+/// Midpoint of a bucket's value range (its exact value in the linear part).
+fn bucket_value(idx: usize) -> u64 {
+    if idx < LINEAR_MAX as usize {
+        idx as u64
+    } else {
+        let rel = idx - LINEAR_MAX as usize;
+        let msb = (rel >> SUB_BITS) as u32 + SUB_BITS;
+        let sub = (rel & (LINEAR_MAX as usize - 1)) as u64;
+        let width = 1u64 << (msb - SUB_BITS);
+        let lower = (1u64 << msb) + sub * width;
+        lower + width / 2
+    }
+}
+
+/// Lock-free histogram over `u64` samples (durations in ns, sizes in
+/// bytes); quantiles carry ≤ ~3% relative bucketing error, min/max are
+/// exact.
+pub struct Histogram {
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: (0..N_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    pub fn record(&self, value: u64) {
+        self.buckets[bucket_of(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.min.fetch_min(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    pub fn min(&self) -> u64 {
+        let m = self.min.load(Ordering::Relaxed);
+        if m == u64::MAX { 0 } else { m }
+    }
+
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum.load(Ordering::Relaxed) as f64 / n as f64
+        }
+    }
+
+    /// Value at quantile `q` in `[0, 1]` (nearest-rank over buckets).
+    pub fn quantile(&self, q: f64) -> u64 {
+        let n = self.count();
+        if n == 0 {
+            return 0;
+        }
+        let target = ((q.clamp(0.0, 1.0) * n as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (idx, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= target {
+                // Clamp to the exact extremes so q=0/q=1 are error-free.
+                return bucket_value(idx).clamp(self.min(), self.max());
+            }
+        }
+        self.max()
+    }
+
+    pub fn summary(&self) -> HistogramSummary {
+        HistogramSummary {
+            count: self.count(),
+            min: self.min(),
+            max: self.max(),
+            mean: self.mean(),
+            p50: self.quantile(0.50),
+            p95: self.quantile(0.95),
+        }
+    }
+}
+
+/// Point-in-time digest of a [`Histogram`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSummary {
+    pub count: u64,
+    pub min: u64,
+    pub max: u64,
+    pub mean: f64,
+    pub p50: u64,
+    pub p95: u64,
+}
+
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+/// Named-metric registry; get-or-create by name, sorted snapshots.
+#[derive(Default)]
+pub struct Metrics {
+    inner: Mutex<BTreeMap<String, Metric>>,
+}
+
+/// Snapshot entry of one metric.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricSnapshot {
+    Counter(u64),
+    Gauge(f64),
+    Histogram(HistogramSummary),
+}
+
+impl Metrics {
+    fn entry<T, F: FnOnce() -> Metric, G: Fn(&Metric) -> Option<Arc<T>>>(
+        &self,
+        name: &str,
+        make: F,
+        as_kind: G,
+    ) -> Arc<T> {
+        let mut map = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        let metric = map.entry(name.to_string()).or_insert_with(make);
+        as_kind(metric)
+            .unwrap_or_else(|| panic!("metric {name:?} already registered with another kind"))
+    }
+
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        self.entry(
+            name,
+            || Metric::Counter(Arc::default()),
+            |m| match m {
+                Metric::Counter(c) => Some(Arc::clone(c)),
+                _ => None,
+            },
+        )
+    }
+
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        self.entry(
+            name,
+            || Metric::Gauge(Arc::default()),
+            |m| match m {
+                Metric::Gauge(g) => Some(Arc::clone(g)),
+                _ => None,
+            },
+        )
+    }
+
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        self.entry(
+            name,
+            || Metric::Histogram(Arc::default()),
+            |m| match m {
+                Metric::Histogram(h) => Some(Arc::clone(h)),
+                _ => None,
+            },
+        )
+    }
+
+    /// All metrics by name (BTreeMap order: lexicographic, deterministic).
+    pub fn snapshot(&self) -> Vec<(String, MetricSnapshot)> {
+        let map = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        map.iter()
+            .map(|(name, metric)| {
+                let snap = match metric {
+                    Metric::Counter(c) => MetricSnapshot::Counter(c.get()),
+                    Metric::Gauge(g) => MetricSnapshot::Gauge(g.get()),
+                    Metric::Histogram(h) => MetricSnapshot::Histogram(h.summary()),
+                };
+                (name.clone(), snap)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_round_trip() {
+        let m = Metrics::default();
+        m.counter("msgs").add(3);
+        m.counter("msgs").add(4);
+        m.gauge("sypd").set(0.54);
+        assert_eq!(m.counter("msgs").get(), 7);
+        assert_eq!(m.gauge("sypd").get(), 0.54);
+        let snap = m.snapshot();
+        assert_eq!(snap[0].0, "msgs");
+        assert_eq!(snap[0].1, MetricSnapshot::Counter(7));
+        assert_eq!(snap[1].1, MetricSnapshot::Gauge(0.54));
+    }
+
+    #[test]
+    fn bucket_mapping_is_monotone_and_bounded() {
+        let mut last = 0usize;
+        for v in [0u64, 1, 31, 32, 33, 100, 1_000, 1 << 20, u64::MAX / 2, u64::MAX] {
+            let b = bucket_of(v);
+            assert!(b >= last, "bucket order broke at {v}");
+            assert!(b < N_BUCKETS);
+            last = b;
+            if v > 0 {
+                // The representative value is within the sub-bucket width.
+                let rep = bucket_value(b) as f64;
+                let rel = (rep - v as f64).abs() / v as f64;
+                assert!(rel <= 1.0 / LINEAR_MAX as f64 + 1e-12, "rel err {rel} at {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn quantiles_match_sorted_reference_within_bucket_error() {
+        // Deterministic pseudo-random samples spanning several decades.
+        let mut x = 0x9E37_79B9_7F4A_7C15u64;
+        let mut samples = Vec::with_capacity(10_000);
+        let h = Histogram::default();
+        for _ in 0..10_000 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let v = x % 1_000_000;
+            samples.push(v);
+            h.record(v);
+        }
+        samples.sort_unstable();
+        for q in [0.0, 0.25, 0.50, 0.75, 0.95, 0.99, 1.0] {
+            let rank = ((q * samples.len() as f64).ceil() as usize).max(1) - 1;
+            let exact = samples[rank] as f64;
+            let approx = h.quantile(q) as f64;
+            let tol = exact / LINEAR_MAX as f64 + 1.0; // bucket width + rounding
+            assert!(
+                (approx - exact).abs() <= tol,
+                "q={q}: approx {approx} vs exact {exact} (tol {tol})"
+            );
+        }
+        assert_eq!(h.count(), 10_000);
+        assert_eq!(h.min(), samples[0]);
+        assert_eq!(h.max(), *samples.last().unwrap());
+    }
+
+    #[test]
+    fn histogram_is_safe_under_concurrent_recording() {
+        let h = Arc::new(Histogram::default());
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let h = Arc::clone(&h);
+                s.spawn(move || {
+                    for i in 0..1000u64 {
+                        h.record(t * 1000 + i);
+                    }
+                });
+            }
+        });
+        assert_eq!(h.count(), 4000);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 3999);
+    }
+
+    #[test]
+    #[should_panic(expected = "another kind")]
+    fn kind_conflicts_are_loud() {
+        let m = Metrics::default();
+        m.counter("x").add(1);
+        let _ = m.gauge("x");
+    }
+}

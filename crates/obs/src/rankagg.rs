@@ -1,0 +1,175 @@
+//! Rank-aware aggregation of span timings.
+//!
+//! §6.2: "Wall-clock time measurements are obtained using timers … with the
+//! maximum value across all MPI ranks recorded to account for potential
+//! load imbalance." [`aggregate_sections`] implements that rule on top of
+//! the `ap3esm-comm` collectives — every rank contributes its local span
+//! snapshot and every rank returns the same merged table of per-section
+//! max/min/mean plus the load-imbalance ratio max/mean.
+
+use std::collections::BTreeMap;
+
+use ap3esm_comm::collectives::allgather;
+use ap3esm_comm::Rank;
+
+use crate::span::SpanSnapshot;
+
+/// Cross-rank statistics for one span path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SectionStats {
+    /// Slash-joined span path (e.g. `ocn_run/ocn_step/barotropic`).
+    pub path: String,
+    /// Paper rule: slowest rank's total for this section.
+    pub max_s: f64,
+    pub min_s: f64,
+    /// Mean over the ranks that entered the section.
+    pub mean_s: f64,
+    /// Load-imbalance ratio max/mean (1.0 = perfectly balanced).
+    pub imbalance: f64,
+    /// How many ranks entered the section.
+    pub ranks: usize,
+    /// Largest per-rank call count.
+    pub count: u64,
+}
+
+// Wire encoding of one rank's sections: [u32 path len][path bytes]
+// [f64 total bits][u64 count] per span, concatenated.
+fn encode(spans: &[SpanSnapshot]) -> Vec<u8> {
+    let mut out = Vec::new();
+    for s in spans {
+        out.extend_from_slice(&(s.path.len() as u32).to_le_bytes());
+        out.extend_from_slice(s.path.as_bytes());
+        out.extend_from_slice(&s.total_s.to_bits().to_le_bytes());
+        out.extend_from_slice(&s.count.to_le_bytes());
+    }
+    out
+}
+
+fn decode(mut buf: &[u8]) -> Vec<(String, f64, u64)> {
+    let mut out = Vec::new();
+    while buf.len() >= 4 {
+        let len = u32::from_le_bytes(buf[..4].try_into().unwrap()) as usize;
+        buf = &buf[4..];
+        let path = String::from_utf8_lossy(&buf[..len]).into_owned();
+        buf = &buf[len..];
+        let total = f64::from_bits(u64::from_le_bytes(buf[..8].try_into().unwrap()));
+        buf = &buf[8..];
+        let count = u64::from_le_bytes(buf[..8].try_into().unwrap());
+        buf = &buf[8..];
+        out.push((path, total, count));
+    }
+    out
+}
+
+/// Merges every rank's span snapshot into per-section cross-rank stats;
+/// collective over the whole world (every rank must call it), and every
+/// rank returns the identical table, sorted by path.
+pub fn aggregate_sections(rank: &Rank, tag: u64, spans: &[SpanSnapshot]) -> Vec<SectionStats> {
+    let mine = encode(spans);
+    // Variable-length allgather: lengths first, then the concatenated bytes.
+    let lens = allgather(rank, tag, vec![mine.len() as u64]);
+    let all = allgather(rank, tag + 1, mine);
+
+    let mut merged: BTreeMap<String, SectionStats> = BTreeMap::new();
+    let mut offset = 0usize;
+    for &len in &lens {
+        let len = len as usize;
+        for (path, total, count) in decode(&all[offset..offset + len]) {
+            let entry = merged.entry(path.clone()).or_insert(SectionStats {
+                path,
+                max_s: f64::NEG_INFINITY,
+                min_s: f64::INFINITY,
+                mean_s: 0.0, // holds the running sum until the final pass
+                imbalance: 1.0,
+                ranks: 0,
+                count: 0,
+            });
+            entry.max_s = entry.max_s.max(total);
+            entry.min_s = entry.min_s.min(total);
+            entry.mean_s += total;
+            entry.ranks += 1;
+            entry.count = entry.count.max(count);
+        }
+        offset += len;
+    }
+    merged
+        .into_values()
+        .map(|mut s| {
+            s.mean_s /= s.ranks as f64;
+            s.imbalance = if s.mean_s > 0.0 { s.max_s / s.mean_s } else { 1.0 };
+            s
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ap3esm_comm::World;
+
+    fn span(path: &str, total_s: f64, count: u64) -> SpanSnapshot {
+        SpanSnapshot {
+            path: path.to_string(),
+            name: path.rsplit('/').next().unwrap().to_string(),
+            depth: path.matches('/').count(),
+            total_s,
+            self_s: total_s,
+            count,
+        }
+    }
+
+    #[test]
+    fn takes_max_across_ranks_and_computes_imbalance() {
+        let world = World::new(4);
+        let tables = world.run(|rank| {
+            // Rank r spends (r+1) seconds in "work": mean 2.5, max 4.
+            let spans = vec![span("work", (rank.id() + 1) as f64, 10)];
+            aggregate_sections(rank, 0x0B50, &spans)
+        });
+        for t in &tables {
+            assert_eq!(t.len(), 1);
+            let w = &t[0];
+            assert_eq!(w.path, "work");
+            assert_eq!(w.ranks, 4);
+            assert_eq!(w.max_s, 4.0);
+            assert_eq!(w.min_s, 1.0);
+            assert!((w.mean_s - 2.5).abs() < 1e-12);
+            assert!((w.imbalance - 1.6).abs() < 1e-12);
+            assert_eq!(w.count, 10);
+        }
+        // Every rank computed the identical table.
+        assert_eq!(tables[0], tables[3]);
+    }
+
+    #[test]
+    fn sections_missing_on_some_ranks_average_over_participants() {
+        let world = World::new(3);
+        let tables = world.run(|rank| {
+            // Only rank 0 runs the atmosphere; all ranks run the ocean.
+            let mut spans = vec![span("ocn_run", 2.0, 4)];
+            if rank.id() == 0 {
+                spans.push(span("atm_run", 6.0, 8));
+            }
+            aggregate_sections(rank, 0x0B60, &spans)
+        });
+        let t = &tables[1];
+        assert_eq!(t.len(), 2);
+        assert_eq!(t[0].path, "atm_run"); // BTreeMap: sorted by path
+        assert_eq!(t[0].ranks, 1);
+        assert_eq!(t[0].mean_s, 6.0);
+        assert_eq!(t[0].imbalance, 1.0);
+        assert_eq!(t[1].path, "ocn_run");
+        assert_eq!(t[1].ranks, 3);
+        assert_eq!(t[1].imbalance, 1.0);
+    }
+
+    #[test]
+    fn wire_roundtrip_preserves_paths_and_bits() {
+        let spans = vec![span("a/b c", 0.1234567890123, 7), span("x", 0.0, 0)];
+        let decoded = decode(&encode(&spans));
+        assert_eq!(decoded.len(), 2);
+        assert_eq!(decoded[0].0, "a/b c");
+        assert_eq!(decoded[0].1.to_bits(), 0.1234567890123f64.to_bits());
+        assert_eq!(decoded[1], ("x".to_string(), 0.0, 0));
+    }
+}

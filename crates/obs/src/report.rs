@@ -1,0 +1,377 @@
+//! Run-report sink: human-readable span tree + machine-readable JSON.
+//!
+//! A [`ReportBuilder`] collects whatever the run produced — metadata, the
+//! local span tree, cross-rank section stats, metric snapshots, and the
+//! communication summary — and builds a [`RunReport`] whose JSON form is a
+//! single deterministic object written to `target/obs/run-<name>.json`, so
+//! benchmark trajectory tooling can diff runs field by field.
+
+use std::path::{Path, PathBuf};
+
+use crate::json::Json;
+use crate::metrics::MetricSnapshot;
+use crate::rankagg::SectionStats;
+use crate::span::SpanSnapshot;
+
+/// Schema tag stamped into every report (bump on breaking layout changes).
+pub const SCHEMA: &str = "ap3esm-obs/1";
+
+/// Communication traffic digest (fed from `ap3esm_comm::CommStats`).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CommSummary {
+    pub total_messages: u64,
+    pub total_bytes: u64,
+    /// Hottest (src, dst) pairs by bytes, descending.
+    pub top_pairs: Vec<(usize, usize, u64)>,
+    /// Labelled traffic streams (e.g. per coupling phase): (label, messages,
+    /// bytes).
+    pub streams: Vec<(String, u64, u64)>,
+}
+
+/// Accumulates report content; finish with [`ReportBuilder::build`].
+#[derive(Default)]
+pub struct ReportBuilder {
+    name: String,
+    meta: Vec<(String, Json)>,
+    spans: Vec<SpanSnapshot>,
+    sections: Vec<SectionStats>,
+    metrics: Vec<(String, MetricSnapshot)>,
+    comm: Option<CommSummary>,
+}
+
+impl ReportBuilder {
+    pub fn new(name: &str) -> Self {
+        ReportBuilder {
+            name: name.to_string(),
+            ..Default::default()
+        }
+    }
+
+    /// Attach a metadata field (world size, SYPD, config label, …).
+    pub fn meta(mut self, key: &str, value: impl Into<Json>) -> Self {
+        self.meta.push((key.to_string(), value.into()));
+        self
+    }
+
+    /// Attach the reporting rank's local span tree (preorder).
+    pub fn spans(mut self, spans: Vec<SpanSnapshot>) -> Self {
+        self.spans = spans;
+        self
+    }
+
+    /// Attach cross-rank section statistics.
+    pub fn sections(mut self, sections: Vec<SectionStats>) -> Self {
+        self.sections = sections;
+        self
+    }
+
+    /// Attach a metrics snapshot.
+    pub fn metrics(mut self, metrics: Vec<(String, MetricSnapshot)>) -> Self {
+        self.metrics = metrics;
+        self
+    }
+
+    /// Attach the communication summary.
+    pub fn comm(mut self, comm: CommSummary) -> Self {
+        self.comm = Some(comm);
+        self
+    }
+
+    pub fn build(self) -> RunReport {
+        RunReport {
+            name: self.name,
+            meta: self.meta,
+            spans: self.spans,
+            sections: self.sections,
+            metrics: self.metrics,
+            comm: self.comm,
+        }
+    }
+}
+
+/// A finished run report.
+pub struct RunReport {
+    name: String,
+    meta: Vec<(String, Json)>,
+    spans: Vec<SpanSnapshot>,
+    sections: Vec<SectionStats>,
+    metrics: Vec<(String, MetricSnapshot)>,
+    comm: Option<CommSummary>,
+}
+
+impl RunReport {
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The JSON object, compact and field-order deterministic.
+    pub fn to_json(&self) -> String {
+        let mut root = Json::obj();
+        root.set("schema", SCHEMA.into());
+        root.set("name", self.name.as_str().into());
+
+        let mut meta = Json::obj();
+        for (k, v) in &self.meta {
+            meta.set(k, v.clone());
+        }
+        root.set("meta", meta);
+
+        let spans = self
+            .spans
+            .iter()
+            .map(|s| {
+                let mut o = Json::obj();
+                o.set("path", s.path.as_str().into())
+                    .set("depth", s.depth.into())
+                    .set("total_s", s.total_s.into())
+                    .set("self_s", s.self_s.into())
+                    .set("count", s.count.into());
+                o
+            })
+            .collect();
+        root.set("spans", Json::Arr(spans));
+
+        let sections = self
+            .sections
+            .iter()
+            .map(|s| {
+                let mut o = Json::obj();
+                o.set("path", s.path.as_str().into())
+                    .set("max_s", s.max_s.into())
+                    .set("min_s", s.min_s.into())
+                    .set("mean_s", s.mean_s.into())
+                    .set("imbalance", s.imbalance.into())
+                    .set("ranks", s.ranks.into())
+                    .set("count", s.count.into());
+                o
+            })
+            .collect();
+        root.set("rank_sections", Json::Arr(sections));
+
+        let mut metrics = Json::obj();
+        for (name, snap) in &self.metrics {
+            let value = match snap {
+                MetricSnapshot::Counter(v) => Json::UInt(*v),
+                MetricSnapshot::Gauge(v) => Json::Num(*v),
+                MetricSnapshot::Histogram(h) => {
+                    let mut o = Json::obj();
+                    o.set("count", h.count.into())
+                        .set("min", h.min.into())
+                        .set("max", h.max.into())
+                        .set("mean", h.mean.into())
+                        .set("p50", h.p50.into())
+                        .set("p95", h.p95.into());
+                    o
+                }
+            };
+            metrics.set(name, value);
+        }
+        root.set("metrics", metrics);
+
+        if let Some(comm) = &self.comm {
+            let mut o = Json::obj();
+            o.set("total_messages", comm.total_messages.into())
+                .set("total_bytes", comm.total_bytes.into());
+            let pairs = comm
+                .top_pairs
+                .iter()
+                .map(|&(src, dst, bytes)| {
+                    let mut p = Json::obj();
+                    p.set("src", src.into())
+                        .set("dst", dst.into())
+                        .set("bytes", bytes.into());
+                    p
+                })
+                .collect();
+            o.set("top_pairs", Json::Arr(pairs));
+            let streams = comm
+                .streams
+                .iter()
+                .map(|(label, messages, bytes)| {
+                    let mut s = Json::obj();
+                    s.set("label", label.as_str().into())
+                        .set("messages", (*messages).into())
+                        .set("bytes", (*bytes).into());
+                    s
+                })
+                .collect();
+            o.set("streams", Json::Arr(streams));
+            root.set("comm", o);
+        } else {
+            root.set("comm", Json::Null);
+        }
+        root.to_string()
+    }
+
+    /// Human-readable rendering: span tree, then cross-rank sections, then
+    /// the communication digest.
+    pub fn render_tree(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("run report: {}\n", self.name));
+        for (k, v) in &self.meta {
+            out.push_str(&format!("  {k} = {v}\n"));
+        }
+        if !self.spans.is_empty() {
+            out.push_str("  spans (total / self / calls):\n");
+            for s in &self.spans {
+                out.push_str(&format!(
+                    "    {:indent$}{:<28} {:>10.4}s {:>10.4}s {:>8}\n",
+                    "",
+                    s.name,
+                    s.total_s,
+                    s.self_s,
+                    s.count,
+                    indent = 2 * s.depth
+                ));
+            }
+        }
+        if !self.sections.is_empty() {
+            out.push_str("  sections across ranks (max / mean / imbalance):\n");
+            for s in &self.sections {
+                out.push_str(&format!(
+                    "    {:<34} {:>10.4}s {:>10.4}s {:>6.2}x  on {} rank(s)\n",
+                    s.path, s.max_s, s.mean_s, s.imbalance, s.ranks
+                ));
+            }
+        }
+        if let Some(c) = &self.comm {
+            out.push_str(&format!(
+                "  comm: {} messages, {} bytes\n",
+                c.total_messages, c.total_bytes
+            ));
+            for (label, messages, bytes) in &c.streams {
+                out.push_str(&format!("    {label:<32} {messages:>8} msgs {bytes:>12} B\n"));
+            }
+            for &(src, dst, bytes) in &c.top_pairs {
+                out.push_str(&format!("    {src:>3} -> {dst:<3} {bytes:>12} B\n"));
+            }
+        }
+        out
+    }
+
+    /// Write the JSON report as `<dir>/run-<name>.json`; returns the path.
+    pub fn write_to(&self, dir: impl AsRef<Path>) -> std::io::Result<PathBuf> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("run-{}.json", self.name));
+        std::fs::write(&path, self.to_json() + "\n")?;
+        Ok(path)
+    }
+
+    /// Write to the workspace's default sink, `target/obs/`.
+    pub fn write(&self) -> std::io::Result<PathBuf> {
+        self.write_to(default_dir())
+    }
+}
+
+/// The workspace report directory (`target/obs` at the repository root).
+pub fn default_dir() -> PathBuf {
+    // CARGO_TARGET_DIR is honoured when set; otherwise resolve the
+    // workspace target/ relative to this crate's manifest so the sink does
+    // not depend on the caller's working directory.
+    match std::env::var_os("CARGO_TARGET_DIR") {
+        Some(dir) => PathBuf::from(dir).join("obs"),
+        None => Path::new(env!("CARGO_MANIFEST_DIR")).join("../../target/obs"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::HistogramSummary;
+
+    fn fixed_report() -> RunReport {
+        ReportBuilder::new("golden")
+            .meta("world_size", 3usize)
+            .meta("sypd", 0.54)
+            .spans(vec![
+                SpanSnapshot {
+                    path: "step".into(),
+                    name: "step".into(),
+                    depth: 0,
+                    total_s: 2.5,
+                    self_s: 0.5,
+                    count: 4,
+                },
+                SpanSnapshot {
+                    path: "step/atm".into(),
+                    name: "atm".into(),
+                    depth: 1,
+                    total_s: 2.0,
+                    self_s: 2.0,
+                    count: 8,
+                },
+            ])
+            .sections(vec![SectionStats {
+                path: "step".into(),
+                max_s: 2.5,
+                min_s: 2.0,
+                mean_s: 2.25,
+                imbalance: 2.5 / 2.25,
+                ranks: 2,
+                count: 4,
+            }])
+            .metrics(vec![
+                ("io.bytes".into(), MetricSnapshot::Counter(4096)),
+                (
+                    "rearrange.ns".into(),
+                    MetricSnapshot::Histogram(HistogramSummary {
+                        count: 10,
+                        min: 100,
+                        max: 900,
+                        mean: 500.0,
+                        p50: 496,
+                        p95: 880,
+                    }),
+                ),
+            ])
+            .comm(CommSummary {
+                total_messages: 42,
+                total_bytes: 1_000_000,
+                top_pairs: vec![(0, 1, 700_000), (1, 0, 300_000)],
+                streams: vec![("cpl_scatter".into(), 30, 700_000)],
+            })
+            .build()
+    }
+
+    /// Golden-file style schema check: the exact serialised form of a fixed
+    /// report. Update deliberately when the schema version is bumped.
+    #[test]
+    fn json_matches_golden_schema() {
+        let got = fixed_report().to_json();
+        let want = concat!(
+            r#"{"schema":"ap3esm-obs/1","name":"golden","#,
+            r#""meta":{"world_size":3,"sypd":0.54},"#,
+            r#""spans":[{"path":"step","depth":0,"total_s":2.5,"self_s":0.5,"count":4},"#,
+            r#"{"path":"step/atm","depth":1,"total_s":2,"self_s":2,"count":8}],"#,
+            r#""rank_sections":[{"path":"step","max_s":2.5,"min_s":2,"mean_s":2.25,"#,
+            r#""imbalance":1.1111111111111112,"ranks":2,"count":4}],"#,
+            r#""metrics":{"io.bytes":4096,"#,
+            r#""rearrange.ns":{"count":10,"min":100,"max":900,"mean":500,"p50":496,"p95":880}},"#,
+            r#""comm":{"total_messages":42,"total_bytes":1000000,"#,
+            r#""top_pairs":[{"src":0,"dst":1,"bytes":700000},{"src":1,"dst":0,"bytes":300000}],"#,
+            r#""streams":[{"label":"cpl_scatter","messages":30,"bytes":700000}]}}"#,
+        );
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn report_round_trips_through_the_sink() {
+        let dir = std::env::temp_dir().join(format!("ap3esm-obs-{}", std::process::id()));
+        let path = fixed_report().write_to(&dir).unwrap();
+        assert_eq!(path.file_name().unwrap(), "run-golden.json");
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(body.trim_end(), fixed_report().to_json());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn tree_rendering_mentions_every_layer() {
+        let text = fixed_report().render_tree();
+        assert!(text.contains("run report: golden"));
+        assert!(text.contains("atm"));
+        assert!(text.contains("imbalance") || text.contains("sections across ranks"));
+        assert!(text.contains("42 messages"));
+        assert!(text.contains("cpl_scatter"));
+    }
+}

@@ -1,0 +1,371 @@
+//! Hierarchical span profiler.
+//!
+//! A [`Profiler`] owns a call tree of named spans. [`Profiler::enter`]
+//! resolves (or creates) the child of the calling thread's current span and
+//! returns an RAII [`SpanGuard`]; dropping the guard accumulates elapsed
+//! wall time into the node with two relaxed atomic adds. Nesting is tracked
+//! per thread, so each rank thread of a
+//! [`World`](ap3esm_comm::World) builds its own branch structure while
+//! sharing one tree, and concurrent guards never lose samples.
+//!
+//! When the profiler is disabled (or none is installed — see the crate
+//! root), `enter` returns an inert guard after a single relaxed load: cheap
+//! enough to leave instrumentation compiled into the dycore hot loops.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::Instant;
+
+/// Sentinel parent id for top-level spans.
+const ROOT: u32 = u32::MAX;
+
+/// Per-node accumulators, shared between the tree and open guards so the
+/// drop path never takes the tree lock.
+struct NodeStats {
+    total_ns: AtomicU64,
+    count: AtomicU64,
+}
+
+struct Node {
+    name: String,
+    parent: u32,
+    depth: usize,
+    stats: Arc<NodeStats>,
+}
+
+#[derive(Default)]
+struct Tree {
+    nodes: Vec<Node>,
+    /// (parent, name) → node id; children are created once and reused.
+    index: HashMap<(u32, String), u32>,
+}
+
+/// A thread-safe hierarchical profiler (one per rank in a coupled run).
+pub struct Profiler {
+    enabled: AtomicBool,
+    /// Distinguishes profilers on the shared thread-local span stack.
+    id: u64,
+    tree: Mutex<Tree>,
+}
+
+impl Default for Profiler {
+    fn default() -> Self {
+        Profiler::new()
+    }
+}
+
+thread_local! {
+    /// Open spans of this thread: (profiler id, node id), innermost last.
+    static STACK: std::cell::RefCell<Vec<(u64, u32)>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
+fn next_profiler_id() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    NEXT.fetch_add(1, Ordering::Relaxed)
+}
+
+fn lock_tree(tree: &Mutex<Tree>) -> MutexGuard<'_, Tree> {
+    tree.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+impl Profiler {
+    pub fn new() -> Self {
+        Profiler {
+            enabled: AtomicBool::new(true),
+            id: next_profiler_id(),
+            tree: Mutex::new(Tree::default()),
+        }
+    }
+
+    /// A profiler whose `enter` is a near-free no-op.
+    pub fn disabled() -> Self {
+        let p = Profiler::new();
+        p.enabled.store(false, Ordering::Relaxed);
+        p
+    }
+
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Relaxed);
+    }
+
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Opens the span `name` under the calling thread's current span of
+    /// this profiler (a root span when the thread has none open).
+    pub fn enter(&self, name: &str) -> SpanGuard {
+        if !self.enabled.load(Ordering::Relaxed) {
+            return SpanGuard::inactive();
+        }
+        let parent = STACK.with(|s| {
+            s.borrow()
+                .iter()
+                .rev()
+                .find(|(pid, _)| *pid == self.id)
+                .map(|&(_, node)| node)
+                .unwrap_or(ROOT)
+        });
+        let (node, stats) = {
+            let mut tree = lock_tree(&self.tree);
+            match tree.index.get(&(parent, name.to_string())) {
+                Some(&id) => (id, Arc::clone(&tree.nodes[id as usize].stats)),
+                None => {
+                    let id = tree.nodes.len() as u32;
+                    let depth = if parent == ROOT {
+                        0
+                    } else {
+                        tree.nodes[parent as usize].depth + 1
+                    };
+                    let stats = Arc::new(NodeStats {
+                        total_ns: AtomicU64::new(0),
+                        count: AtomicU64::new(0),
+                    });
+                    tree.nodes.push(Node {
+                        name: name.to_string(),
+                        parent,
+                        depth,
+                        stats: Arc::clone(&stats),
+                    });
+                    tree.index.insert((parent, name.to_string()), id);
+                    (id, stats)
+                }
+            }
+        };
+        STACK.with(|s| s.borrow_mut().push((self.id, node)));
+        SpanGuard {
+            open: Some(OpenSpan {
+                profiler_id: self.id,
+                node,
+                stats,
+                t0: Instant::now(),
+            }),
+        }
+    }
+
+    /// Preorder snapshot of the span tree (children in creation order).
+    pub fn snapshot(&self) -> Vec<SpanSnapshot> {
+        let tree = lock_tree(&self.tree);
+        let n = tree.nodes.len();
+        let mut children: Vec<Vec<u32>> = vec![Vec::new(); n];
+        let mut roots = Vec::new();
+        for (id, node) in tree.nodes.iter().enumerate() {
+            if node.parent == ROOT {
+                roots.push(id as u32);
+            } else {
+                children[node.parent as usize].push(id as u32);
+            }
+        }
+        let mut out = Vec::with_capacity(n);
+        let mut stack: Vec<u32> = roots.into_iter().rev().collect();
+        let mut paths: Vec<String> = vec![String::new(); n];
+        while let Some(id) = stack.pop() {
+            let node = &tree.nodes[id as usize];
+            let path = if node.parent == ROOT {
+                node.name.clone()
+            } else {
+                format!("{}/{}", paths[node.parent as usize], node.name)
+            };
+            paths[id as usize] = path.clone();
+            let total_ns = node.stats.total_ns.load(Ordering::Relaxed);
+            let child_ns: u64 = children[id as usize]
+                .iter()
+                .map(|&c| tree.nodes[c as usize].stats.total_ns.load(Ordering::Relaxed))
+                .sum();
+            out.push(SpanSnapshot {
+                path,
+                name: node.name.clone(),
+                depth: node.depth,
+                total_s: total_ns as f64 * 1e-9,
+                self_s: total_ns.saturating_sub(child_ns) as f64 * 1e-9,
+                count: node.stats.count.load(Ordering::Relaxed),
+            });
+            for &c in children[id as usize].iter().rev() {
+                stack.push(c);
+            }
+        }
+        out
+    }
+}
+
+struct OpenSpan {
+    profiler_id: u64,
+    node: u32,
+    stats: Arc<NodeStats>,
+    t0: Instant,
+}
+
+/// RAII handle for an open span; accumulates on drop.
+pub struct SpanGuard {
+    open: Option<OpenSpan>,
+}
+
+impl SpanGuard {
+    /// The guard returned when profiling is off: dropping it does nothing.
+    pub fn inactive() -> Self {
+        SpanGuard { open: None }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(open) = self.open.take() else {
+            return;
+        };
+        let elapsed = open.t0.elapsed().as_nanos() as u64;
+        open.stats.total_ns.fetch_add(elapsed, Ordering::Relaxed);
+        open.stats.count.fetch_add(1, Ordering::Relaxed);
+        STACK.with(|s| {
+            let mut stack = s.borrow_mut();
+            // Guards normally drop innermost-first; tolerate out-of-order
+            // drops by removing the last matching entry.
+            if let Some(pos) = stack
+                .iter()
+                .rposition(|&(pid, node)| pid == open.profiler_id && node == open.node)
+            {
+                stack.remove(pos);
+            }
+        });
+    }
+}
+
+/// One node of a [`Profiler::snapshot`], in preorder.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanSnapshot {
+    /// Slash-joined path from the root, e.g. `atm_run/dycore/dyn_substeps`.
+    pub path: String,
+    pub name: String,
+    pub depth: usize,
+    /// Wall seconds inside this span (children included).
+    pub total_s: f64,
+    /// Wall seconds not attributed to any child span.
+    pub self_s: f64,
+    /// Completed enters.
+    pub count: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spin(us: u64) {
+        let t0 = Instant::now();
+        while t0.elapsed().as_micros() < us as u128 {
+            std::hint::spin_loop();
+        }
+    }
+
+    #[test]
+    fn builds_parent_child_tree_with_self_time() {
+        let p = Profiler::new();
+        {
+            let _a = p.enter("a");
+            spin(2_000);
+            {
+                let _b = p.enter("b");
+                spin(2_000);
+            }
+            {
+                let _b = p.enter("b");
+                spin(2_000);
+            }
+        }
+        let snap = p.snapshot();
+        assert_eq!(snap.len(), 2);
+        let a = &snap[0];
+        let b = &snap[1];
+        assert_eq!(a.path, "a");
+        assert_eq!((a.depth, a.count), (0, 1));
+        assert_eq!(b.path, "a/b");
+        assert_eq!((b.depth, b.count), (1, 2));
+        assert!(a.total_s >= b.total_s);
+        assert!(b.total_s >= 0.004);
+        // Self time excludes the children: roughly the 2 ms spent in `a`.
+        assert!(a.self_s >= 0.002 - 1e-4);
+        assert!(a.self_s <= a.total_s - b.total_s + 1e-4);
+    }
+
+    #[test]
+    fn same_name_under_different_parents_are_distinct_nodes() {
+        let p = Profiler::new();
+        {
+            let _x = p.enter("x");
+            let _h = p.enter("halo");
+        }
+        {
+            let _y = p.enter("y");
+            let _h = p.enter("halo");
+        }
+        let paths: Vec<String> = p.snapshot().into_iter().map(|s| s.path).collect();
+        assert_eq!(paths, vec!["x", "x/halo", "y", "y/halo"]);
+    }
+
+    #[test]
+    fn reentrant_same_name_nests_instead_of_aborting() {
+        let p = Profiler::new();
+        {
+            let _outer = p.enter("solve");
+            let _inner = p.enter("solve"); // recursion must not panic
+        }
+        let snap = p.snapshot();
+        assert_eq!(snap[0].path, "solve");
+        assert_eq!(snap[1].path, "solve/solve");
+        assert_eq!(snap[0].count, 1);
+        assert_eq!(snap[1].count, 1);
+    }
+
+    #[test]
+    fn disabled_profiler_records_nothing() {
+        let p = Profiler::disabled();
+        {
+            let _g = p.enter("ghost");
+        }
+        assert!(p.snapshot().is_empty());
+        p.set_enabled(true);
+        {
+            let _g = p.enter("real");
+        }
+        assert_eq!(p.snapshot().len(), 1);
+    }
+
+    #[test]
+    fn concurrent_threads_share_one_tree_without_losing_samples() {
+        let p = Arc::new(Profiler::new());
+        let threads = 8;
+        let iters = 200;
+        std::thread::scope(|s| {
+            for _ in 0..threads {
+                let p = Arc::clone(&p);
+                s.spawn(move || {
+                    for _ in 0..iters {
+                        let _a = p.enter("work");
+                        let _b = p.enter("leaf");
+                    }
+                });
+            }
+        });
+        let snap = p.snapshot();
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap[0].path, "work");
+        assert_eq!(snap[0].count, (threads * iters) as u64);
+        assert_eq!(snap[1].path, "work/leaf");
+        assert_eq!(snap[1].count, (threads * iters) as u64);
+    }
+
+    #[test]
+    fn two_profilers_on_one_thread_stay_independent() {
+        let p = Profiler::new();
+        let q = Profiler::new();
+        {
+            let _a = p.enter("p_outer");
+            let _b = q.enter("q_outer");
+            let _c = p.enter("p_inner"); // parent must be p_outer, not q_outer
+        }
+        let pp: Vec<String> = p.snapshot().into_iter().map(|s| s.path).collect();
+        let qq: Vec<String> = q.snapshot().into_iter().map(|s| s.path).collect();
+        assert_eq!(pp, vec!["p_outer", "p_outer/p_inner"]);
+        assert_eq!(qq, vec!["q_outer"]);
+    }
+}

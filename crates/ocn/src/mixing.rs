@@ -140,7 +140,7 @@ mod tests {
         let dz = vec![10.0; 4];
         let k = vec![1.0; 3];
         m.diffuse_implicit(&mut x, &dz, &k, 3600.0, 0.0);
-        assert!(x.iter().all(|&v| v >= 5.0 - 1e-9 && v <= 25.0 + 1e-9), "{x:?}");
+        assert!(x.iter().all(|&v| (5.0 - 1e-9..=25.0 + 1e-9).contains(&v)), "{x:?}");
         // Nearly homogenised.
         assert!((x[0] - x[3]).abs() < 1.0);
     }

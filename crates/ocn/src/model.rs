@@ -256,12 +256,17 @@ impl OcnModel {
 
     /// One full baroclinic + tracer step (with `n_barotropic` substeps).
     pub fn step(&mut self, rank: &Rank, forcing: &OcnForcing) {
+        let _span = ap3esm_obs::span("ocn_step");
         let nbt = self.config.n_barotropic;
         let dt_btr = self.config.dt_baroclinic / nbt as f64;
-        for _ in 0..nbt {
-            self.barotropic_substep(rank, forcing, dt_btr);
+        {
+            let _btr = ap3esm_obs::span("barotropic");
+            for _ in 0..nbt {
+                self.barotropic_substep(rank, forcing, dt_btr);
+            }
         }
 
+        let _bcl = ap3esm_obs::span("baroclinic");
         let dt = self.config.dt_baroclinic;
         let nlev = self.state.nlev;
         let stride = self.state.stride;
@@ -271,12 +276,12 @@ impl OcnModel {
         let mut press = vec![vec![0.0; slab]; nlev];
         {
             let st = &self.state;
-            for idx in 0..slab {
-                let mut acc = G * st.eta[idx];
-                for k in 0..nlev {
+            for (idx, &eta) in st.eta.iter().enumerate() {
+                let mut acc = G * eta;
+                for (k, pk) in press.iter_mut().enumerate() {
                     let rho = density(st.t[k][idx], st.s[k][idx]);
                     acc += G * (rho - RHO0) / RHO0 * st.dz[k];
-                    press[k][idx] = acc;
+                    pk[idx] = acc;
                 }
             }
         }

@@ -98,7 +98,7 @@ pub fn zonal_power_spectrum(row: &[f64]) -> Vec<f64> {
             im += v * phase.sin();
         }
         // One-sided normalisation: interior wavenumbers count twice.
-        let factor = if k == 0 || (n % 2 == 0 && k == kmax) {
+        let factor = if k == 0 || (n.is_multiple_of(2) && k == kmax) {
             1.0
         } else {
             2.0

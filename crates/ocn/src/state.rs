@@ -87,8 +87,8 @@ impl OcnState {
         let mut t = Vec::with_capacity(grid.nlev);
         let mut s = Vec::with_capacity(grid.nlev);
         let mut depth_mid = 0.0;
-        for k in 0..grid.nlev {
-            depth_mid += 0.5 * dz[k];
+        for &dzk in dz.iter().take(grid.nlev) {
+            depth_mid += 0.5 * dzk;
             let mut tk = vec![0.0; slab];
             let mut sk = vec![35.0; slab];
             for jj in 0..nj + 2 {
@@ -104,7 +104,7 @@ impl OcnState {
             }
             t.push(tk);
             s.push(sk);
-            depth_mid += 0.5 * dz[k];
+            depth_mid += 0.5 * dzk;
         }
 
         OcnState {

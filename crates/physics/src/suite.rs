@@ -62,6 +62,7 @@ pub struct ColumnPhysicsOutput {
 
 /// The conventional suite: radiation + surface + PBL + convection.
 #[derive(Debug, Clone)]
+#[derive(Default)]
 pub struct ConventionalSuite {
     pub radiation: GrayRadiation,
     pub bulk: BulkCoefficients,
@@ -69,16 +70,6 @@ pub struct ConventionalSuite {
     pub convection: MoistConvection,
 }
 
-impl Default for ConventionalSuite {
-    fn default() -> Self {
-        ConventionalSuite {
-            radiation: GrayRadiation::default(),
-            bulk: BulkCoefficients::default(),
-            pbl: KProfilePbl::default(),
-            convection: MoistConvection::default(),
-        }
-    }
-}
 
 impl ConventionalSuite {
     /// Run all parameterizations on one column.
@@ -106,8 +97,8 @@ impl ConventionalSuite {
         let mut dt = self.pbl.diffuse(&col.t, &col.dz, t_flux);
         let mut dq = self.pbl.diffuse(&col.q, &col.dz, q_flux);
 
-        for k in 0..nlev {
-            dt[k] += rad.heating[k];
+        for (d, h) in dt.iter_mut().zip(&rad.heating) {
+            *d += h;
         }
         let conv = self.convection.column(&col.t, &col.q, &col.p, &col.dp, &col.dz);
         for k in 0..nlev {

@@ -51,6 +51,9 @@ pub struct SurfaceFluxes {
 /// * `ps` — surface pressure (Pa)
 /// * `ts` — surface (skin/SST) temperature (K)
 /// * `wet` — 1.0 over ocean, soil-moisture availability (0..1) over land
+// The argument list mirrors the bulk formula's physical inputs; a struct
+// would just re-name them at every call site.
+#[allow(clippy::too_many_arguments)]
 pub fn bulk_fluxes(
     coef: &BulkCoefficients,
     ua: f64,

@@ -70,7 +70,7 @@ pub trait ExecSpaceExt: ExecSpace {
         partials
             .into_iter()
             .map(|m| m.into_inner().expect("partial"))
-            .fold(identity, |a, b| combine(a, b))
+            .fold(identity, combine)
     }
 }
 

@@ -95,7 +95,7 @@ where
     partials
         .into_iter()
         .map(|p| p.expect("chunk computed"))
-        .fold(identity, |a, b| combine(a, b))
+        .fold(identity, combine)
 }
 
 /// Inclusive parallel scan (prefix combine) of `f(i)`; writes results through

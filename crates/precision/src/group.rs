@@ -123,7 +123,7 @@ mod tests {
     #[test]
     fn roundtrip_relative_error_within_fp32() {
         let data: Vec<f64> = (0..1000)
-            .map(|i| ((i as f64) * 0.37).sin() * 10f64.powi((i % 7) as i32 - 3))
+            .map(|i| ((i as f64) * 0.37).sin() * 10f64.powi((i % 7) - 3))
             .collect();
         let gs = GroupScaled::from_f64(&data, 32);
         let back = gs.to_f64();

@@ -28,6 +28,7 @@ fn main() {
     let world = World::new(config.world_size());
     let opts = CoupledOptions {
         days: 2.0,
+        report_name: Some("coupled-esm".to_string()),
         ..Default::default()
     };
     let all = world.run(|rank| run_coupled(rank, &config, &opts));
@@ -54,12 +55,16 @@ fn main() {
     for (name, secs) in &root.per_section_seconds {
         println!("  {name:<16} {secs:.3}s");
     }
-    for stats in &all[1..] {
+    'ocn: for stats in &all[1..] {
         for (name, secs) in &stats.per_section_seconds {
             if name == "ocn_run" {
                 println!("  {name:<16} {secs:.3}s (an ocean rank)");
-                return;
+                break 'ocn;
             }
         }
+    }
+
+    if let Some(path) = &root.report_path {
+        println!("\nobs run report: {}", path.display());
     }
 }

@@ -28,6 +28,7 @@ pub use ap3esm_ice as ice;
 pub use ap3esm_io as io;
 pub use ap3esm_lnd as lnd;
 pub use ap3esm_machine as machine;
+pub use ap3esm_obs as obs;
 pub use ap3esm_ocn as ocn;
 pub use ap3esm_physics as physics;
 pub use ap3esm_pp as pp;

@@ -2,7 +2,6 @@
 
 use ap3esm::atm::dycore::{Dycore, DycoreConfig};
 use ap3esm::atm::state::AtmState;
-use ap3esm::grid::decomp::BlockDecomp2d;
 use ap3esm::grid::mask::MaskGenerator;
 use ap3esm::grid::{GeodesicGrid, TripolarGrid};
 use ap3esm::ocn::model::{OcnConfig, OcnForcing, OcnModel};

@@ -1,0 +1,167 @@
+//! Std-backed stand-in for the subset of `crossbeam` this workspace uses:
+//! [`scope`] (scoped threads, crossbeam 0.8 API shape) and
+//! [`channel`] (unbounded MPMC-ish channels backed by `std::sync::mpsc`,
+//! which since Rust 1.67 *is* a port of crossbeam-channel).
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! resolves `crossbeam` to this path crate (see `vendor/README.md`).
+
+use std::panic::AssertUnwindSafe;
+
+/// Scoped-thread result alias (matches `crossbeam::thread::Result`).
+pub type ScopeResult<T> = Result<T, Box<dyn std::any::Any + Send + 'static>>;
+
+/// A scope for spawning borrowing threads; wraps [`std::thread::Scope`].
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+/// Join handle for a scoped thread.
+pub struct ScopedJoinHandle<'scope, T> {
+    inner: std::thread::ScopedJoinHandle<'scope, T>,
+}
+
+impl<T> ScopedJoinHandle<'_, T> {
+    /// Wait for the thread; `Err` carries the panic payload.
+    pub fn join(self) -> std::thread::Result<T> {
+        self.inner.join()
+    }
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn a thread inside the scope. As in crossbeam, the closure
+    /// receives the scope so it can spawn siblings.
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        ScopedJoinHandle {
+            inner: inner.spawn(move || f(&Scope { inner })),
+        }
+    }
+}
+
+/// Create a scope for spawning threads that may borrow from the caller's
+/// stack. Returns `Err` if any spawned (and unjoined) thread panicked,
+/// matching `crossbeam::scope`.
+pub fn scope<'env, F, R>(f: F) -> ScopeResult<R>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    std::panic::catch_unwind(AssertUnwindSafe(|| {
+        std::thread::scope(|s| f(&Scope { inner: s }))
+    }))
+}
+
+pub mod channel {
+    //! Unbounded channels with the crossbeam-channel call surface.
+
+    use std::sync::mpsc;
+
+    /// Sending half; clonable and shareable across threads.
+    pub struct Sender<T> {
+        inner: mpsc::Sender<T>,
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender {
+                inner: self.inner.clone(),
+            }
+        }
+    }
+
+    /// Receiving half.
+    pub struct Receiver<T> {
+        inner: mpsc::Receiver<T>,
+    }
+
+    /// Error returned by [`Sender::send`] when the receiver is gone.
+    #[derive(Debug)]
+    pub struct SendError<T>(pub T);
+
+    /// Error returned by [`Receiver::recv`] when all senders are gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        Empty,
+        Disconnected,
+    }
+
+    impl<T> Sender<T> {
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.inner.send(value).map_err(|e| SendError(e.0))
+        }
+    }
+
+    impl<T> Receiver<T> {
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.inner.recv().map_err(|_| RecvError)
+        }
+
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.inner.try_recv().map_err(|e| match e {
+                mpsc::TryRecvError::Empty => TryRecvError::Empty,
+                mpsc::TryRecvError::Disconnected => TryRecvError::Disconnected,
+            })
+        }
+    }
+
+    /// Channel with unbounded capacity.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender { inner: tx }, Receiver { inner: rx })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scope_joins_and_borrows() {
+        let data = [1, 2, 3];
+        let sum = super::scope(|s| {
+            let h = s.spawn(|_| data.iter().sum::<i32>());
+            h.join().unwrap()
+        })
+        .unwrap();
+        assert_eq!(sum, 6);
+    }
+
+    #[test]
+    fn scope_reports_unjoined_panic() {
+        let r = super::scope(|s| {
+            s.spawn(|_| panic!("boom"));
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_arg() {
+        let r = super::scope(|s| {
+            let h = s.spawn(|s2| {
+                let inner = s2.spawn(|_| 21);
+                inner.join().unwrap() * 2
+            });
+            h.join().unwrap()
+        })
+        .unwrap();
+        assert_eq!(r, 42);
+    }
+
+    #[test]
+    fn channel_roundtrip() {
+        let (tx, rx) = super::channel::unbounded();
+        let tx2 = tx.clone();
+        std::thread::spawn(move || {
+            tx2.send(7u32).unwrap();
+        });
+        assert_eq!(rx.recv().unwrap(), 7);
+        drop(tx);
+        assert!(rx.recv().is_err());
+    }
+}

@@ -1,0 +1,221 @@
+//! Minimal stand-in for the subset of `rand` this workspace may use.
+//!
+//! Backed by splitmix64/xoshiro-style mixing — not cryptographic, but
+//! statistically fine for tests and synthetic data. See `vendor/README.md`
+//! for why crates.io is unavailable here.
+
+/// Core RNG trait (subset of `rand::Rng` + `rand::RngCore`).
+pub trait Rng {
+    fn next_u64(&mut self) -> u64;
+
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    fn gen_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform sample from a range (`gen_range(0..10)`, `gen_range(0.0..1.0)`).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: std::ops::RangeBounds<T>,
+    {
+        T::sample(self, &range)
+    }
+
+    /// `gen::<bool>()`-style helper for the types we support.
+    fn gen<T: SampleStandard>(&mut self) -> T {
+        T::standard(self)
+    }
+}
+
+/// Types samplable uniformly from a range.
+pub trait SampleUniform: Sized {
+    fn sample<G: Rng + ?Sized, R: std::ops::RangeBounds<Self>>(rng: &mut G, range: &R) -> Self;
+}
+
+/// Types samplable from the "standard" distribution.
+pub trait SampleStandard: Sized {
+    fn standard<G: Rng + ?Sized>(rng: &mut G) -> Self;
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample<G: Rng + ?Sized, R: std::ops::RangeBounds<Self>>(rng: &mut G, range: &R) -> Self {
+                use std::ops::Bound::*;
+                let lo: i128 = match range.start_bound() {
+                    Included(&v) => v as i128,
+                    Excluded(&v) => v as i128 + 1,
+                    Unbounded => <$t>::MIN as i128,
+                };
+                let hi: i128 = match range.end_bound() {
+                    Included(&v) => v as i128,
+                    Excluded(&v) => v as i128 - 1,
+                    Unbounded => <$t>::MAX as i128,
+                };
+                assert!(lo <= hi, "empty range in gen_range");
+                let span = (hi - lo + 1) as u128;
+                let r = ((rng.next_u64() as u128) << 64 | rng.next_u64() as u128) % span;
+                (lo + r as i128) as $t
+            }
+        }
+        impl SampleStandard for $t {
+            fn standard<G: Rng + ?Sized>(rng: &mut G) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleUniform for f64 {
+    fn sample<G: Rng + ?Sized, R: std::ops::RangeBounds<Self>>(rng: &mut G, range: &R) -> Self {
+        use std::ops::Bound::*;
+        let lo = match range.start_bound() {
+            Included(&v) | Excluded(&v) => v,
+            Unbounded => 0.0,
+        };
+        let hi = match range.end_bound() {
+            Included(&v) | Excluded(&v) => v,
+            Unbounded => 1.0,
+        };
+        lo + (hi - lo) * rng.gen_f64()
+    }
+}
+
+impl SampleStandard for f64 {
+    fn standard<G: Rng + ?Sized>(rng: &mut G) -> Self {
+        rng.gen_f64()
+    }
+}
+
+impl SampleStandard for bool {
+    fn standard<G: Rng + ?Sized>(rng: &mut G) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Seedable RNGs (subset of `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// splitmix64-initialised xorshift64* generator.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // splitmix64 step so nearby seeds diverge immediately.
+            let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            StdRng {
+                state: (z ^ (z >> 31)) | 1,
+            }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let mut x = self.state;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            self.state = x;
+            x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        }
+    }
+
+    /// Thread-local generator handle returned by [`super::thread_rng`].
+    pub struct ThreadRng;
+
+    impl Rng for ThreadRng {
+        fn next_u64(&mut self) -> u64 {
+            use std::cell::Cell;
+            thread_local! {
+                static STATE: Cell<u64> = Cell::new({
+                    use std::time::{SystemTime, UNIX_EPOCH};
+                    let t = SystemTime::now()
+                        .duration_since(UNIX_EPOCH)
+                        .map(|d| d.as_nanos() as u64)
+                        .unwrap_or(0x5EED);
+                    t ^ (std::process::id() as u64) << 32 | 1
+                });
+            }
+            STATE.with(|s| {
+                let mut x = s.get();
+                x ^= x >> 12;
+                x ^= x << 25;
+                x ^= x >> 27;
+                s.set(x);
+                x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+            })
+        }
+    }
+}
+
+pub use rngs::{StdRng, ThreadRng};
+
+/// Thread-local RNG (subset of `rand::thread_rng`).
+pub fn thread_rng() -> rngs::ThreadRng {
+    rngs::ThreadRng
+}
+
+/// One-off standard sample (subset of `rand::random`).
+pub fn random<T: SampleStandard>() -> T {
+    T::standard(&mut thread_rng())
+}
+
+pub mod prelude {
+    pub use super::{random, thread_rng, Rng, SeedableRng, StdRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_are_respected() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..1000 {
+            let v: usize = rng.gen_range(3..10);
+            assert!((3..10).contains(&v));
+            let f: f64 = rng.gen_range(-2.0..2.0);
+            assert!((-2.0..2.0).contains(&f));
+            let i: i32 = rng.gen_range(-5..=5);
+            assert!((-5..=5).contains(&i));
+        }
+    }
+
+    #[test]
+    fn seeds_reproduce_and_diverge() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(1);
+        let mut c = StdRng::seed_from_u64(2);
+        let xa: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let xb: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        let xc: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
+        assert_eq!(xa, xb);
+        assert_ne!(xa, xc);
+    }
+
+    #[test]
+    fn f64_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let f = rng.gen_f64();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+}

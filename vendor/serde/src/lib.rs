@@ -1,0 +1,27 @@
+//! Stand-in for the subset of `serde` this workspace uses.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on config and machine
+//! model types but never routes them through a serde serialiser (its disk
+//! formats are hand-rolled in `ap3esm-io`), so marker traits with blanket
+//! impls plus no-op derive macros reproduce the compile surface exactly.
+//! See `vendor/README.md` for why crates.io is unavailable here.
+
+/// Marker stand-in for `serde::Serialize`; blanket-implemented so any
+/// `T: Serialize` bound is satisfiable.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize<'de>`; blanket-implemented.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned {}
+impl<T: ?Sized> DeserializeOwned for T {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+pub mod de {
+    pub use crate::DeserializeOwned;
+}

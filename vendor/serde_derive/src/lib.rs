@@ -1,0 +1,18 @@
+//! No-op stand-ins for `#[derive(Serialize)]` / `#[derive(Deserialize)]`.
+//!
+//! The workspace only *derives* these traits (it never serialises through
+//! serde — its on-disk formats are hand-rolled), and the stub `serde`
+//! crate provides blanket impls, so the derives can expand to nothing.
+//! See `vendor/README.md` for why crates.io is unavailable here.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
