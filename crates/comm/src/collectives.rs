@@ -7,6 +7,10 @@
 //! All reductions combine contributions **in rank order**, so results are
 //! deterministic and identical across repeated runs — the property AP3ESM's
 //! bit-for-bit validation relies on.
+//!
+//! Every collective returns `Result`: under fault injection a dropped
+//! message surfaces as [`CommError::Deadlock`] instead of a panic, so the
+//! driver's recovery path stays reachable.
 
 use crate::world::Rank;
 use crate::CommError;
@@ -31,7 +35,12 @@ pub fn alltoall_wire_tag(tag: u64) -> u64 {
 }
 
 /// Broadcast `data` from `root` to every rank; each rank returns the value.
-pub fn bcast<T: Send + Clone + 'static>(rank: &Rank, tag: u64, root: usize, data: Vec<T>) -> Vec<T> {
+pub fn bcast<T: Send + Clone + 'static>(
+    rank: &Rank,
+    tag: u64,
+    root: usize,
+    data: Vec<T>,
+) -> Result<Vec<T>, CommError> {
     let tag = TAG_BCAST + tag;
     if rank.id() == root {
         for dst in 0..rank.size() {
@@ -39,43 +48,47 @@ pub fn bcast<T: Send + Clone + 'static>(rank: &Rank, tag: u64, root: usize, data
                 rank.send(dst, tag, data.clone());
             }
         }
-        data
+        Ok(data)
     } else {
-        rank.recv(root, tag).expect("bcast recv")
+        rank.recv(root, tag)
     }
 }
 
 /// Gather every rank's `data` to `root`; returns `Some(concatenated in rank
 /// order)` on root, `None` elsewhere.
-pub fn gather<T: Send + 'static>(
+pub fn gather<T: Send + Clone + 'static>(
     rank: &Rank,
     tag: u64,
     root: usize,
     data: Vec<T>,
-) -> Option<Vec<Vec<T>>> {
+) -> Result<Option<Vec<Vec<T>>>, CommError> {
     let tag = TAG_GATHER + tag;
     if rank.id() == root {
         let mut out: Vec<Option<Vec<T>>> = (0..rank.size()).map(|_| None).collect();
         out[root] = Some(data);
         for (src, slot) in out.iter_mut().enumerate() {
             if src != root {
-                *slot = Some(rank.recv(src, tag).expect("gather recv"));
+                *slot = Some(rank.recv(src, tag)?);
             }
         }
-        Some(out.into_iter().map(|v| v.expect("gather slot")).collect())
+        Ok(Some(
+            out.into_iter()
+                .map(|v| v.expect("every gather slot was just filled"))
+                .collect(),
+        ))
     } else {
         rank.send(root, tag, data);
-        None
+        Ok(None)
     }
 }
 
 /// Scatter `parts[i]` from `root` to rank `i`; returns this rank's part.
-pub fn scatter<T: Send + 'static>(
+pub fn scatter<T: Send + Clone + 'static>(
     rank: &Rank,
     tag: u64,
     root: usize,
     parts: Option<Vec<Vec<T>>>,
-) -> Vec<T> {
+) -> Result<Vec<T>, CommError> {
     let tag = TAG_SCATTER + tag;
     if rank.id() == root {
         let mut parts = parts.expect("root must supply parts");
@@ -86,15 +99,19 @@ pub fn scatter<T: Send + 'static>(
                 rank.send(dst, tag, part);
             }
         }
-        mine
+        Ok(mine)
     } else {
-        rank.recv(root, tag).expect("scatter recv")
+        rank.recv(root, tag)
     }
 }
 
 /// All ranks receive the concatenation (in rank order) of every rank's data.
-pub fn allgather<T: Send + Clone + 'static>(rank: &Rank, tag: u64, data: Vec<T>) -> Vec<T> {
-    let gathered = gather(rank, tag, 0, data);
+pub fn allgather<T: Send + Clone + 'static>(
+    rank: &Rank,
+    tag: u64,
+    data: Vec<T>,
+) -> Result<Vec<T>, CommError> {
+    let gathered = gather(rank, tag, 0, data)?;
     let flat: Option<Vec<T>> = gathered.map(|parts| parts.into_iter().flatten().collect());
     bcast(rank, TAG_ALLGATHER + tag, 0, flat.unwrap_or_default())
 }
@@ -106,9 +123,9 @@ pub fn allreduce<T: Send + Clone + 'static>(
     tag: u64,
     data: Vec<T>,
     combine: impl Fn(&T, &T) -> T,
-) -> Vec<T> {
+) -> Result<Vec<T>, CommError> {
     let len = data.len();
-    let reduced = gather(rank, TAG_ALLREDUCE + tag, 0, data).map(|parts| {
+    let reduced = gather(rank, TAG_ALLREDUCE + tag, 0, data)?.map(|parts| {
         let mut acc: Option<Vec<T>> = None;
         for part in parts {
             assert_eq!(part.len(), len, "allreduce length mismatch across ranks");
@@ -132,20 +149,20 @@ pub fn allreduce<T: Send + Clone + 'static>(
 }
 
 /// Scalar f64 sum all-reduce (the most common reduction in the dycores).
-pub fn allreduce_sum(rank: &Rank, tag: u64, value: f64) -> f64 {
-    allreduce(rank, tag, vec![value], |a, b| a + b)[0]
+pub fn allreduce_sum(rank: &Rank, tag: u64, value: f64) -> Result<f64, CommError> {
+    Ok(allreduce(rank, tag, vec![value], |a, b| a + b)?[0])
 }
 
 /// Scalar f64 max all-reduce (used for CFL checks and timer maxima — the
 /// paper records "the maximum value across all MPI ranks" for wall time).
-pub fn allreduce_max(rank: &Rank, tag: u64, value: f64) -> f64 {
-    allreduce(rank, tag, vec![value], |a, b| a.max(*b))[0]
+pub fn allreduce_max(rank: &Rank, tag: u64, value: f64) -> Result<f64, CommError> {
+    Ok(allreduce(rank, tag, vec![value], |a, b| a.max(*b))?[0])
 }
 
 /// Personalised all-to-all: `sends[j]` goes to rank `j`; returns the vector
 /// of messages received, indexed by source. This is the *baseline*
 /// rearrangement pattern AP3ESM's coupler optimisation replaces.
-pub fn alltoallv<T: Send + 'static>(
+pub fn alltoallv<T: Send + Clone + 'static>(
     rank: &Rank,
     tag: u64,
     sends: Vec<Vec<T>>,
@@ -182,18 +199,18 @@ mod tests {
     fn bcast_reaches_everyone() {
         let world = World::new(5);
         let out = world.run(|rank| {
-            let data = if rank.id() == 2 { vec![3.14f64] } else { vec![] };
-            bcast(rank, 0, 2, data)
+            let data = if rank.id() == 2 { vec![2.75f64] } else { vec![] };
+            bcast(rank, 0, 2, data).unwrap()
         });
         for v in out {
-            assert_eq!(v, vec![3.14]);
+            assert_eq!(v, vec![2.75]);
         }
     }
 
     #[test]
     fn gather_concatenates_in_rank_order() {
         let world = World::new(4);
-        let out = world.run(|rank| gather(rank, 0, 0, vec![rank.id() as u32 * 10]));
+        let out = world.run(|rank| gather(rank, 0, 0, vec![rank.id() as u32 * 10]).unwrap());
         let root = out[0].as_ref().unwrap();
         assert_eq!(root, &vec![vec![0], vec![10], vec![20], vec![30]]);
         assert!(out[1].is_none());
@@ -205,7 +222,7 @@ mod tests {
         let out = world.run(|rank| {
             let parts = (rank.id() == 1)
                 .then(|| vec![vec![100u8], vec![101], vec![102]]);
-            scatter(rank, 0, 1, parts)
+            scatter(rank, 0, 1, parts).unwrap()
         });
         assert_eq!(out, vec![vec![100], vec![101], vec![102]]);
     }
@@ -213,7 +230,7 @@ mod tests {
     #[test]
     fn allgather_everyone_sees_everything() {
         let world = World::new(4);
-        let out = world.run(|rank| allgather(rank, 0, vec![rank.id() as i16]));
+        let out = world.run(|rank| allgather(rank, 0, vec![rank.id() as i16]).unwrap());
         for v in out {
             assert_eq!(v, vec![0, 1, 2, 3]);
         }
@@ -222,7 +239,7 @@ mod tests {
     #[test]
     fn allreduce_sum_is_exact_and_uniform() {
         let world = World::new(6);
-        let out = world.run(|rank| allreduce_sum(rank, 0, rank.id() as f64));
+        let out = world.run(|rank| allreduce_sum(rank, 0, rank.id() as f64).unwrap());
         for v in out {
             assert_eq!(v, 15.0);
         }
@@ -231,7 +248,7 @@ mod tests {
     #[test]
     fn allreduce_max_across_ranks() {
         let world = World::new(4);
-        let out = world.run(|rank| allreduce_max(rank, 0, -(rank.id() as f64)));
+        let out = world.run(|rank| allreduce_max(rank, 0, -(rank.id() as f64)).unwrap());
         for v in out {
             assert_eq!(v, 0.0);
         }
@@ -244,7 +261,7 @@ mod tests {
             let world = World::new(7);
             world.run(|rank| {
                 let x = ((rank.id() + 1) as f64).ln() * 0.333;
-                allreduce_sum(rank, 0, x)
+                allreduce_sum(rank, 0, x).unwrap()
             })[0]
         };
         let a = run();
@@ -285,5 +302,22 @@ mod tests {
         let total_sent: usize = totals.iter().map(|(s, _)| s).sum();
         let total_recv: usize = totals.iter().map(|(_, g)| g).sum();
         assert_eq!(total_sent, total_recv);
+    }
+
+    #[test]
+    fn dropped_collective_message_surfaces_as_deadlock() {
+        use crate::faultplan::{FaultInjector, FaultPlan};
+        use std::sync::Arc;
+        use std::time::Duration;
+        // Drop the bcast leg from root 0 to rank 2.
+        let plan =
+            FaultPlan::parse(&format!("drop src=0 dst=2 tag={} nth=1", TAG_BCAST + 5)).unwrap();
+        let world = World::new(3)
+            .with_recv_timeout(Duration::from_millis(20))
+            .with_fault_injector(Arc::new(FaultInjector::new(plan)));
+        let out = world.run(|rank| bcast(rank, 5, 0, vec![rank.id() as u8]));
+        assert!(out[0].is_ok());
+        assert!(out[1].is_ok());
+        assert!(matches!(out[2], Err(CommError::Deadlock { .. })));
     }
 }

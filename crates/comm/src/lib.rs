@@ -19,10 +19,12 @@
 //! keeping communication *volumes* identical to a real MPI run.
 
 pub mod collectives;
+pub mod faultplan;
 pub mod halo;
 pub mod stats;
 pub mod world;
 
+pub use faultplan::{FaultEvent, FaultInjector, FaultPlan, MsgFault, MsgSelector};
 pub use halo::{HaloExchange, HaloSpec};
 pub use stats::CommStats;
 pub use world::{Rank, RecvHandle, SubComm, World};
@@ -31,7 +33,13 @@ pub use world::{Rank, RecvHandle, SubComm, World};
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum CommError {
     /// A blocking receive waited longer than the world's deadlock timeout.
-    Timeout { rank: usize, src: usize, tag: u64 },
+    /// Carries the `(source, tag)` set the rank was waiting on so the
+    /// driver can report *what* the rank was blocked on, not just that it
+    /// was blocked.
+    Deadlock {
+        rank: usize,
+        waiting: Vec<(usize, u64)>,
+    },
     /// A message arrived with an unexpected payload type.
     TypeMismatch { rank: usize, src: usize, tag: u64 },
 }
@@ -39,10 +47,13 @@ pub enum CommError {
 impl std::fmt::Display for CommError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            CommError::Timeout { rank, src, tag } => write!(
-                f,
-                "rank {rank}: timed out waiting for message from {src} tag {tag} (deadlock?)"
-            ),
+            CommError::Deadlock { rank, waiting } => {
+                write!(f, "rank {rank}: deadlock, still waiting on")?;
+                for (src, tag) in waiting {
+                    write!(f, " (src {src}, tag {tag:#x})")?;
+                }
+                Ok(())
+            }
             CommError::TypeMismatch { rank, src, tag } => {
                 write!(f, "rank {rank}: payload type mismatch from {src} tag {tag}")
             }

@@ -8,12 +8,25 @@ use std::time::Duration;
 
 use parking_lot::{Condvar, Mutex};
 
+use crate::faultplan::{FaultInjector, MsgFault};
 use crate::stats::CommStats;
 use crate::CommError;
 
-/// How long a blocking receive waits before declaring deadlock. Generous for
-/// slow CI machines but finite so test hangs turn into diagnostics.
-const RECV_TIMEOUT: Duration = Duration::from_secs(120);
+/// Default blocking-receive deadline before declaring deadlock. Generous for
+/// slow CI machines but finite so test hangs turn into diagnostics. Override
+/// per-world with [`World::with_recv_timeout`] or globally with the
+/// `AP3ESM_RECV_TIMEOUT_MS` environment variable.
+pub const DEFAULT_RECV_TIMEOUT: Duration = Duration::from_secs(120);
+
+fn env_recv_timeout() -> Duration {
+    match std::env::var("AP3ESM_RECV_TIMEOUT_MS") {
+        Ok(v) => match v.trim().parse::<u64>() {
+            Ok(ms) if ms > 0 => Duration::from_millis(ms),
+            _ => DEFAULT_RECV_TIMEOUT,
+        },
+        Err(_) => DEFAULT_RECV_TIMEOUT,
+    }
+}
 
 struct Message {
     payload: Box<dyn Any + Send>,
@@ -42,6 +55,10 @@ struct WorldShared {
     barrier: Mutex<BarrierState>,
     barrier_cv: Condvar,
     stats: CommStats,
+    recv_timeout: Duration,
+    /// Fault-injection hook; `None` in production runs (one pointer check
+    /// per send, nothing per receive — zero-cost when disabled).
+    injector: Option<Arc<FaultInjector>>,
 }
 
 /// A communication world of `n` ranks, each running on its own OS thread.
@@ -66,8 +83,33 @@ impl World {
                 }),
                 barrier_cv: Condvar::new(),
                 stats: CommStats::default(),
+                recv_timeout: env_recv_timeout(),
+                injector: None,
             }),
         }
+    }
+
+    /// Builder: set this world's blocking-receive deadline (overrides the
+    /// `AP3ESM_RECV_TIMEOUT_MS` environment default).
+    pub fn with_recv_timeout(mut self, timeout: Duration) -> Self {
+        Arc::get_mut(&mut self.shared)
+            .expect("with_recv_timeout must be called before World::run")
+            .recv_timeout = timeout;
+        self
+    }
+
+    /// Builder: install a fault injector applying a plan's message events
+    /// on the send path.
+    pub fn with_fault_injector(mut self, injector: Arc<FaultInjector>) -> Self {
+        Arc::get_mut(&mut self.shared)
+            .expect("with_fault_injector must be called before World::run")
+            .injector = Some(injector);
+        self
+    }
+
+    /// The effective blocking-receive deadline.
+    pub fn recv_timeout(&self) -> Duration {
+        self.shared.recv_timeout
     }
 
     /// Number of ranks.
@@ -148,16 +190,44 @@ impl Rank {
         &self.shared.stats
     }
 
+    /// The world's fault injector, if one was installed. Drivers consult it
+    /// for rank-kill and checkpoint-corruption events (message events are
+    /// applied transparently on the send path).
+    pub fn fault_injector(&self) -> Option<&Arc<FaultInjector>> {
+        self.shared.injector.as_ref()
+    }
+
     /// Send `data` to `dst` under `tag`. Non-blocking in the MPI "buffered"
     /// sense: the payload is moved into the destination mailbox immediately.
-    pub fn send<T: Send + 'static>(&self, dst: usize, tag: u64, data: Vec<T>) {
+    pub fn send<T: Send + Clone + 'static>(&self, dst: usize, tag: u64, data: Vec<T>) {
         assert!(dst < self.shared.n, "send to invalid rank {dst}");
+        let mut copies = 1usize;
+        if let Some(injector) = &self.shared.injector {
+            match injector.on_send(self.id, dst, tag) {
+                Some(MsgFault::Drop) => copies = 0,
+                Some(MsgFault::Delay { ms }) => std::thread::sleep(Duration::from_millis(ms)),
+                Some(MsgFault::Duplicate) => copies = 2,
+                None => {}
+            }
+        }
         self.shared
             .stats
             .record_send(self.id, dst, tag, std::mem::size_of::<T>() * data.len());
+        if copies == 0 {
+            return;
+        }
         let mailbox = &self.shared.mailboxes[dst];
         {
             let mut inner = mailbox.inner.lock();
+            for _ in 1..copies {
+                inner
+                    .queues
+                    .entry((self.id, tag))
+                    .or_default()
+                    .push_back(Message {
+                        payload: Box::new(data.clone()),
+                    });
+            }
             inner
                 .queues
                 .entry((self.id, tag))
@@ -171,7 +241,7 @@ impl Rank {
 
     /// Non-blocking send — identical to [`Rank::send`] (kept for API parity
     /// with the paper's non-blocking point-to-point rearranger, §5.2.4).
-    pub fn isend<T: Send + 'static>(&self, dst: usize, tag: u64, data: Vec<T>) {
+    pub fn isend<T: Send + Clone + 'static>(&self, dst: usize, tag: u64, data: Vec<T>) {
         self.send(dst, tag, data);
     }
 
@@ -194,16 +264,27 @@ impl Rank {
             }
             if mailbox
                 .notify
-                .wait_for(&mut inner, RECV_TIMEOUT)
+                .wait_for(&mut inner, self.shared.recv_timeout)
                 .timed_out()
             {
-                return Err(CommError::Timeout {
+                return Err(CommError::Deadlock {
                     rank: self.id,
-                    src,
-                    tag,
+                    waiting: vec![(src, tag)],
                 });
             }
         }
+    }
+
+    /// Discard every message queued for this rank (all sources, all tags).
+    /// Returns the number of messages dropped. Used by the recovery path:
+    /// after a rollback every rank drains in-flight traffic so replayed
+    /// streams start from clean FIFO queues.
+    pub fn drain_mailbox(&self) -> usize {
+        let mailbox = &self.shared.mailboxes[self.id];
+        let mut inner = mailbox.inner.lock();
+        let n = inner.queues.values().map(|q| q.len()).sum();
+        inner.queues.clear();
+        n
     }
 
     /// Non-blocking receive returning `None` when no message is queued yet.
@@ -258,11 +339,10 @@ impl Rank {
     /// color form one [`SubComm`], ordered by world rank. Mirrors
     /// `MPI_Comm_split`, which AP3ESM uses to carve the two task domains
     /// (ATM+ICE+LND+CPL | OCN) of §7.2.
-    pub fn split(&self, color: u64) -> SubComm<'_> {
+    pub fn split(&self, color: u64) -> Result<SubComm<'_>, CommError> {
         // Exchange colors via allgather so every rank learns the grouping.
-        let colors = crate::collectives::allgather(self, crate::collectives::TAG_SPLIT, vec![
-            color,
-        ]);
+        let colors =
+            crate::collectives::allgather(self, crate::collectives::TAG_SPLIT, vec![color])?;
         let members: Vec<usize> = colors
             .iter()
             .enumerate()
@@ -272,13 +352,13 @@ impl Rank {
         let local = members
             .iter()
             .position(|&r| r == self.id)
-            .expect("rank missing from its own split group");
-        SubComm {
+            .expect("rank is always a member of its own split group");
+        Ok(SubComm {
             rank: self,
             members,
             local,
             color,
-        }
+        })
     }
 }
 
@@ -323,7 +403,7 @@ impl SubComm<'_> {
     }
 
     /// Send to sub-rank `dst`.
-    pub fn send<T: Send + 'static>(&self, dst: usize, tag: u64, data: Vec<T>) {
+    pub fn send<T: Send + Clone + 'static>(&self, dst: usize, tag: u64, data: Vec<T>) {
         self.rank
             .send(self.members[dst], self.scoped_tag(tag), data);
     }
@@ -335,17 +415,17 @@ impl SubComm<'_> {
 
     /// Barrier across this sub-communicator only (dissemination algorithm on
     /// point-to-point messages).
-    pub fn barrier(&self) {
+    pub fn barrier(&self) -> Result<(), CommError> {
         let n = self.size();
         let mut round = 1usize;
         while round < n {
             let dst = (self.local + round) % n;
             let src = (self.local + n - round % n) % n;
             self.send::<u8>(dst, crate::collectives::TAG_SUB_BARRIER + round as u64, vec![]);
-            self.recv::<u8>(src, crate::collectives::TAG_SUB_BARRIER + round as u64)
-                .expect("sub-barrier");
+            self.recv::<u8>(src, crate::collectives::TAG_SUB_BARRIER + round as u64)?;
             round <<= 1;
         }
+        Ok(())
     }
 }
 
@@ -449,7 +529,7 @@ mod tests {
     fn split_forms_correct_groups() {
         let world = World::new(6);
         let infos = world.run(|rank| {
-            let comm = rank.split(if rank.id() < 4 { 0 } else { 1 });
+            let comm = rank.split(if rank.id() < 4 { 0 } else { 1 }).unwrap();
             (comm.color(), comm.id(), comm.size())
         });
         assert_eq!(infos[0], (0, 0, 4));
@@ -463,7 +543,7 @@ mod tests {
         let world = World::new(5);
         world.run(|rank| {
             // Domain 0: ranks 0..3 (like ATM+CPL); domain 1: ranks 3..5 (OCN).
-            let comm = rank.split(if rank.id() < 3 { 0 } else { 1 });
+            let comm = rank.split(if rank.id() < 3 { 0 } else { 1 }).unwrap();
             if comm.size() == 3 {
                 if comm.id() == 0 {
                     comm.send(2, 1, vec![99u16]);
@@ -471,7 +551,84 @@ mod tests {
                     assert_eq!(comm.recv::<u16>(0, 1).unwrap(), vec![99]);
                 }
             }
-            comm.barrier();
+            comm.barrier().unwrap();
+        });
+    }
+
+    #[test]
+    fn recv_timeout_is_configurable_and_reports_waiting_set() {
+        let world = World::new(2).with_recv_timeout(Duration::from_millis(20));
+        assert_eq!(world.recv_timeout(), Duration::from_millis(20));
+        let errs = world.run(|rank| {
+            if rank.id() == 1 {
+                // Nothing is ever sent: this must deadlock quickly.
+                Some(rank.recv::<u8>(0, 99).unwrap_err())
+            } else {
+                None
+            }
+        });
+        match errs[1].as_ref().unwrap() {
+            CommError::Deadlock { rank, waiting } => {
+                assert_eq!(*rank, 1);
+                assert_eq!(waiting, &vec![(0usize, 99u64)]);
+            }
+            other => panic!("expected Deadlock, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn injected_drop_loses_exactly_one_message() {
+        use crate::faultplan::{FaultInjector, FaultPlan};
+        let plan = FaultPlan::parse("drop src=0 dst=1 tag=4 nth=2").unwrap();
+        let world = World::new(2)
+            .with_recv_timeout(Duration::from_millis(20))
+            .with_fault_injector(Arc::new(FaultInjector::new(plan)));
+        world.run(|rank| {
+            if rank.id() == 0 {
+                for i in 0..3u32 {
+                    rank.send(1, 4, vec![i]);
+                }
+            } else {
+                // Second message is dropped; FIFO delivers 0 then 2.
+                assert_eq!(rank.recv::<u32>(0, 4).unwrap(), vec![0]);
+                assert_eq!(rank.recv::<u32>(0, 4).unwrap(), vec![2]);
+                assert!(matches!(
+                    rank.recv::<u32>(0, 4),
+                    Err(CommError::Deadlock { .. })
+                ));
+            }
+        });
+    }
+
+    #[test]
+    fn injected_duplicate_delivers_twice() {
+        use crate::faultplan::{FaultInjector, FaultPlan};
+        let plan = FaultPlan::parse("dup src=0 dst=1 tag=9 nth=1").unwrap();
+        let world = World::new(2)
+            .with_fault_injector(Arc::new(FaultInjector::new(plan)));
+        world.run(|rank| {
+            if rank.id() == 0 {
+                rank.send(1, 9, vec![7u8]);
+            } else {
+                assert_eq!(rank.recv::<u8>(0, 9).unwrap(), vec![7]);
+                assert_eq!(rank.recv::<u8>(0, 9).unwrap(), vec![7]);
+            }
+        });
+    }
+
+    #[test]
+    fn drain_mailbox_discards_in_flight_traffic() {
+        let world = World::new(2).with_recv_timeout(Duration::from_millis(20));
+        world.run(|rank| {
+            if rank.id() == 0 {
+                rank.send(1, 1, vec![1u8]);
+                rank.send(1, 2, vec![2u8]);
+                rank.barrier();
+            } else {
+                rank.barrier();
+                assert_eq!(rank.drain_mailbox(), 2);
+                assert!(rank.recv::<u8>(0, 1).is_err());
+            }
         });
     }
 

@@ -7,7 +7,7 @@
 //! S524 benchmark can compare them on identical routers.
 
 use ap3esm_comm::collectives::alltoallv;
-use ap3esm_comm::Rank;
+use ap3esm_comm::{CommError, Rank};
 
 use crate::router::Router;
 
@@ -48,6 +48,20 @@ impl Rearranger {
         src_data: &[f64],
         dst_len: usize,
     ) -> Vec<f64> {
+        self.try_rearrange(rank, strategy, src_data, dst_len)
+            .expect("rearrange failed")
+    }
+
+    /// Fallible variant of [`Rearranger::rearrange`]: a dropped or delayed
+    /// message under fault injection surfaces as [`CommError`] instead of a
+    /// panic, keeping the driver's recovery path reachable.
+    pub fn try_rearrange(
+        &self,
+        rank: &Rank,
+        strategy: RearrangeStrategy,
+        src_data: &[f64],
+        dst_len: usize,
+    ) -> Result<Vec<f64>, CommError> {
         let _span = ap3esm_obs::span("rearrange");
         let t0 = std::time::Instant::now();
         let out = match strategy {
@@ -84,7 +98,12 @@ impl Rearranger {
         }
     }
 
-    fn rearrange_a2a(&self, rank: &Rank, src_data: &[f64], dst_len: usize) -> Vec<f64> {
+    fn rearrange_a2a(
+        &self,
+        rank: &Rank,
+        src_data: &[f64],
+        dst_len: usize,
+    ) -> Result<Vec<f64>, CommError> {
         let me = rank.id();
         let sends: Vec<Vec<f64>> = (0..rank.size())
             .map(|dst| {
@@ -95,7 +114,7 @@ impl Rearranger {
                 }
             })
             .collect();
-        let recvd = alltoallv(rank, self.tag, sends).expect("rearrange alltoall");
+        let recvd = alltoallv(rank, self.tag, sends)?;
         let mut out = vec![0.0; dst_len];
         if me < self.router.dst_ranks {
             for (src, buf) in recvd.into_iter().enumerate() {
@@ -104,10 +123,15 @@ impl Rearranger {
                 }
             }
         }
-        out
+        Ok(out)
     }
 
-    fn rearrange_p2p(&self, rank: &Rank, src_data: &[f64], dst_len: usize) -> Vec<f64> {
+    fn rearrange_p2p(
+        &self,
+        rank: &Rank,
+        src_data: &[f64],
+        dst_len: usize,
+    ) -> Result<Vec<f64>, CommError> {
         let me = rank.id();
         let tag = P2P_TAG_BASE + self.tag;
         // Post sends only to destinations with nonempty legs.
@@ -124,12 +148,12 @@ impl Rearranger {
         if me < self.router.dst_ranks {
             for src in 0..self.router.src_ranks {
                 if !self.router.legs[src][me].dst_local.is_empty() {
-                    let buf: Vec<f64> = rank.recv(src, tag).expect("rearrange p2p recv");
+                    let buf: Vec<f64> = rank.recv(src, tag)?;
                     self.scatter_from(src, me, &buf, &mut out);
                 }
             }
         }
-        out
+        Ok(out)
     }
 
     /// Messages the P2P strategy sends from this rank (sparsity gain over

@@ -36,8 +36,24 @@ use ap3esm_physics::constants::{temperature_from_theta, STEFAN_BOLTZMANN};
 use ap3esm_physics::surface::{bulk_fluxes, BulkCoefficients};
 use ap3esm_physics::ConventionalSuite;
 
+use ap3esm_io::subfile::{SubfileReader, SubfileWriter};
+use ap3esm_io::IoError;
+
 use crate::config::CoupledConfig;
+use crate::resilience::{
+    with_retry, AtmGuard, CheckpointStore, GuardConfig, HealthVerdict, OcnGuard, RecoveryConfig,
+    RecoveryFailure,
+};
 use crate::timing::{get_timing, Timers};
+
+/// Tag of the per-ocean-coupling health agreement (severity max-reduce).
+const HEALTH_TAG: u64 = 0x7EA1;
+/// Tag broadcasting the checkpoint id chosen for a rollback.
+const CKPT_ID_TAG: u64 = 0x7EA2;
+/// Tag of the all-ranks-loaded-ok vote during a rollback.
+const CKPT_OK_TAG: u64 = 0x7EA3;
+/// Sub-files per checkpoint field (matches the restart layer).
+const CKPT_SUBFILES: usize = 4;
 
 /// Build the AI physics suite for the coupled model: a quick in-situ
 /// training pass over conventional-physics supervision (our stand-in for
@@ -137,6 +153,12 @@ pub struct CoupledOptions {
     /// Collective: every rank contributes its span tree to the cross-rank
     /// section table; rank 0 writes the file.
     pub report_name: Option<String>,
+    /// Enable checkpoint/rollback recovery, writing checkpoints under this
+    /// directory (shared by all ranks). `None` disables the entire
+    /// resilience path: no guards, no health exchange, no checkpoints.
+    pub checkpoint_dir: Option<std::path::PathBuf>,
+    /// Recovery policy (only consulted when `checkpoint_dir` is set).
+    pub recovery: RecoveryConfig,
 }
 
 impl Default for CoupledOptions {
@@ -146,6 +168,8 @@ impl Default for CoupledOptions {
             vortex: None,
             record_track: false,
             report_name: None,
+            checkpoint_dir: None,
+            recovery: RecoveryConfig::default(),
         }
     }
 }
@@ -173,6 +197,14 @@ pub struct CoupledStats {
     pub report_json: Option<String>,
     /// Where the report was written (rank 0, when `report_name` was set).
     pub report_path: Option<std::path::PathBuf>,
+    /// Rollbacks performed by the recovery layer.
+    pub recoveries: usize,
+    /// Human-readable fault events (injected faults, comm errors, guard
+    /// verdicts that triggered rollbacks), in firing order.
+    pub fault_events: Vec<String>,
+    /// Set when the run ended in a clean structured failure (recovery
+    /// budget exhausted or no usable checkpoint) instead of completing.
+    pub failure: Option<String>,
 }
 
 /// Fit the atmosphere stepping so an integer number of model steps covers
@@ -222,6 +254,136 @@ fn ocn_owners(config: &CoupledConfig) -> Vec<usize> {
         }
     }
     owners
+}
+
+/// Per-rank runtime of the recovery layer.
+struct Resilience {
+    store: CheckpointStore,
+    cfg: RecoveryConfig,
+    recoveries: usize,
+    /// Corruption events already applied (one-shot: a checkpoint rewritten
+    /// after a rollback is not re-corrupted, or recovery could never
+    /// converge).
+    applied_corruptions: std::collections::HashSet<(u64, String, u32, u64)>,
+}
+
+impl Resilience {
+    fn new(dir: &std::path::Path, cfg: &RecoveryConfig) -> Self {
+        Resilience {
+            store: CheckpointStore::new(dir, cfg.keep_checkpoints),
+            cfg: cfg.clone(),
+            recoveries: 0,
+            applied_corruptions: std::collections::HashSet::new(),
+        }
+    }
+}
+
+/// Write one auxiliary (non-restart-layer) checkpoint field.
+fn write_aux(dir: &std::path::Path, name: &str, data: &[f64]) -> Result<(), IoError> {
+    SubfileWriter::new(dir, name, &[data.len()], CKPT_SUBFILES).write_all(data)
+}
+
+/// Read one auxiliary checkpoint field, validating its length.
+fn read_aux(dir: &std::path::Path, name: &str, want: usize) -> Result<Vec<f64>, IoError> {
+    let (_, data) = SubfileReader::new(dir, name).read_all()?;
+    if data.len() != want {
+        return Err(IoError::Inconsistent(format!(
+            "{name}: {} elements, expected {want}",
+            data.len()
+        )));
+    }
+    Ok(data)
+}
+
+/// All-ranks "did your checkpoint load succeed" vote: 1.0 only if every
+/// rank loaded cleanly.
+fn vote_all_ok(rank: &Rank, ok: bool) -> bool {
+    let mine: f64 = if ok { 1.0 } else { 0.0 };
+    let all = ap3esm_comm::collectives::allreduce(rank, CKPT_OK_TAG, vec![mine], |a: &f64, b| {
+        a.min(*b)
+    })
+    .expect("checkpoint vote")[0];
+    all >= 1.0
+}
+
+/// Rank 0 announces which committed checkpoint a rollback restores
+/// (`-1` = none left); every rank returns the agreed id.
+fn agree_candidate(rank: &Rank, mine: i64) -> i64 {
+    ap3esm_comm::collectives::bcast(rank, CKPT_ID_TAG, 0, vec![mine]).expect("checkpoint id")[0]
+}
+
+/// Count a guard verdict on the obs registry; returns the verdict back.
+fn observe_verdict(verdict: HealthVerdict, rank_id: usize) -> HealthVerdict {
+    match &verdict {
+        HealthVerdict::Healthy => {}
+        HealthVerdict::Degraded(m) => {
+            ap3esm_obs::counter_add("resilience.guard_degraded", 1);
+            eprintln!("[resilience] rank {rank_id} degraded: {m}");
+        }
+        HealthVerdict::Fatal(m) => {
+            ap3esm_obs::counter_add("resilience.guard_fatal", 1);
+            eprintln!("[resilience] rank {rank_id} fatal: {m}");
+        }
+    }
+    verdict
+}
+
+/// Enter a rollback: count it against the budget and synchronise + drain
+/// every mailbox so replayed message streams start from clean FIFO queues.
+/// Returns the structured failure if the budget is exhausted.
+fn begin_rollback(rank: &Rank, resil: &mut Resilience, reason: &str) -> Option<RecoveryFailure> {
+    resil.recoveries += 1;
+    ap3esm_obs::counter_add("resilience.rollbacks", 1);
+    if resil.recoveries > resil.cfg.max_recoveries {
+        return Some(RecoveryFailure {
+            recoveries_attempted: resil.recoveries - 1,
+            reason: reason.to_string(),
+        });
+    }
+    rank.barrier();
+    let drained = rank.drain_mailbox();
+    if drained > 0 {
+        ap3esm_obs::counter_add("resilience.drained_messages", drained as u64);
+    }
+    rank.barrier();
+    None
+}
+
+/// Commit a freshly written checkpoint (rank 0 only) and apply any
+/// checkpoint-corruption fault events targeting it.
+fn commit_checkpoint(rank: &Rank, resil: &mut Resilience, id: u64) {
+    with_retry(
+        "checkpoint commit",
+        resil.cfg.retries,
+        resil.cfg.backoff,
+        || resil.store.commit(id),
+    )
+    .expect("checkpoint commit");
+    ap3esm_obs::counter_add("resilience.checkpoints", 1);
+    if let Some(inj) = rank.fault_injector() {
+        let corruptions: Vec<(String, u32, u64)> = inj
+            .plan()
+            .corruptions_for(id)
+            .into_iter()
+            .map(|(f, s, b)| (f.to_string(), s, b))
+            .collect();
+        for (field, sub, byte) in corruptions {
+            let key = (id, field.clone(), sub, byte);
+            if !resil.applied_corruptions.insert(key) {
+                continue;
+            }
+            if resil
+                .store
+                .corrupt_subfile_byte(id, &field, sub, byte)
+                .unwrap_or(false)
+            {
+                inj.record_external(format!(
+                    "corrupted checkpoint {id} field {field} subfile {sub} byte {byte}"
+                ));
+                ap3esm_obs::counter_add("resilience.faults", 1);
+            }
+        }
+    }
 }
 
 /// Run the coupled model; every world rank calls this inside `World::run`.
@@ -342,7 +504,28 @@ pub fn run_coupled(rank: &Rank, config: &CoupledConfig, opts: &CoupledOptions) -
 
         let bulk = BulkCoefficients::default();
 
-        while (clock.time as f64) < total_seconds {
+        let mut resil = opts
+            .checkpoint_dir
+            .as_ref()
+            .map(|d| Resilience::new(d, &opts.recovery));
+        if let Some(r) = &resil {
+            // Checkpoint ids are this run's ocean-coupling indices: stale
+            // checkpoints from an earlier run sharing the directory must
+            // not shadow them. Safe without a barrier — no other rank
+            // touches the store before the first checkpoint barrier, which
+            // rank 0 only reaches after this point.
+            r.store.reset().expect("clear stale checkpoints");
+        }
+        let atm_guard = AtmGuard::new(&atm, GuardConfig::default(), dycore.config.dt_dyn);
+        let inline_guard = ocn_inline.as_ref().map(|(ocn, c)| {
+            OcnGuard::new(
+                &ocn.state,
+                GuardConfig::default(),
+                c.dt_baroclinic / c.n_barotropic.max(1) as f64,
+            )
+        });
+
+        'sim: while (clock.time as f64) < total_seconds {
             let event = clock.advance();
             let day_of_year = 202.0 + clock.days(); // late July (Doksuri)
             let seconds_utc = (clock.time % 86_400) as f64;
@@ -487,13 +670,23 @@ pub fn run_coupled(rank: &Rank, config: &CoupledConfig, opts: &CoupledOptions) -
                     f_qnet[c] = merged.qnet;
                     f_salt[c] = merged.salt_flux;
                 }
+                // Under the recovery layer a failed exchange is a fault
+                // verdict (rollback), not a panic; without it the original
+                // panic-on-error behaviour is preserved below.
+                let mut comm_fault: Option<String> = None;
                 if let Some((ocn, ocn_config)) = ocn_inline.as_mut() {
                     // Sequential layout: the rearrangement is a self-route
                     // (still through the Router), then the ocean runs
                     // inline on this rank.
                     let mut fields = Vec::new();
                     for field in [&f_taux, &f_tauy, &f_qnet, &f_salt] {
-                        fields.push(scatter.rearrange(rank, config.strategy, field, ncols));
+                        match scatter.try_rearrange(rank, config.strategy, field, ncols) {
+                            Ok(v) => fields.push(v),
+                            Err(e) => {
+                                comm_fault.get_or_insert_with(|| e.to_string());
+                                fields.push(vec![0.0; ncols]);
+                            }
+                        }
                     }
                     timers.stop("cpl_rearrange");
                     timers.start("ocn_run");
@@ -505,7 +698,10 @@ pub fn run_coupled(rank: &Rank, config: &CoupledConfig, opts: &CoupledOptions) -
                     forcing.salt_flux.copy_from_slice(&fields[3]);
                     let steps = (ocn_period / ocn_config.dt_baroclinic).round() as usize;
                     for _ in 0..steps.max(1) {
-                        ocn.step(rank, &forcing);
+                        if let Err(e) = ocn.try_step(rank, &forcing) {
+                            comm_fault.get_or_insert_with(|| e.to_string());
+                            break;
+                        }
                     }
                     let st = &ocn.state;
                     let mut sst = Vec::with_capacity(ncols);
@@ -519,18 +715,35 @@ pub fn run_coupled(rank: &Rank, config: &CoupledConfig, opts: &CoupledOptions) -
                             ssv.push(st.v[0][idx] + st.vbar[idx]);
                         }
                     }
-                    sst_global = gather.rearrange(rank, config.strategy, &sst, ncols);
-                    ssu_global = gather.rearrange(rank, config.strategy, &ssu, ncols);
-                    ssv_global = gather.rearrange(rank, config.strategy, &ssv, ncols);
+                    for (dst, src) in [
+                        (&mut sst_global, &sst),
+                        (&mut ssu_global, &ssu),
+                        (&mut ssv_global, &ssv),
+                    ] {
+                        match gather.try_rearrange(rank, config.strategy, src, ncols) {
+                            Ok(v) => *dst = v,
+                            Err(e) => {
+                                comm_fault.get_or_insert_with(|| e.to_string());
+                            }
+                        }
+                    }
                     timers.stop("ocn_run");
                 } else {
                     for field in [&f_taux, &f_tauy, &f_qnet, &f_salt] {
-                        scatter.rearrange(rank, config.strategy, field, 0);
+                        if let Err(e) = scatter.try_rearrange(rank, config.strategy, field, 0) {
+                            comm_fault.get_or_insert_with(|| e.to_string());
+                        }
                     }
-                    // Gather the ocean's exports.
-                    sst_global = gather.rearrange(rank, config.strategy, &[], ncols);
-                    ssu_global = gather.rearrange(rank, config.strategy, &[], ncols);
-                    ssv_global = gather.rearrange(rank, config.strategy, &[], ncols);
+                    // Gather the ocean's exports (keeping the previous
+                    // surface state on a failed leg — rollback follows).
+                    for dst in [&mut sst_global, &mut ssu_global, &mut ssv_global] {
+                        match gather.try_rearrange(rank, config.strategy, &[], ncols) {
+                            Ok(v) => *dst = v,
+                            Err(e) => {
+                                comm_fault.get_or_insert_with(|| e.to_string());
+                            }
+                        }
+                    }
                     timers.stop("cpl_rearrange");
                 }
                 // Diagnostics series.
@@ -546,11 +759,181 @@ pub fn run_coupled(rank: &Rank, config: &CoupledConfig, opts: &CoupledOptions) -
                     .as_ref()
                     .map(|(m, _)| m.state.kinetic_energy())
                     .unwrap_or(0.0);
-                let ke = ap3esm_comm::collectives::allreduce_sum(rank, 77, local_ke);
+                let ke = match ap3esm_comm::collectives::allreduce_sum(rank, 77, local_ke) {
+                    Ok(ke) => ke,
+                    Err(e) => {
+                        comm_fault.get_or_insert_with(|| e.to_string());
+                        f64::NAN
+                    }
+                };
                 stats.ke_series.push(ke);
+                if resil.is_none() {
+                    if let Some(e) = &comm_fault {
+                        panic!("coupler exchange failed: {e}");
+                    }
+                }
+
+                // ----- Recovery layer: guards, health agreement, then
+                //       checkpoint or rollback (ocean couplings are the
+                //       global synchronisation points). -----
+                if let Some(resil) = resil.as_mut() {
+                    let ocn_idx = ((clock.time as f64) / ocn_period).round() as u64;
+                    if let Some(inj) = rank.fault_injector() {
+                        if inj.take_kill(me, ocn_idx) {
+                            // Simulated rank loss: the surviving state is
+                            // garbage, which the guards detect.
+                            for v in atm.theta.iter_mut() {
+                                *v = f64::NAN;
+                            }
+                            ap3esm_obs::counter_add("resilience.faults", 1);
+                        }
+                    }
+                    let mut verdict = atm_guard.check(&atm);
+                    if let (Some((ocn, _)), Some(guard)) = (&ocn_inline, &inline_guard) {
+                        verdict = verdict.worst(guard.check(&ocn.state));
+                    }
+                    if let Some(e) = comm_fault.take() {
+                        stats
+                            .fault_events
+                            .push(format!("comm fault at ocn coupling {ocn_idx}: {e}"));
+                        verdict = verdict.worst(HealthVerdict::Fatal(format!("comm: {e}")));
+                    }
+                    let verdict = observe_verdict(verdict, me);
+                    let sev =
+                        ap3esm_comm::collectives::allreduce_max(rank, HEALTH_TAG, verdict.severity())
+                            .expect("health agreement");
+                    if sev >= 2.0 {
+                        let reason = format!("fatal state at ocn coupling {ocn_idx}: {verdict}");
+                        if let Some(fail) = begin_rollback(rank, resil, &reason) {
+                            stats.failure = Some(fail.to_string());
+                            break 'sim;
+                        }
+                        loop {
+                            let cand = agree_candidate(
+                                rank,
+                                resil.store.latest().map(|i| i as i64).unwrap_or(-1),
+                            );
+                            if cand < 0 {
+                                stats.failure = Some(
+                                    RecoveryFailure {
+                                        recoveries_attempted: resil.recoveries,
+                                        reason: "no committed checkpoint to roll back to".into(),
+                                    }
+                                    .to_string(),
+                                );
+                                break 'sim;
+                            }
+                            let dir = resil.store.dir(cand as u64);
+                            let loaded: Result<Vec<f64>, IoError> = (|| {
+                                crate::restart::read_atm_restart(&dir, &mut atm)?;
+                                lnd.state.tskin =
+                                    read_aux(&dir, "lnd_tskin", lnd.state.tskin.len())?;
+                                lnd.state.moisture =
+                                    read_aux(&dir, "lnd_moist", lnd.state.moisture.len())?;
+                                ice.state.fraction =
+                                    read_aux(&dir, "ice_frac", ice.state.fraction.len())?;
+                                ice.state.thickness =
+                                    read_aux(&dir, "ice_thick", ice.state.thickness.len())?;
+                                ice.state.tsfc = read_aux(&dir, "ice_tsfc", ice.state.tsfc.len())?;
+                                sst_global = read_aux(&dir, "cpl_sst", ncols)?;
+                                ssu_global = read_aux(&dir, "cpl_ssu", ncols)?;
+                                ssv_global = read_aux(&dir, "cpl_ssv", ncols)?;
+                                ice_frac_global = read_aux(&dir, "cpl_icefrac", ncols)?;
+                                ice_heat_global = read_aux(&dir, "cpl_iceheat", ncols)?;
+                                ice_fresh_global = read_aux(&dir, "cpl_icefresh", ncols)?;
+                                last_precip_accum =
+                                    read_aux(&dir, "cpl_precip", last_precip_accum.len())?;
+                                if let Some((ocn, _)) = ocn_inline.as_mut() {
+                                    crate::restart::read_ocn_restart(&dir, &mut ocn.state, 0)?;
+                                }
+                                read_aux(&dir, "cpl_meta", 9)
+                            })();
+                            if vote_all_ok(rank, loaded.is_ok()) {
+                                let meta = loaded.expect("vote passed");
+                                clock.time = meta[0] as i64;
+                                stats.theta_series.truncate(meta[1] as usize);
+                                stats.sst_series.truncate(meta[2] as usize);
+                                stats.ke_series.truncate(meta[3] as usize);
+                                stats.ice_series.truncate(meta[4] as usize);
+                                stats.track.truncate(meta[5] as usize);
+                                prev_track = (meta[6] > 0.5).then_some((meta[7], meta[8]));
+                                eprintln!(
+                                    "[resilience] restored checkpoint {cand}, replaying from t = {} s",
+                                    clock.time
+                                );
+                                break;
+                            }
+                            if let Err(e) = &loaded {
+                                eprintln!("[resilience] checkpoint {cand} unusable: {e}");
+                            }
+                            stats
+                                .fault_events
+                                .push(format!("checkpoint {cand} rejected at restore"));
+                            resil
+                                .store
+                                .invalidate(cand as u64)
+                                .expect("invalidate damaged checkpoint");
+                            rank.barrier();
+                        }
+                    } else if resil.cfg.checkpoint_interval > 0
+                        && ocn_idx.is_multiple_of(resil.cfg.checkpoint_interval as u64)
+                    {
+                        let id = ocn_idx;
+                        with_retry(
+                            "checkpoint begin",
+                            resil.cfg.retries,
+                            resil.cfg.backoff,
+                            || resil.store.begin(id),
+                        )
+                        .expect("checkpoint begin");
+                        rank.barrier();
+                        let dir = resil.store.dir(id);
+                        with_retry(
+                            "checkpoint write",
+                            resil.cfg.retries,
+                            resil.cfg.backoff,
+                            || -> Result<(), IoError> {
+                                crate::restart::write_atm_restart(&dir, &atm)?;
+                                write_aux(&dir, "lnd_tskin", &lnd.state.tskin)?;
+                                write_aux(&dir, "lnd_moist", &lnd.state.moisture)?;
+                                write_aux(&dir, "ice_frac", &ice.state.fraction)?;
+                                write_aux(&dir, "ice_thick", &ice.state.thickness)?;
+                                write_aux(&dir, "ice_tsfc", &ice.state.tsfc)?;
+                                write_aux(&dir, "cpl_sst", &sst_global)?;
+                                write_aux(&dir, "cpl_ssu", &ssu_global)?;
+                                write_aux(&dir, "cpl_ssv", &ssv_global)?;
+                                write_aux(&dir, "cpl_icefrac", &ice_frac_global)?;
+                                write_aux(&dir, "cpl_iceheat", &ice_heat_global)?;
+                                write_aux(&dir, "cpl_icefresh", &ice_fresh_global)?;
+                                write_aux(&dir, "cpl_precip", &last_precip_accum)?;
+                                if let Some((ocn, _)) = ocn_inline.as_ref() {
+                                    crate::restart::write_ocn_restart(&dir, &ocn.state, 0)?;
+                                }
+                                let meta = [
+                                    clock.time as f64,
+                                    stats.theta_series.len() as f64,
+                                    stats.sst_series.len() as f64,
+                                    stats.ke_series.len() as f64,
+                                    stats.ice_series.len() as f64,
+                                    stats.track.len() as f64,
+                                    if prev_track.is_some() { 1.0 } else { 0.0 },
+                                    prev_track.map(|(la, _)| la).unwrap_or(0.0),
+                                    prev_track.map(|(_, lo)| lo).unwrap_or(0.0),
+                                ];
+                                write_aux(&dir, "cpl_meta", &meta)
+                            },
+                        )
+                        .expect("checkpoint write");
+                        rank.barrier();
+                        commit_checkpoint(rank, resil, id);
+                    }
+                }
             }
         }
         stats.simulated_seconds = clock.time as f64;
+        if let Some(r) = &resil {
+            stats.recoveries = r.recoveries;
+        }
     } else {
         // ================= Domain O: the ocean ==========================
         let mut ocn_config = fitted_ocn_config(config, ocn_period);
@@ -559,14 +942,32 @@ pub fn run_coupled(rank: &Rank, config: &CoupledConfig, opts: &CoupledOptions) -
         let (ni, nj) = (ocn.state.ni, ocn.state.nj);
         let mut forcing = OcnForcing::zeros(ni, nj);
 
-        while (clock.time as f64) < total_seconds {
+        let mut resil = opts
+            .checkpoint_dir
+            .as_ref()
+            .map(|d| Resilience::new(d, &opts.recovery));
+        let ocn_guard = OcnGuard::new(
+            &ocn.state,
+            GuardConfig::default(),
+            ocn_config.dt_baroclinic / ocn_config.n_barotropic.max(1) as f64,
+        );
+
+        'sim: while (clock.time as f64) < total_seconds {
             let event = clock.advance();
             if event.ocn {
                 timers.start("ocn_run");
-                // Receive merged forcing fields from domain A.
+                let mut comm_fault: Option<String> = None;
+                // Receive merged forcing fields from domain A (keeping the
+                // previous period's forcing on a failed leg).
                 let mut fields = Vec::new();
                 for _ in 0..4 {
-                    fields.push(scatter.rearrange(rank, config.strategy, &[], my_ocn_cols));
+                    match scatter.try_rearrange(rank, config.strategy, &[], my_ocn_cols) {
+                        Ok(v) => fields.push(v),
+                        Err(e) => {
+                            comm_fault.get_or_insert_with(|| e.to_string());
+                            fields.push(vec![0.0; my_ocn_cols]);
+                        }
+                    }
                 }
                 forcing.taux.copy_from_slice(&fields[0]);
                 forcing.tauy.copy_from_slice(&fields[1]);
@@ -576,7 +977,10 @@ pub fn run_coupled(rank: &Rank, config: &CoupledConfig, opts: &CoupledOptions) -
                 // Advance the ocean through the coupling period.
                 let steps = (ocn_period / ocn_config.dt_baroclinic).round() as usize;
                 for _ in 0..steps.max(1) {
-                    ocn.step(rank, &forcing);
+                    if let Err(e) = ocn.try_step(rank, &forcing) {
+                        comm_fault.get_or_insert_with(|| e.to_string());
+                        break;
+                    }
                 }
                 // Export surface state back to domain A (local row-major
                 // interior order == ascending global ids for a block).
@@ -592,18 +996,104 @@ pub fn run_coupled(rank: &Rank, config: &CoupledConfig, opts: &CoupledOptions) -
                         ssv.push(st.v[0][idx] + st.vbar[idx]);
                     }
                 }
-                gather.rearrange(rank, config.strategy, &sst, 0);
-                gather.rearrange(rank, config.strategy, &ssu, 0);
-                gather.rearrange(rank, config.strategy, &ssv, 0);
+                for data in [&sst, &ssu, &ssv] {
+                    if let Err(e) = gather.try_rearrange(rank, config.strategy, data, 0) {
+                        comm_fault.get_or_insert_with(|| e.to_string());
+                    }
+                }
                 timers.stop("ocn_run");
-                let _ = ap3esm_comm::collectives::allreduce_sum(
+                if let Err(e) = ap3esm_comm::collectives::allreduce_sum(
                     rank,
                     77,
                     ocn.state.kinetic_energy(),
-                );
+                ) {
+                    comm_fault.get_or_insert_with(|| e.to_string());
+                }
+                if resil.is_none() {
+                    if let Some(e) = &comm_fault {
+                        panic!("coupler exchange failed: {e}");
+                    }
+                }
+
+                // ----- Recovery layer (mirrors the domain-A sequence). ----
+                if let Some(resil) = resil.as_mut() {
+                    let ocn_idx = ((clock.time as f64) / ocn_period).round() as u64;
+                    if let Some(inj) = rank.fault_injector() {
+                        if inj.take_kill(me, ocn_idx) {
+                            for v in ocn.state.eta.iter_mut() {
+                                *v = f64::NAN;
+                            }
+                            ap3esm_obs::counter_add("resilience.faults", 1);
+                        }
+                    }
+                    let mut verdict = ocn_guard.check(&ocn.state);
+                    if let Some(e) = comm_fault.take() {
+                        stats
+                            .fault_events
+                            .push(format!("comm fault at ocn coupling {ocn_idx}: {e}"));
+                        verdict = verdict.worst(HealthVerdict::Fatal(format!("comm: {e}")));
+                    }
+                    let verdict = observe_verdict(verdict, me);
+                    let sev =
+                        ap3esm_comm::collectives::allreduce_max(rank, HEALTH_TAG, verdict.severity())
+                            .expect("health agreement");
+                    if sev >= 2.0 {
+                        let reason = format!("fatal state at ocn coupling {ocn_idx}: {verdict}");
+                        if let Some(fail) = begin_rollback(rank, resil, &reason) {
+                            stats.failure = Some(fail.to_string());
+                            break 'sim;
+                        }
+                        loop {
+                            let cand = agree_candidate(rank, -1);
+                            if cand < 0 {
+                                stats.failure =
+                                    Some("no committed checkpoint to roll back to".into());
+                                break 'sim;
+                            }
+                            let dir = resil.store.dir(cand as u64);
+                            let loaded =
+                                crate::restart::read_ocn_restart(&dir, &mut ocn.state, me - 1);
+                            if vote_all_ok(rank, loaded.is_ok()) {
+                                clock.time = (cand as f64 * ocn_period).round() as i64;
+                                break;
+                            }
+                            if let Err(e) = &loaded {
+                                eprintln!(
+                                    "[resilience] checkpoint {cand} unusable on rank {me}: {e}"
+                                );
+                            }
+                            rank.barrier(); // rank 0 invalidates the candidate
+                        }
+                    } else if resil.cfg.checkpoint_interval > 0
+                        && ocn_idx.is_multiple_of(resil.cfg.checkpoint_interval as u64)
+                    {
+                        let id = ocn_idx;
+                        rank.barrier(); // rank 0 clears the checkpoint dir
+                        let dir = resil.store.dir(id);
+                        with_retry(
+                            "checkpoint write",
+                            resil.cfg.retries,
+                            resil.cfg.backoff,
+                            || crate::restart::write_ocn_restart(&dir, &ocn.state, me - 1),
+                        )
+                        .expect("checkpoint write");
+                        rank.barrier(); // rank 0 commits after this
+                    }
+                }
             }
         }
         stats.simulated_seconds = clock.time as f64;
+        if let Some(r) = &resil {
+            stats.recoveries = r.recoveries;
+        }
+    }
+
+    // Injected faults that actually fired (message faults, kills,
+    // corruptions) join the locally observed comm faults in one stream.
+    if let Some(inj) = rank.fault_injector() {
+        stats
+            .fault_events
+            .extend(inj.fired().into_iter().map(|f| f.description));
     }
 
     stats.wall_seconds = t_start.elapsed().as_secs_f64();
@@ -618,7 +1108,8 @@ pub fn run_coupled(rank: &Rank, config: &CoupledConfig, opts: &CoupledOptions) -
         // Paper §6.2 measurement rule: per-section times reduced to the
         // maximum across ranks. Collective — every rank participates.
         let spans = obs.profiler.snapshot();
-        let sections = ap3esm_obs::aggregate_sections(rank, 0x0B70, &spans);
+        let sections =
+            ap3esm_obs::aggregate_sections(rank, 0x0B70, &spans).expect("section aggregation");
         if is_root {
             let comm = rank.stats();
             let stream = |label: &str, tags: [u64; 2]| {
@@ -635,6 +1126,21 @@ pub fn run_coupled(rank: &Rank, config: &CoupledConfig, opts: &CoupledOptions) -
                 .meta("simulated_seconds", stats.simulated_seconds)
                 .meta("wall_seconds", stats.wall_seconds)
                 .meta("sypd", stats.sypd)
+                .meta("recoveries", stats.recoveries as u64)
+                .meta(
+                    "failure",
+                    stats.failure.as_deref().unwrap_or(""),
+                )
+                .meta(
+                    "fault_events",
+                    ap3esm_obs::json::Json::Arr(
+                        stats
+                            .fault_events
+                            .iter()
+                            .map(|e| ap3esm_obs::json::Json::Str(e.clone()))
+                            .collect(),
+                    ),
+                )
                 .spans(spans)
                 .sections(sections)
                 .metrics(obs.metrics.snapshot())

@@ -22,6 +22,7 @@ pub mod component;
 pub mod config;
 pub mod coupled;
 pub mod forecast;
+pub mod resilience;
 pub mod restart;
 pub mod scaling;
 pub mod solar;
@@ -30,4 +31,8 @@ pub mod timing;
 pub use component::{Component, ComponentPhase};
 pub use config::{CoupledConfig, Resolution};
 pub use coupled::{run_coupled, CoupledStats};
+pub use resilience::{
+    AtmGuard, CheckpointStore, GuardConfig, HealthVerdict, OcnGuard, RecoveryConfig,
+    RecoveryFailure,
+};
 pub use timing::{get_timing, Timers};

@@ -15,7 +15,36 @@ use ap3esm_ocn::state::OcnState;
 /// Number of sub-files per restart field (the §5.2.5 partitioning knob).
 const RESTART_SUBFILES: usize = 4;
 
-/// Write an atmosphere restart: ps, θ, q (cell fields) and uₙ (edge field).
+/// Read one named field and require its header dims to match `want`
+/// exactly (trailing dims of 1 allowed) — a truncated or wrong-resolution
+/// field is rejected as [`IoError::Inconsistent`] instead of silently
+/// loaded.
+fn read_checked(dir: &Path, name: &str, want: &[usize]) -> Result<Vec<f64>, IoError> {
+    let (h, data) = SubfileReader::new(dir, name).read_all()?;
+    let mut want3 = [1u64; 3];
+    for (slot, &w) in want3.iter_mut().zip(want) {
+        *slot = w as u64;
+    }
+    if h.dims != want3 {
+        return Err(IoError::Inconsistent(format!(
+            "{name}: restart dims {:?} do not match model dims {want3:?}",
+            h.dims
+        )));
+    }
+    let total: u64 = want3.iter().product();
+    if data.len() as u64 != total {
+        return Err(IoError::Inconsistent(format!(
+            "{name}: {} elements, expected {total}",
+            data.len()
+        )));
+    }
+    Ok(data)
+}
+
+/// Write an atmosphere restart: the prognostic fields ps, θ, q (cell
+/// fields) and uₙ (edge field), plus the auxiliary surface fields
+/// (precip_accum, gsw, glw) that feed land forcing and ocean fluxes — a
+/// checkpoint that omits them is not trajectory-bit-exact.
 pub fn write_atm_restart(dir: &Path, state: &AtmState) -> Result<(), IoError> {
     let n = state.ncells();
     let e = state.nedges();
@@ -24,23 +53,27 @@ pub fn write_atm_restart(dir: &Path, state: &AtmState) -> Result<(), IoError> {
     SubfileWriter::new(dir, "atm_theta", &[nlev, n], RESTART_SUBFILES).write_all(&state.theta)?;
     SubfileWriter::new(dir, "atm_q", &[nlev, n], RESTART_SUBFILES).write_all(&state.q)?;
     SubfileWriter::new(dir, "atm_un", &[nlev, e], RESTART_SUBFILES).write_all(&state.un)?;
+    SubfileWriter::new(dir, "atm_precip", &[n], RESTART_SUBFILES)
+        .write_all(&state.precip_accum)?;
+    SubfileWriter::new(dir, "atm_gsw", &[n], RESTART_SUBFILES).write_all(&state.gsw)?;
+    SubfileWriter::new(dir, "atm_glw", &[n], RESTART_SUBFILES).write_all(&state.glw)?;
     Ok(())
 }
 
-/// Read an atmosphere restart back into `state` (grid shapes must match).
+/// Read an atmosphere restart back into `state`. Every field's dims are
+/// validated against the model's grid (cells, edges, levels); a mismatch
+/// on any field returns [`IoError::Inconsistent`].
 pub fn read_atm_restart(dir: &Path, state: &mut AtmState) -> Result<(), IoError> {
-    let (h, ps) = SubfileReader::new(dir, "atm_ps").read_all()?;
-    if h.dims[0] as usize != state.ncells() {
-        return Err(IoError::Inconsistent(format!(
-            "restart has {} cells, model has {}",
-            h.dims[0],
-            state.ncells()
-        )));
-    }
-    state.ps = ps;
-    state.theta = SubfileReader::new(dir, "atm_theta").read_all()?.1;
-    state.q = SubfileReader::new(dir, "atm_q").read_all()?.1;
-    state.un = SubfileReader::new(dir, "atm_un").read_all()?.1;
+    let n = state.ncells();
+    let e = state.nedges();
+    let nlev = state.nlev;
+    state.ps = read_checked(dir, "atm_ps", &[n])?;
+    state.theta = read_checked(dir, "atm_theta", &[nlev, n])?;
+    state.q = read_checked(dir, "atm_q", &[nlev, n])?;
+    state.un = read_checked(dir, "atm_un", &[nlev, e])?;
+    state.precip_accum = read_checked(dir, "atm_precip", &[n])?;
+    state.gsw = read_checked(dir, "atm_gsw", &[n])?;
+    state.glw = read_checked(dir, "atm_glw", &[n])?;
     Ok(())
 }
 
@@ -66,21 +99,19 @@ pub fn write_ocn_restart(dir: &Path, state: &OcnState, rank: usize) -> Result<()
     Ok(())
 }
 
-/// Read one rank's ocean restart.
+/// Read one rank's ocean restart. Every slab's dims are validated against
+/// the state's halo-extended shape before any field is accepted.
 pub fn read_ocn_restart(dir: &Path, state: &mut OcnState, rank: usize) -> Result<(), IoError> {
     let tag = |name: &str| format!("ocn_r{rank}_{name}");
-    let (h, eta) = SubfileReader::new(dir, &tag("eta")).read_all()?;
-    if h.dims[0] as usize != state.eta.len() {
-        return Err(IoError::Inconsistent("ocean restart shape mismatch".into()));
-    }
-    state.eta = eta;
-    state.ubar = SubfileReader::new(dir, &tag("ubar")).read_all()?.1;
-    state.vbar = SubfileReader::new(dir, &tag("vbar")).read_all()?.1;
+    let slab = state.eta.len();
+    state.eta = read_checked(dir, &tag("eta"), &[slab])?;
+    state.ubar = read_checked(dir, &tag("ubar"), &[slab])?;
+    state.vbar = read_checked(dir, &tag("vbar"), &[slab])?;
     for k in 0..state.nlev {
-        state.t[k] = SubfileReader::new(dir, &tag(&format!("t{k}"))).read_all()?.1;
-        state.s[k] = SubfileReader::new(dir, &tag(&format!("s{k}"))).read_all()?.1;
-        state.u[k] = SubfileReader::new(dir, &tag(&format!("u{k}"))).read_all()?.1;
-        state.v[k] = SubfileReader::new(dir, &tag(&format!("v{k}"))).read_all()?.1;
+        state.t[k] = read_checked(dir, &tag(&format!("t{k}")), &[slab])?;
+        state.s[k] = read_checked(dir, &tag(&format!("s{k}")), &[slab])?;
+        state.u[k] = read_checked(dir, &tag(&format!("u{k}")), &[slab])?;
+        state.v[k] = read_checked(dir, &tag(&format!("v{k}")), &[slab])?;
     }
     Ok(())
 }
@@ -176,6 +207,66 @@ mod tests {
                 }
             }
         });
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn aux_surface_fields_round_trip() {
+        let grid = std::sync::Arc::new(GeodesicGrid::new(2));
+        let mut a = AtmState::isothermal(std::sync::Arc::clone(&grid), 3, 285.0);
+        for i in 0..a.ncells() {
+            a.precip_accum[i] = i as f64 * 0.25;
+            a.gsw[i] = 300.0 + i as f64;
+            a.glw[i] = 150.0 - i as f64 * 0.5;
+        }
+        let dir = tmpdir("aux");
+        write_atm_restart(&dir, &a).unwrap();
+        let mut b = AtmState::isothermal(std::sync::Arc::clone(&grid), 3, 999.0);
+        read_atm_restart(&dir, &mut b).unwrap();
+        for (x, y) in a
+            .precip_accum
+            .iter()
+            .chain(&a.gsw)
+            .chain(&a.glw)
+            .zip(b.precip_accum.iter().chain(&b.gsw).chain(&b.glw))
+        {
+            assert_eq!(x.to_bits(), y.to_bits(), "aux field lost in restart");
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn level_count_mismatch_is_rejected_per_field() {
+        // Same horizontal grid, different level count: ps matches but
+        // theta's dims do not — the per-field check must catch it.
+        let grid = std::sync::Arc::new(GeodesicGrid::new(2));
+        let state = AtmState::isothermal(std::sync::Arc::clone(&grid), 3, 280.0);
+        let dir = tmpdir("levmismatch");
+        write_atm_restart(&dir, &state).unwrap();
+        let mut other = AtmState::isothermal(std::sync::Arc::clone(&grid), 5, 280.0);
+        match read_atm_restart(&dir, &mut other) {
+            Err(IoError::Inconsistent(msg)) => {
+                assert!(msg.contains("atm_theta"), "wrong field blamed: {msg}")
+            }
+            other => panic!("expected Inconsistent, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn ocean_slab_mismatch_is_rejected() {
+        let grid = TripolarGrid::new(24, 16, 3, MaskGenerator::default());
+        let config = OcnConfig::for_grid(24, 16, 3, 1, 1);
+        let dir = tmpdir("ocnmismatch");
+        let model = OcnModel::new(&grid, config, 0);
+        write_ocn_restart(&dir, &model.state, 0).unwrap();
+        let grid2 = TripolarGrid::new(30, 16, 3, MaskGenerator::default());
+        let config2 = OcnConfig::for_grid(30, 16, 3, 1, 1);
+        let mut other = OcnModel::new(&grid2, config2, 0);
+        assert!(matches!(
+            read_ocn_restart(&dir, &mut other.state, 0),
+            Err(IoError::Inconsistent(_))
+        ));
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -15,7 +15,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use ap3esm_comm::collectives::allreduce_max;
-use ap3esm_comm::Rank;
+use ap3esm_comm::{CommError, Rank};
 use ap3esm_obs::{Obs, SpanGuard};
 
 /// Named accumulating timers (one instance per rank).
@@ -109,7 +109,7 @@ impl Timers {
 
     /// The paper's measurement rule: the maximum of this section's time
     /// across all ranks (load imbalance shows up here).
-    pub fn max_across_ranks(&self, rank: &Rank, name: &str) -> f64 {
+    pub fn max_across_ranks(&self, rank: &Rank, name: &str) -> Result<f64, CommError> {
         allreduce_max(rank, 0x71_3000, self.seconds(name))
     }
 }
@@ -193,7 +193,7 @@ mod tests {
                 2 + 4 * rank.id() as u64,
             ));
             t.stop("work");
-            t.max_across_ranks(rank, "work")
+            t.max_across_ranks(rank, "work").unwrap()
         });
         // All ranks agree on the maximum, which is at least rank 2's sleep.
         for v in &out {

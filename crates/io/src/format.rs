@@ -12,9 +12,15 @@
 //! 48   8   start element (inclusive, into the flattened global field)
 //! 56   8   element count in this sub-file
 //! 64   4   CRC-32 of the payload bytes
-//! 68   4   reserved (0)
+//! 68   4   CRC-32 of header bytes 0..68 (0 = legacy, unchecked)
 //! 72   …   payload: count × f64 little-endian
 //! ```
+//!
+//! The header checksum makes every single-byte corruption of a sub-file
+//! detectable: a flipped payload byte fails the payload CRC, a flipped
+//! header byte fails the magic/version check or the header CRC. The
+//! checkpoint-recovery path relies on this to tell a good checkpoint from
+//! a damaged one.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
@@ -39,7 +45,9 @@ pub struct FieldHeader {
 }
 
 impl FieldHeader {
-    /// Serialise to the fixed 72-byte header.
+    /// Serialise to the fixed 72-byte header. The final word is the
+    /// CRC-32 of the preceding 68 bytes, so header corruption is
+    /// detectable independently of the payload checksum.
     pub fn encode(&self) -> Bytes {
         let mut b = BytesMut::with_capacity(HEADER_LEN);
         b.put_slice(MAGIC);
@@ -53,25 +61,41 @@ impl FieldHeader {
         b.put_u64_le(self.start);
         b.put_u64_le(self.count);
         b.put_u32_le(self.crc);
-        b.put_u32_le(0);
+        let header_crc = crc32(&b);
+        b.put_u32_le(header_crc);
         debug_assert_eq!(b.len(), HEADER_LEN);
         b.freeze()
     }
 
-    /// Parse from the first [`HEADER_LEN`] bytes of a file.
-    pub fn decode(mut buf: &[u8]) -> Result<Self, IoError> {
+    /// Parse from the first [`HEADER_LEN`] bytes of a file. A non-zero
+    /// trailing word must match the CRC-32 of the first 68 bytes; zero is
+    /// accepted for sub-files written before the checksum existed.
+    pub fn decode(buf: &[u8]) -> Result<Self, IoError> {
         if buf.len() < HEADER_LEN {
             return Err(IoError::Inconsistent("truncated header".into()));
         }
+        let mut head = &buf[..HEADER_LEN - 4];
         let mut magic = [0u8; 8];
-        buf.copy_to_slice(&mut magic);
+        head.copy_to_slice(&mut magic);
         if &magic != MAGIC {
             return Err(IoError::BadMagic);
         }
-        let version = buf.get_u32_le();
+        let version = head.get_u32_le();
         if version != VERSION {
             return Err(IoError::BadVersion(version));
         }
+        let stored_header_crc =
+            u32::from_le_bytes(buf[HEADER_LEN - 4..HEADER_LEN].try_into().expect("4 bytes"));
+        if stored_header_crc != 0 {
+            let actual = crc32(&buf[..HEADER_LEN - 4]);
+            if actual != stored_header_crc {
+                return Err(IoError::CrcMismatch {
+                    expected: stored_header_crc,
+                    actual,
+                });
+            }
+        }
+        let mut buf = head;
         let ndims = buf.get_u32_le();
         let dims = [buf.get_u64_le(), buf.get_u64_le(), buf.get_u64_le()];
         let subfile_index = buf.get_u32_le();
@@ -79,7 +103,6 @@ impl FieldHeader {
         let start = buf.get_u64_le();
         let count = buf.get_u64_le();
         let crc = buf.get_u32_le();
-        let _reserved = buf.get_u32_le();
         Ok(FieldHeader {
             dims,
             ndims,
@@ -173,6 +196,45 @@ mod tests {
             FieldHeader::decode(&bytes),
             Err(IoError::BadMagic)
         ));
+    }
+
+    #[test]
+    fn header_crc_detects_any_corrupted_byte() {
+        let h = FieldHeader {
+            dims: [100, 50, 3],
+            ndims: 3,
+            subfile_index: 2,
+            subfile_count: 8,
+            start: 1234,
+            count: 5678,
+            crc: 0xDEAD_BEEF,
+        };
+        let clean = h.encode().to_vec();
+        assert!(FieldHeader::decode(&clean).is_ok());
+        for pos in 0..HEADER_LEN {
+            let mut bytes = clean.clone();
+            bytes[pos] ^= 0x01;
+            assert!(
+                FieldHeader::decode(&bytes).is_err(),
+                "flip at byte {pos} went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn legacy_zero_header_crc_is_accepted() {
+        let h = FieldHeader {
+            dims: [4, 1, 1],
+            ndims: 1,
+            subfile_index: 0,
+            subfile_count: 1,
+            start: 0,
+            count: 4,
+            crc: 7,
+        };
+        let mut bytes = h.encode().to_vec();
+        bytes[HEADER_LEN - 4..].fill(0); // pre-checksum writer
+        assert_eq!(FieldHeader::decode(&bytes).unwrap(), h);
     }
 
     #[test]

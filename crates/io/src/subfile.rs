@@ -71,7 +71,9 @@ pub fn partition_ranges(total: usize, n: usize) -> Vec<(usize, usize)> {
     out
 }
 
-fn subfile_path(dir: &Path, name: &str, index: usize) -> PathBuf {
+/// On-disk path of sub-file `index` of field `name` under `dir`. Public so
+/// fault-injection tooling can address an individual sub-file byte.
+pub fn subfile_path(dir: &Path, name: &str, index: usize) -> PathBuf {
     dir.join(format!("{name}.{index:05}.a3f"))
 }
 
@@ -221,6 +223,14 @@ impl SubfileReader {
         Ok((first, field))
     }
 
+    /// Verify the whole sub-file set without reassembling the field:
+    /// header checksum, payload length, payload CRC, completeness. This is
+    /// how the recovery path decides whether a checkpoint field is loadable
+    /// before rolling the model back onto it.
+    pub fn verify(&self) -> Result<(), IoError> {
+        self.read_all().map(|_| ())
+    }
+
     /// Read only the elements in `[start, end)` touching as few sub-files as
     /// possible (restart readers use this).
     pub fn read_range(&self, start: usize, end: usize) -> Result<Vec<f64>, IoError> {
@@ -292,6 +302,25 @@ mod tests {
         std::fs::write(&path, bytes).unwrap();
         let err = SubfileReader::new(&dir, "t").read_all().unwrap_err();
         assert!(matches!(err, IoError::CrcMismatch { .. }), "got {err}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn verify_catches_header_corruption() {
+        let dir = tmpdir("vh");
+        let field = vec![2.5; 60];
+        SubfileWriter::new(&dir, "eta", &[60], 3)
+            .write_all(&field)
+            .unwrap();
+        let r = SubfileReader::new(&dir, "eta");
+        assert!(r.verify().is_ok());
+        // Flip one byte inside the `start` field of subfile 2's header —
+        // without the header CRC this silently relocated the slab.
+        let path = dir.join("eta.00002.a3f");
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[48] ^= 0x01;
+        std::fs::write(&path, bytes).unwrap();
+        assert!(matches!(r.verify(), Err(IoError::CrcMismatch { .. })));
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

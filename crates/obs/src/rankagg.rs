@@ -10,7 +10,7 @@
 use std::collections::BTreeMap;
 
 use ap3esm_comm::collectives::allgather;
-use ap3esm_comm::Rank;
+use ap3esm_comm::{CommError, Rank};
 
 use crate::span::SpanSnapshot;
 
@@ -64,11 +64,15 @@ fn decode(mut buf: &[u8]) -> Vec<(String, f64, u64)> {
 /// Merges every rank's span snapshot into per-section cross-rank stats;
 /// collective over the whole world (every rank must call it), and every
 /// rank returns the identical table, sorted by path.
-pub fn aggregate_sections(rank: &Rank, tag: u64, spans: &[SpanSnapshot]) -> Vec<SectionStats> {
+pub fn aggregate_sections(
+    rank: &Rank,
+    tag: u64,
+    spans: &[SpanSnapshot],
+) -> Result<Vec<SectionStats>, CommError> {
     let mine = encode(spans);
     // Variable-length allgather: lengths first, then the concatenated bytes.
-    let lens = allgather(rank, tag, vec![mine.len() as u64]);
-    let all = allgather(rank, tag + 1, mine);
+    let lens = allgather(rank, tag, vec![mine.len() as u64])?;
+    let all = allgather(rank, tag + 1, mine)?;
 
     let mut merged: BTreeMap<String, SectionStats> = BTreeMap::new();
     let mut offset = 0usize;
@@ -92,14 +96,14 @@ pub fn aggregate_sections(rank: &Rank, tag: u64, spans: &[SpanSnapshot]) -> Vec<
         }
         offset += len;
     }
-    merged
+    Ok(merged
         .into_values()
         .map(|mut s| {
             s.mean_s /= s.ranks as f64;
             s.imbalance = if s.mean_s > 0.0 { s.max_s / s.mean_s } else { 1.0 };
             s
         })
-        .collect()
+        .collect())
 }
 
 #[cfg(test)]
@@ -124,7 +128,7 @@ mod tests {
         let tables = world.run(|rank| {
             // Rank r spends (r+1) seconds in "work": mean 2.5, max 4.
             let spans = vec![span("work", (rank.id() + 1) as f64, 10)];
-            aggregate_sections(rank, 0x0B50, &spans)
+            aggregate_sections(rank, 0x0B50, &spans).unwrap()
         });
         for t in &tables {
             assert_eq!(t.len(), 1);
@@ -150,7 +154,7 @@ mod tests {
             if rank.id() == 0 {
                 spans.push(span("atm_run", 6.0, 8));
             }
-            aggregate_sections(rank, 0x0B60, &spans)
+            aggregate_sections(rank, 0x0B60, &spans).unwrap()
         });
         let t = &tables[1];
         assert_eq!(t.len(), 2);

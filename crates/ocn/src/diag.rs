@@ -1,28 +1,28 @@
 //! Global ocean diagnostics (cross-rank reductions).
 
 use ap3esm_comm::collectives::{allreduce, allreduce_sum};
-use ap3esm_comm::Rank;
+use ap3esm_comm::{CommError, Rank};
 
 use crate::model::OcnModel;
 
 /// Global kinetic energy (J-like; ∫½|u|² dV × ρ₀ omitted).
-pub fn global_kinetic_energy(model: &OcnModel, rank: &Rank) -> f64 {
+pub fn global_kinetic_energy(model: &OcnModel, rank: &Rank) -> Result<f64, CommError> {
     allreduce_sum(rank, 300, model.state.kinetic_energy())
 }
 
 /// Global mean sea-surface temperature (°C) over ocean points.
-pub fn global_mean_sst(model: &OcnModel, rank: &Rank) -> f64 {
+pub fn global_mean_sst(model: &OcnModel, rank: &Rank) -> Result<f64, CommError> {
     let (sum, count) = model.state.sst_sum_count();
-    let totals = allreduce(rank, 301, vec![sum, count as f64], |a, b| a + b);
-    if totals[1] > 0.0 {
+    let totals = allreduce(rank, 301, vec![sum, count as f64], |a, b| a + b)?;
+    Ok(if totals[1] > 0.0 {
         totals[0] / totals[1]
     } else {
         0.0
-    }
+    })
 }
 
 /// Global max surface current speed (m/s).
-pub fn global_max_speed(model: &OcnModel, rank: &Rank) -> f64 {
+pub fn global_max_speed(model: &OcnModel, rank: &Rank) -> Result<f64, CommError> {
     let local = model
         .state
         .surface_speed()
@@ -33,7 +33,11 @@ pub fn global_max_speed(model: &OcnModel, rank: &Rank) -> f64 {
 
 /// Sea-surface kinetic-energy snapshot statistics for Fig. 1: mean and the
 /// high-speed tail fraction (share of ocean cells above `threshold` m/s).
-pub fn surface_ke_stats(model: &OcnModel, rank: &Rank, threshold: f64) -> (f64, f64) {
+pub fn surface_ke_stats(
+    model: &OcnModel,
+    rank: &Rank,
+    threshold: f64,
+) -> Result<(f64, f64), CommError> {
     let speeds = model.state.surface_speed();
     let st = &model.state;
     let mut sum = 0.0;
@@ -51,12 +55,12 @@ pub fn surface_ke_stats(model: &OcnModel, rank: &Rank, threshold: f64) -> (f64, 
             }
         }
     }
-    let totals = allreduce(rank, 303, vec![sum, count, above], |a, b| a + b);
-    if totals[1] > 0.0 {
+    let totals = allreduce(rank, 303, vec![sum, count, above], |a, b| a + b)?;
+    Ok(if totals[1] > 0.0 {
         (totals[0] / totals[1], totals[2] / totals[1])
     } else {
         (0.0, 0.0)
-    }
+    })
 }
 
 #[cfg(test)]
@@ -82,8 +86,8 @@ mod tests {
                     model.step(rank, &forcing);
                 }
                 (
-                    global_kinetic_energy(&model, rank),
-                    global_mean_sst(&model, rank),
+                    global_kinetic_energy(&model, rank).unwrap(),
+                    global_mean_sst(&model, rank).unwrap(),
                 )
             });
             out[0]
@@ -107,7 +111,7 @@ mod tests {
             for _ in 0..5 {
                 model.step(rank, &forcing);
             }
-            let (mean_ke, frac) = surface_ke_stats(&model, rank, 1e-4);
+            let (mean_ke, frac) = surface_ke_stats(&model, rank, 1e-4).unwrap();
             assert!(mean_ke >= 0.0);
             assert!((0.0..=1.0).contains(&frac));
         });

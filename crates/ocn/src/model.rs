@@ -1,7 +1,7 @@
 //! The ocean model driver: split time stepping, halo exchange, masking and
 //! the point-exclusion loop path.
 
-use ap3esm_comm::{HaloExchange, Rank};
+use ap3esm_comm::{CommError, HaloExchange, Rank};
 use ap3esm_grid::decomp::BlockDecomp2d;
 use ap3esm_grid::tripolar::TripolarGrid;
 use ap3esm_physics::constants::CP_SEAWATER;
@@ -161,7 +161,12 @@ impl OcnModel {
 
     /// One barotropic substep (forward-backward, rotation-implicit
     /// Coriolis).
-    fn barotropic_substep(&mut self, rank: &Rank, forcing: &OcnForcing, dt: f64) {
+    fn barotropic_substep(
+        &mut self,
+        rank: &Rank,
+        forcing: &OcnForcing,
+        dt: f64,
+    ) -> Result<(), CommError> {
         let st = &mut self.state;
         let stride = st.stride;
         let (ni, nj) = (st.ni, st.nj);
@@ -198,9 +203,7 @@ impl OcnModel {
             }
         }
         st.eta = new_eta;
-        self.halo2d
-            .exchange(rank, &mut self.state.eta)
-            .expect("eta halo");
+        self.halo2d.exchange(rank, &mut self.state.eta)?;
 
         // Momentum: pressure gradient from the *new* η (forward-backward),
         // wind stress, drag, then implicit rotation.
@@ -250,19 +253,28 @@ impl OcnModel {
         st.ubar = new_u;
         st.vbar = new_v;
         self.halo2d
-            .exchange_many(rank, &mut [&mut self.state.ubar, &mut self.state.vbar])
-            .expect("ubar/vbar halo");
+            .exchange_many(rank, &mut [&mut self.state.ubar, &mut self.state.vbar])?;
+        Ok(())
     }
 
     /// One full baroclinic + tracer step (with `n_barotropic` substeps).
+    /// Panics on communication failure; fault-tolerant drivers use
+    /// [`OcnModel::try_step`].
     pub fn step(&mut self, rank: &Rank, forcing: &OcnForcing) {
+        self.try_step(rank, forcing).expect("ocn step comm failure")
+    }
+
+    /// One full step, surfacing halo-exchange failures (dropped messages
+    /// under fault injection, deadlocks) as [`CommError`] so the coupled
+    /// driver can roll back instead of aborting.
+    pub fn try_step(&mut self, rank: &Rank, forcing: &OcnForcing) -> Result<(), CommError> {
         let _span = ap3esm_obs::span("ocn_step");
         let nbt = self.config.n_barotropic;
         let dt_btr = self.config.dt_baroclinic / nbt as f64;
         {
             let _btr = ap3esm_obs::span("barotropic");
             for _ in 0..nbt {
-                self.barotropic_substep(rank, forcing, dt_btr);
+                self.barotropic_substep(rank, forcing, dt_btr)?;
             }
         }
 
@@ -397,18 +409,17 @@ impl OcnModel {
         //     neighbor per level (u, v, T, S together). ---
         let st = &mut self.state;
         for k in 0..nlev {
-            self.halo3d
-                .exchange_many(
-                    rank,
-                    &mut [
-                        &mut st.u[k][..],
-                        &mut st.v[k][..],
-                        &mut st.t[k][..],
-                        &mut st.s[k][..],
-                    ],
-                )
-                .expect("3-D halo");
+            self.halo3d.exchange_many(
+                rank,
+                &mut [
+                    &mut st.u[k][..],
+                    &mut st.v[k][..],
+                    &mut st.t[k][..],
+                    &mut st.s[k][..],
+                ],
+            )?;
         }
+        Ok(())
     }
 
     /// Volume anomaly ∫η dA over the local interior (conservation checks).

@@ -3,11 +3,51 @@
 //!
 //! ```sh
 //! cargo run --release --example coupled_esm
+//!
+//! # Resilience drill: inject faults from a plan file and recover via
+//! # checkpoint rollback (see DESIGN.md, "Resilience layer").
+//! printf 'kill rank=2 step=3\ncorrupt ckpt=2 field=atm_theta subfile=1 byte=100\n' > plan.txt
+//! cargo run --release --example coupled_esm -- --fault-plan plan.txt
 //! ```
+//!
+//! Flags: `--fault-plan <file>` (enables checkpointing), `--checkpoint-dir
+//! <dir>` (default `target/ckpt` when faults are on), `--days <n>`.
 
+use ap3esm::comm::{FaultInjector, FaultPlan};
+use ap3esm::esm::RecoveryConfig;
 use ap3esm::prelude::*;
+use std::sync::Arc;
+
+struct Cli {
+    days: f64,
+    fault_plan: Option<std::path::PathBuf>,
+    checkpoint_dir: Option<std::path::PathBuf>,
+}
+
+fn parse_cli() -> Cli {
+    let mut cli = Cli {
+        days: 2.0,
+        fault_plan: None,
+        checkpoint_dir: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut value = |flag: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{flag} needs a value"))
+        };
+        match a.as_str() {
+            "--days" => cli.days = value("--days").parse().expect("--days: not a number"),
+            "--fault-plan" => cli.fault_plan = Some(value("--fault-plan").into()),
+            "--checkpoint-dir" => cli.checkpoint_dir = Some(value("--checkpoint-dir").into()),
+            other => panic!("unknown flag {other} (try --days, --fault-plan, --checkpoint-dir)"),
+        }
+    }
+    cli
+}
 
 fn main() {
+    let cli = parse_cli();
     let config = CoupledConfig::demo_small();
     println!(
         "coupled AP3ESM: atm G{} ({} levels) | ocn {}×{}×{} on {}×{} ranks | couplings/day {:?}",
@@ -25,12 +65,30 @@ fn main() {
         config.world_size()
     );
 
-    let world = World::new(config.world_size());
-    let opts = CoupledOptions {
-        days: 2.0,
+    let mut world = World::new(config.world_size());
+    let mut opts = CoupledOptions {
+        days: cli.days,
         report_name: Some("coupled-esm".to_string()),
+        checkpoint_dir: cli.checkpoint_dir,
+        recovery: RecoveryConfig {
+            checkpoint_interval: 1,
+            keep_checkpoints: 4,
+            ..Default::default()
+        },
         ..Default::default()
     };
+    if let Some(path) = &cli.fault_plan {
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+        let plan = FaultPlan::parse(&text)
+            .unwrap_or_else(|e| panic!("bad fault plan {}: {e}", path.display()));
+        println!("fault plan ({} events):\n{plan}", plan.events.len());
+        world = world.with_fault_injector(Arc::new(FaultInjector::new(plan)));
+        // Faults without checkpoints would just be a crash: default the
+        // checkpoint directory on so the run can roll back and recover.
+        opts.checkpoint_dir
+            .get_or_insert_with(|| "target/ckpt".into());
+    }
     let all = world.run(|rank| run_coupled(rank, &config, &opts));
     let root = &all[0];
 
@@ -62,6 +120,23 @@ fn main() {
                 break 'ocn;
             }
         }
+    }
+
+    if root.recoveries > 0 || !root.fault_events.is_empty() {
+        println!("\nresilience: {} rollback(s)", root.recoveries);
+        for e in &root.fault_events {
+            println!("  fault: {e}");
+        }
+    }
+    match &root.failure {
+        Some(f) => {
+            println!("\nrun FAILED (structured): {f}");
+            std::process::exit(1);
+        }
+        None if cli.fault_plan.is_some() => {
+            println!("run completed despite injected faults (recovered)");
+        }
+        None => {}
     }
 
     if let Some(path) = &root.report_path {

@@ -6,7 +6,7 @@ use proptest::prelude::*;
 
 use ap3esm::cpl::gsmap::GSMap;
 use ap3esm::cpl::router::Router;
-use ap3esm::io::format::{crc32, decode_payload, encode_payload};
+use ap3esm::io::format::{crc32, decode_payload, encode_payload, FieldHeader, HEADER_LEN};
 use ap3esm::precision::GroupScaled;
 
 proptest! {
@@ -88,6 +88,45 @@ proptest! {
         let pos = pos_seed % corrupted.len();
         corrupted[pos] ^= flip;
         prop_assert_ne!(original, crc32(&corrupted));
+    }
+
+    /// The checksummed sub-file header round-trips for any field shape,
+    /// and any single corrupted byte is rejected at decode — except when
+    /// the corruption turns the trailing header-CRC word into the legacy
+    /// `0` sentinel, in which case the decoded fields must still be the
+    /// originals (the corruption only destroyed the checksum itself).
+    #[test]
+    fn field_header_roundtrip_and_corruption(
+        d0 in 1u64..1 << 40,
+        d1 in 1u64..1 << 20,
+        d2 in 1u64..1 << 20,
+        ndims in 1u32..=3,
+        subfile_index in any::<u32>(),
+        subfile_count in 1u32..1 << 16,
+        start in any::<u64>(),
+        count in any::<u64>(),
+        crc in any::<u32>(),
+        pos in 0usize..HEADER_LEN,
+        flip in 1u8..=255,
+    ) {
+        let h = FieldHeader {
+            dims: [d0, d1, d2],
+            ndims, subfile_index, subfile_count, start, count, crc,
+        };
+        let bytes = h.encode();
+        prop_assert_eq!(bytes.len(), HEADER_LEN);
+        prop_assert_eq!(&FieldHeader::decode(&bytes).unwrap(), &h);
+
+        let mut corrupted = bytes.to_vec();
+        corrupted[pos] ^= flip;
+        let tail = u32::from_le_bytes(corrupted[HEADER_LEN - 4..].try_into().unwrap());
+        match FieldHeader::decode(&corrupted) {
+            Err(_) => {}
+            Ok(back) => {
+                prop_assert_eq!(tail, 0, "corruption at byte {} went undetected", pos);
+                prop_assert_eq!(back, h);
+            }
+        }
     }
 
     /// Alarms fire exactly `per_day` times per simulated day for any valid
