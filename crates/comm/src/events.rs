@@ -1,0 +1,192 @@
+//! Timestamped communication events for per-rank trace timelines.
+//!
+//! The paper's §6.2 analysis needs coupler *wait time* to be visible per
+//! rank, not just aggregate byte counts: a rank stalled in `recv` during
+//! the rearrangement shows up here as a long blocking record. Every
+//! [`World`](crate::world::World) owns one [`CommEventLog`] — a bounded
+//! ring buffer per rank — that the send/recv paths feed when enabled.
+//! Disabled (the default), the hot-path cost is a single relaxed atomic
+//! load per message, preserving the zero-cost-when-off rule the rest of
+//! the observability stack follows.
+//!
+//! All timestamps are microseconds since the shared [`trace_epoch`]. Ranks
+//! are threads of one process, so a single epoch aligns every rank's track
+//! on one timeline — the property chrome-trace flow events rely on.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+use parking_lot::Mutex;
+
+/// The process-wide trace clock origin. First caller pins it; every
+/// subsequent timestamp (span or comm event, any rank) is relative to it.
+pub fn trace_epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Microseconds elapsed since [`trace_epoch`].
+pub fn trace_now_us() -> u64 {
+    trace_epoch().elapsed().as_micros() as u64
+}
+
+/// What a [`CommEvent`] records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CommEventKind {
+    /// A buffered send (duration 0: the payload moves immediately).
+    Send,
+    /// A blocking receive; `dur_us` is the time spent waiting, so deadlock
+    /// timeouts and rearrangement stalls are visible on the timeline.
+    Recv,
+}
+
+/// One timestamped point-to-point event on a rank's timeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CommEvent {
+    pub kind: CommEventKind,
+    /// Microseconds since [`trace_epoch`] at event start.
+    pub ts_us: u64,
+    /// Event duration in microseconds (0 for sends).
+    pub dur_us: u64,
+    /// The other rank (destination for sends, source for receives).
+    pub peer: usize,
+    pub tag: u64,
+    pub bytes: u64,
+}
+
+/// Default per-rank ring capacity (events, not bytes).
+pub const DEFAULT_COMM_EVENT_CAPACITY: usize = 16_384;
+
+/// Per-rank bounded ring buffers of [`CommEvent`]s, shared by the world.
+///
+/// When the ring is full the *oldest* events are evicted (a trace of the
+/// most recent window beats a trace of the spin-up), and the eviction count
+/// is reported alongside the drained events.
+pub struct CommEventLog {
+    enabled: AtomicBool,
+    capacity: usize,
+    rings: Vec<Mutex<VecDeque<CommEvent>>>,
+    dropped: Vec<AtomicU64>,
+}
+
+impl CommEventLog {
+    pub fn new(n_ranks: usize, capacity: usize) -> Self {
+        CommEventLog {
+            enabled: AtomicBool::new(false),
+            capacity,
+            rings: (0..n_ranks).map(|_| Mutex::new(VecDeque::new())).collect(),
+            dropped: (0..n_ranks).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// Turn recording on or off (idempotent; any rank may call it).
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// The hot-path gate: one relaxed load.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Ring capacity per rank.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of rank rings.
+    pub fn n_ranks(&self) -> usize {
+        self.rings.len()
+    }
+
+    /// Append an event to `rank`'s ring (caller already checked
+    /// [`CommEventLog::is_enabled`]).
+    pub fn record(&self, rank: usize, event: CommEvent) {
+        let mut ring = self.rings[rank].lock();
+        if ring.len() >= self.capacity {
+            ring.pop_front();
+            self.dropped[rank].fetch_add(1, Ordering::Relaxed);
+        }
+        ring.push_back(event);
+    }
+
+    /// Drain `rank`'s ring: the retained events in arrival order plus how
+    /// many older events the ring evicted.
+    pub fn take(&self, rank: usize) -> (Vec<CommEvent>, u64) {
+        let events = std::mem::take(&mut *self.rings[rank].lock());
+        (
+            events.into(),
+            self.dropped[rank].swap(0, Ordering::Relaxed),
+        )
+    }
+
+    /// Events currently buffered for `rank` (test/diagnostic helper).
+    pub fn len(&self, rank: usize) -> usize {
+        self.rings[rank].lock().len()
+    }
+
+    pub fn is_empty(&self, rank: usize) -> bool {
+        self.len(rank) == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(ts: u64) -> CommEvent {
+        CommEvent {
+            kind: CommEventKind::Send,
+            ts_us: ts,
+            dur_us: 0,
+            peer: 1,
+            tag: 7,
+            bytes: 64,
+        }
+    }
+
+    #[test]
+    fn epoch_is_stable_and_clock_is_monotone() {
+        let a = trace_epoch();
+        let t0 = trace_now_us();
+        let b = trace_epoch();
+        assert_eq!(a, b);
+        assert!(trace_now_us() >= t0);
+    }
+
+    #[test]
+    fn disabled_log_gates_on_one_flag() {
+        let log = CommEventLog::new(2, 8);
+        assert!(!log.is_enabled());
+        log.set_enabled(true);
+        assert!(log.is_enabled());
+    }
+
+    #[test]
+    fn ring_keeps_newest_and_counts_evictions() {
+        let log = CommEventLog::new(1, 3);
+        for t in 0..5 {
+            log.record(0, ev(t));
+        }
+        let (events, dropped) = log.take(0);
+        assert_eq!(dropped, 2);
+        let ts: Vec<u64> = events.iter().map(|e| e.ts_us).collect();
+        assert_eq!(ts, vec![2, 3, 4]);
+        // Drained: the ring and the counter both reset.
+        let (events, dropped) = log.take(0);
+        assert!(events.is_empty());
+        assert_eq!(dropped, 0);
+    }
+
+    #[test]
+    fn rings_are_per_rank() {
+        let log = CommEventLog::new(3, 8);
+        log.record(0, ev(1));
+        log.record(2, ev(2));
+        assert_eq!(log.len(0), 1);
+        assert_eq!(log.len(1), 0);
+        assert_eq!(log.len(2), 1);
+    }
+}

@@ -19,11 +19,13 @@
 //! keeping communication *volumes* identical to a real MPI run.
 
 pub mod collectives;
+pub mod events;
 pub mod faultplan;
 pub mod halo;
 pub mod stats;
 pub mod world;
 
+pub use events::{trace_epoch, trace_now_us, CommEvent, CommEventKind, CommEventLog};
 pub use faultplan::{FaultEvent, FaultInjector, FaultPlan, MsgFault, MsgSelector};
 pub use halo::{HaloExchange, HaloSpec};
 pub use stats::CommStats;

@@ -8,6 +8,7 @@ use std::time::Duration;
 
 use parking_lot::{Condvar, Mutex};
 
+use crate::events::{trace_now_us, CommEvent, CommEventKind, CommEventLog};
 use crate::faultplan::{FaultInjector, MsgFault};
 use crate::stats::CommStats;
 use crate::CommError;
@@ -59,6 +60,9 @@ struct WorldShared {
     /// Fault-injection hook; `None` in production runs (one pointer check
     /// per send, nothing per receive — zero-cost when disabled).
     injector: Option<Arc<FaultInjector>>,
+    /// Per-rank timestamped send/recv timeline; disabled by default (one
+    /// relaxed load per message when off).
+    events: CommEventLog,
 }
 
 /// A communication world of `n` ranks, each running on its own OS thread.
@@ -85,6 +89,7 @@ impl World {
                 stats: CommStats::default(),
                 recv_timeout: env_recv_timeout(),
                 injector: None,
+                events: CommEventLog::new(n, crate::events::DEFAULT_COMM_EVENT_CAPACITY),
             }),
         }
     }
@@ -120,6 +125,12 @@ impl World {
     /// Traffic accounting for everything sent in this world.
     pub fn stats(&self) -> &CommStats {
         &self.shared.stats
+    }
+
+    /// The world's comm-event timeline (disabled until
+    /// [`CommEventLog::set_enabled`] is called).
+    pub fn comm_events(&self) -> &CommEventLog {
+        &self.shared.events
     }
 
     /// Run `f` on every rank concurrently; returns per-rank results in rank
@@ -197,6 +208,12 @@ impl Rank {
         self.shared.injector.as_ref()
     }
 
+    /// The shared comm-event timeline (same instance for every rank, one
+    /// ring per rank).
+    pub fn comm_events(&self) -> &CommEventLog {
+        &self.shared.events
+    }
+
     /// Send `data` to `dst` under `tag`. Non-blocking in the MPI "buffered"
     /// sense: the payload is moved into the destination mailbox immediately.
     pub fn send<T: Send + Clone + 'static>(&self, dst: usize, tag: u64, data: Vec<T>) {
@@ -210,9 +227,21 @@ impl Rank {
                 None => {}
             }
         }
-        self.shared
-            .stats
-            .record_send(self.id, dst, tag, std::mem::size_of::<T>() * data.len());
+        let bytes = std::mem::size_of::<T>() * data.len();
+        self.shared.stats.record_send(self.id, dst, tag, bytes);
+        if self.shared.events.is_enabled() {
+            self.shared.events.record(
+                self.id,
+                CommEvent {
+                    kind: CommEventKind::Send,
+                    ts_us: trace_now_us(),
+                    dur_us: 0,
+                    peer: dst,
+                    tag,
+                    bytes: bytes as u64,
+                },
+            );
+        }
         if copies == 0 {
             return;
         }
@@ -248,31 +277,72 @@ impl Rank {
     /// Blocking receive of a `Vec<T>` from `src` under `tag`.
     pub fn recv<T: Send + 'static>(&self, src: usize, tag: u64) -> Result<Vec<T>, CommError> {
         assert!(src < self.shared.n, "recv from invalid rank {src}");
+        // Timeline start: the blocking window (including condvar waits) is
+        // the coupler stall time the trace makes visible.
+        let t_rec = self.shared.events.is_enabled().then(trace_now_us);
         let mailbox = &self.shared.mailboxes[self.id];
-        let mut inner = mailbox.inner.lock();
-        loop {
-            if let Some(queue) = inner.queues.get_mut(&(src, tag)) {
-                if let Some(msg) = queue.pop_front() {
-                    return msg.payload.downcast::<Vec<T>>().map(|b| *b).map_err(|_| {
-                        CommError::TypeMismatch {
-                            rank: self.id,
-                            src,
-                            tag,
-                        }
+        let msg = {
+            let mut inner = mailbox.inner.lock();
+            'wait: loop {
+                if let Some(queue) = inner.queues.get_mut(&(src, tag)) {
+                    if let Some(msg) = queue.pop_front() {
+                        break 'wait msg;
+                    }
+                }
+                if mailbox
+                    .notify
+                    .wait_for(&mut inner, self.shared.recv_timeout)
+                    .timed_out()
+                {
+                    if let Some(ts) = t_rec {
+                        // The timed-out wait is itself a timeline event: a
+                        // dropped message shows as a full-timeout stall.
+                        self.shared.events.record(
+                            self.id,
+                            CommEvent {
+                                kind: CommEventKind::Recv,
+                                ts_us: ts,
+                                dur_us: trace_now_us().saturating_sub(ts),
+                                peer: src,
+                                tag,
+                                bytes: 0,
+                            },
+                        );
+                    }
+                    return Err(CommError::Deadlock {
+                        rank: self.id,
+                        waiting: vec![(src, tag)],
                     });
                 }
             }
-            if mailbox
-                .notify
-                .wait_for(&mut inner, self.shared.recv_timeout)
-                .timed_out()
-            {
-                return Err(CommError::Deadlock {
-                    rank: self.id,
-                    waiting: vec![(src, tag)],
-                });
-            }
+        };
+        let result = msg
+            .payload
+            .downcast::<Vec<T>>()
+            .map(|b| *b)
+            .map_err(|_| CommError::TypeMismatch {
+                rank: self.id,
+                src,
+                tag,
+            });
+        if let Some(ts) = t_rec {
+            let bytes = result
+                .as_ref()
+                .map(|v| (std::mem::size_of::<T>() * v.len()) as u64)
+                .unwrap_or(0);
+            self.shared.events.record(
+                self.id,
+                CommEvent {
+                    kind: CommEventKind::Recv,
+                    ts_us: ts,
+                    dur_us: trace_now_us().saturating_sub(ts),
+                    peer: src,
+                    tag,
+                    bytes,
+                },
+            );
         }
+        result
     }
 
     /// Discard every message queued for this rank (all sources, all tags).
@@ -630,6 +700,45 @@ mod tests {
                 assert!(rank.recv::<u8>(0, 1).is_err());
             }
         });
+    }
+
+    #[test]
+    fn comm_event_timeline_records_sends_and_blocking_recvs() {
+        use crate::events::CommEventKind;
+        let world = World::new(2);
+        world.comm_events().set_enabled(true);
+        world.run(|rank| {
+            if rank.id() == 0 {
+                rank.send(1, 9, vec![0u64; 50]);
+            } else {
+                rank.recv::<u64>(0, 9).unwrap();
+            }
+        });
+        let (sends, d0) = world.comm_events().take(0);
+        let (recvs, d1) = world.comm_events().take(1);
+        assert_eq!((d0, d1), (0, 0));
+        assert_eq!(sends.len(), 1);
+        assert_eq!(sends[0].kind, CommEventKind::Send);
+        assert_eq!((sends[0].peer, sends[0].tag, sends[0].bytes), (1, 9, 400));
+        let recv = recvs
+            .iter()
+            .find(|e| e.kind == CommEventKind::Recv)
+            .expect("recv recorded");
+        assert_eq!((recv.peer, recv.tag, recv.bytes), (0, 9, 400));
+    }
+
+    #[test]
+    fn comm_event_timeline_is_off_by_default() {
+        let world = World::new(2);
+        world.run(|rank| {
+            if rank.id() == 0 {
+                rank.send(1, 1, vec![1u8]);
+            } else {
+                rank.recv::<u8>(0, 1).unwrap();
+            }
+        });
+        assert!(world.comm_events().is_empty(0));
+        assert!(world.comm_events().is_empty(1));
     }
 
     #[test]

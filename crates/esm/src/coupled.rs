@@ -153,6 +153,15 @@ pub struct CoupledOptions {
     /// Collective: every rank contributes its span tree to the cross-rank
     /// section table; rank 0 writes the file.
     pub report_name: Option<String>,
+    /// Also export per-rank timelines: a Chrome Trace Event file
+    /// (`trace-<name>.json`, one `pid` per rank, span + comm-flow events,
+    /// resilience instants) and a collapsed-stack flamegraph
+    /// (`trace-<name>.folded`). Requires `report_name`; ignored without it.
+    pub trace: bool,
+    /// Opt-in live telemetry: every N ocean couplings, rank 0 prints step
+    /// rate, an SYPD estimate, and the per-component wall-time split to
+    /// stderr. `None` (the default) prints nothing.
+    pub progress_every: Option<u64>,
     /// Enable checkpoint/rollback recovery, writing checkpoints under this
     /// directory (shared by all ranks). `None` disables the entire
     /// resilience path: no guards, no health exchange, no checkpoints.
@@ -168,6 +177,8 @@ impl Default for CoupledOptions {
             vortex: None,
             record_track: false,
             report_name: None,
+            trace: false,
+            progress_every: None,
             checkpoint_dir: None,
             recovery: RecoveryConfig::default(),
         }
@@ -197,6 +208,10 @@ pub struct CoupledStats {
     pub report_json: Option<String>,
     /// Where the report was written (rank 0, when `report_name` was set).
     pub report_path: Option<std::path::PathBuf>,
+    /// Where the chrome-trace file was written (rank 0, when tracing).
+    pub trace_path: Option<std::path::PathBuf>,
+    /// Where the collapsed-stack file was written (rank 0, when tracing).
+    pub folded_path: Option<std::path::PathBuf>,
     /// Rollbacks performed by the recovery layer.
     pub recoveries: usize,
     /// Human-readable fault events (injected faults, comm errors, guard
@@ -318,10 +333,12 @@ fn observe_verdict(verdict: HealthVerdict, rank_id: usize) -> HealthVerdict {
         HealthVerdict::Healthy => {}
         HealthVerdict::Degraded(m) => {
             ap3esm_obs::counter_add("resilience.guard_degraded", 1);
+            ap3esm_obs::instant("health.degraded");
             eprintln!("[resilience] rank {rank_id} degraded: {m}");
         }
         HealthVerdict::Fatal(m) => {
             ap3esm_obs::counter_add("resilience.guard_fatal", 1);
+            ap3esm_obs::instant("health.fatal");
             eprintln!("[resilience] rank {rank_id} fatal: {m}");
         }
     }
@@ -334,6 +351,7 @@ fn observe_verdict(verdict: HealthVerdict, rank_id: usize) -> HealthVerdict {
 fn begin_rollback(rank: &Rank, resil: &mut Resilience, reason: &str) -> Option<RecoveryFailure> {
     resil.recoveries += 1;
     ap3esm_obs::counter_add("resilience.rollbacks", 1);
+    ap3esm_obs::instant("rollback");
     if resil.recoveries > resil.cfg.max_recoveries {
         return Some(RecoveryFailure {
             recoveries_attempted: resil.recoveries - 1,
@@ -360,6 +378,7 @@ fn commit_checkpoint(rank: &Rank, resil: &mut Resilience, id: u64) {
     )
     .expect("checkpoint commit");
     ap3esm_obs::counter_add("resilience.checkpoints", 1);
+    ap3esm_obs::instant("checkpoint.commit");
     if let Some(inj) = rank.fault_injector() {
         let corruptions: Vec<(String, u32, u64)> = inj
             .plan()
@@ -381,6 +400,7 @@ fn commit_checkpoint(rank: &Rank, resil: &mut Resilience, id: u64) {
                     "corrupted checkpoint {id} field {field} subfile {sub} byte {byte}"
                 ));
                 ap3esm_obs::counter_add("resilience.faults", 1);
+                ap3esm_obs::instant("fault.corrupt");
             }
         }
     }
@@ -422,6 +442,17 @@ pub fn run_coupled(rank: &Rank, config: &CoupledConfig, opts: &CoupledOptions) -
     let obs = std::sync::Arc::new(ap3esm_obs::Obs::new());
     let _obs_guard = ap3esm_obs::install(std::sync::Arc::clone(&obs));
     let mut timers = Timers::attached(std::sync::Arc::clone(&obs));
+    // Timeline tracing: every rank buffers its span/instant events in a
+    // bounded sink and the world's comm-event rings start recording; both
+    // are drained into one chrome-trace file after the run.
+    let tracing = opts.trace && opts.report_name.is_some();
+    let trace_sink = tracing.then(|| {
+        let sink = std::sync::Arc::new(ap3esm_obs::TraceSink::default());
+        obs.profiler
+            .set_trace_sink(Some(std::sync::Arc::clone(&sink)));
+        rank.comm_events().set_enabled(true);
+        sink
+    });
     let t_start = std::time::Instant::now();
     let total_seconds = (opts.days * 86_400.0).round();
     let mut stats = CoupledStats::default();
@@ -503,6 +534,9 @@ pub fn run_coupled(rank: &Rank, config: &CoupledConfig, opts: &CoupledOptions) -
         let mut prev_track: Option<(f64, f64)> = None;
 
         let bulk = BulkCoefficients::default();
+
+        // Live-telemetry state: wall clock + sim time at the last heartbeat.
+        let mut hb_last: Option<(std::time::Instant, f64)> = None;
 
         let mut resil = opts
             .checkpoint_dir
@@ -786,6 +820,7 @@ pub fn run_coupled(rank: &Rank, config: &CoupledConfig, opts: &CoupledOptions) -
                                 *v = f64::NAN;
                             }
                             ap3esm_obs::counter_add("resilience.faults", 1);
+                            ap3esm_obs::instant("fault.kill");
                         }
                     }
                     let mut verdict = atm_guard.check(&atm);
@@ -857,6 +892,7 @@ pub fn run_coupled(rank: &Rank, config: &CoupledConfig, opts: &CoupledOptions) -
                                 stats.ice_series.truncate(meta[4] as usize);
                                 stats.track.truncate(meta[5] as usize);
                                 prev_track = (meta[6] > 0.5).then_some((meta[7], meta[8]));
+                                ap3esm_obs::instant("rollback.restored");
                                 eprintln!(
                                     "[resilience] restored checkpoint {cand}, replaying from t = {} s",
                                     clock.time
@@ -879,6 +915,7 @@ pub fn run_coupled(rank: &Rank, config: &CoupledConfig, opts: &CoupledOptions) -
                         && ocn_idx.is_multiple_of(resil.cfg.checkpoint_interval as u64)
                     {
                         let id = ocn_idx;
+                        ap3esm_obs::instant("checkpoint.begin");
                         with_retry(
                             "checkpoint begin",
                             resil.cfg.retries,
@@ -926,6 +963,39 @@ pub fn run_coupled(rank: &Rank, config: &CoupledConfig, opts: &CoupledOptions) -
                         .expect("checkpoint write");
                         rank.barrier();
                         commit_checkpoint(rank, resil, id);
+                    }
+                }
+
+                // ----- Live telemetry heartbeat (opt-in, rank 0 only):
+                //       step rate, SYPD estimate and component split since
+                //       the previous heartbeat. -----
+                if let Some(every) = opts.progress_every {
+                    let ocn_count = stats.ke_series.len() as u64;
+                    if every > 0 && ocn_count.is_multiple_of(every) {
+                        let now = std::time::Instant::now();
+                        let sim_s = clock.time as f64;
+                        let (dw, ds) = match hb_last {
+                            Some((w, s)) => {
+                                (now.duration_since(w).as_secs_f64(), sim_s - s)
+                            }
+                            None => (t_start.elapsed().as_secs_f64(), sim_s),
+                        };
+                        let dw = dw.max(1e-9);
+                        let split: Vec<String> =
+                            ["atm_run", "ocn_run", "ice_run", "cpl_rearrange"]
+                                .iter()
+                                .filter(|s| timers.count(s) > 0)
+                                .map(|s| format!("{s} {:.2}s", timers.seconds(s)))
+                                .collect();
+                        eprintln!(
+                            "[telemetry] day {:.2}/{:.1} | {:.2} couplings/s | est. SYPD {:.2} | {}",
+                            clock.days(),
+                            opts.days,
+                            (ds / ocn_period) / dw,
+                            get_timing(ds, dw),
+                            split.join(", ")
+                        );
+                        hb_last = Some((now, sim_s));
                     }
                 }
             }
@@ -1024,6 +1094,7 @@ pub fn run_coupled(rank: &Rank, config: &CoupledConfig, opts: &CoupledOptions) -
                                 *v = f64::NAN;
                             }
                             ap3esm_obs::counter_add("resilience.faults", 1);
+                            ap3esm_obs::instant("fault.kill");
                         }
                     }
                     let mut verdict = ocn_guard.check(&ocn.state);
@@ -1055,6 +1126,7 @@ pub fn run_coupled(rank: &Rank, config: &CoupledConfig, opts: &CoupledOptions) -
                                 crate::restart::read_ocn_restart(&dir, &mut ocn.state, me - 1);
                             if vote_all_ok(rank, loaded.is_ok()) {
                                 clock.time = (cand as f64 * ocn_period).round() as i64;
+                                ap3esm_obs::instant("rollback.restored");
                                 break;
                             }
                             if let Err(e) = &loaded {
@@ -1068,6 +1140,7 @@ pub fn run_coupled(rank: &Rank, config: &CoupledConfig, opts: &CoupledOptions) -
                         && ocn_idx.is_multiple_of(resil.cfg.checkpoint_interval as u64)
                     {
                         let id = ocn_idx;
+                        ap3esm_obs::instant("checkpoint.begin");
                         rank.barrier(); // rank 0 clears the checkpoint dir
                         let dir = resil.store.dir(id);
                         with_retry(
@@ -1110,7 +1183,52 @@ pub fn run_coupled(rank: &Rank, config: &CoupledConfig, opts: &CoupledOptions) -
         let spans = obs.profiler.snapshot();
         let sections =
             ap3esm_obs::aggregate_sections(rank, 0x0B70, &spans).expect("section aggregation");
+        // Every rank's tree (bounded) lands in the report, not just rank 0's.
+        let trees = ap3esm_obs::gather_span_trees(rank, 0x0B74, &spans, 16, 512)
+            .expect("span tree gather");
+        // Timeline export: stop recording everywhere, then ship each rank's
+        // buffered span events to rank 0. The comm-event rings live in the
+        // shared world structure, so rank 0 drains them directly once the
+        // barrier guarantees all ranks have stopped recording.
+        let mut trace_events: Option<Vec<Vec<ap3esm_obs::TraceEvent>>> = None;
+        if let Some(sink) = &trace_sink {
+            rank.comm_events().set_enabled(false);
+            obs.profiler.set_trace_sink(None);
+            rank.barrier();
+            let (events, dropped) = sink.take();
+            if dropped > 0 {
+                eprintln!("[trace] rank {me}: {dropped} span events dropped (sink full)");
+            }
+            let wire = ap3esm_obs::trace::encode_events(&events);
+            let gathered = ap3esm_comm::collectives::gather::<u8>(rank, 0x0B76, 0, wire)
+                .expect("trace event gather");
+            trace_events = gathered.map(|parts| {
+                parts
+                    .iter()
+                    .map(|bytes| ap3esm_obs::trace::decode_events(bytes))
+                    .collect()
+            });
+        }
         if is_root {
+            if let Some(per_rank) = trace_events {
+                let mut ct = ap3esm_obs::ChromeTrace::new();
+                for (r, events) in per_rank.iter().enumerate() {
+                    ct.add_process(r, &format!("rank {r}"));
+                    ct.add_span_events(r, events);
+                    let (comm_events, comm_dropped) = rank.comm_events().take(r);
+                    if comm_dropped > 0 {
+                        eprintln!(
+                            "[trace] rank {r}: {comm_dropped} comm events evicted (ring full)"
+                        );
+                    }
+                    ct.add_comm_events(r, &comm_events);
+                }
+                stats.trace_path = ct.write(name).ok();
+                if let Some(trees) = &trees {
+                    let folded = ap3esm_obs::trace::folded_stacks(trees);
+                    stats.folded_path = ap3esm_obs::trace::write_folded(name, &folded).ok();
+                }
+            }
             let comm = rank.stats();
             let stream = |label: &str, tags: [u64; 2]| {
                 let (m, b) = tags.iter().fold((0u64, 0u64), |(m, b), &t| {
@@ -1143,6 +1261,7 @@ pub fn run_coupled(rank: &Rank, config: &CoupledConfig, opts: &CoupledOptions) -
                 )
                 .spans(spans)
                 .sections(sections)
+                .rank_trees(trees.unwrap_or_default())
                 .metrics(obs.metrics.snapshot())
                 .comm(ap3esm_obs::CommSummary {
                     total_messages: comm.total_messages(),
@@ -1210,7 +1329,7 @@ mod tests {
         // Only rank 0 writes; ocean ranks still participated in aggregation.
         assert!(all[1..].iter().all(|s| s.report_json.is_none()));
         let json = root.report_json.as_ref().expect("rank 0 report");
-        assert!(json.starts_with(r#"{"schema":"ap3esm-obs/1","name":"esm-report-test""#));
+        assert!(json.starts_with(r#"{"schema":"ap3esm-obs/2","name":"esm-report-test""#));
 
         // The sink wrote the same bytes to target/obs/.
         let path = root.report_path.as_ref().expect("report written");

@@ -50,6 +50,18 @@ impl ForecastResult {
 
 /// Run the forecast experiment at one configuration for `days`.
 pub fn run_forecast(config: &CoupledConfig, days: f64) -> ForecastResult {
+    run_forecast_with(config, days, &CoupledOptions::default())
+}
+
+/// [`run_forecast`] with caller-controlled run options (report name, trace
+/// export, live telemetry, resilience). The forecast still owns `days`,
+/// the vortex seed and track recording; everything else is taken from
+/// `base`.
+pub fn run_forecast_with(
+    config: &CoupledConfig,
+    days: f64,
+    base: &CoupledOptions,
+) -> ForecastResult {
     let atm_dx_km =
         ap3esm_grid::mean_spacing_km(10 * 4usize.pow(config.atm_glevel) + 2);
     let spec = VortexSpec::doksuri_at_resolution(atm_dx_km);
@@ -57,7 +69,7 @@ pub fn run_forecast(config: &CoupledConfig, days: f64) -> ForecastResult {
         days,
         vortex: Some(spec),
         record_track: true,
-        ..Default::default()
+        ..base.clone()
     };
     let world = World::new(config.world_size());
     let mut all = world.run(|rank| run_coupled(rank, config, &opts));

@@ -30,7 +30,8 @@ pub mod timing;
 
 pub use component::{Component, ComponentPhase};
 pub use config::{CoupledConfig, Resolution};
-pub use coupled::{run_coupled, CoupledStats};
+pub use coupled::{run_coupled, CoupledOptions, CoupledStats};
+pub use forecast::{run_forecast, run_forecast_with, ForecastResult};
 pub use resilience::{
     AtmGuard, CheckpointStore, GuardConfig, HealthVerdict, OcnGuard, RecoveryConfig,
     RecoveryFailure,

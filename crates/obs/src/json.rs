@@ -1,10 +1,10 @@
-//! Minimal JSON value + writer for the run-report sink.
+//! Minimal JSON value + writer/parser for the run-report sink.
 //!
 //! The workspace has no serde_json (offline build — see `vendor/README.md`),
-//! and the report only needs *emission*, so this module provides an
-//! insertion-ordered value tree and a deterministic compact writer. Object
-//! keys keep insertion order, making report output byte-stable for the
-//! golden-schema test.
+//! so this module provides an insertion-ordered value tree, a deterministic
+//! compact writer, and a small recursive-descent parser (used by the trace
+//! schema tests to read emitted reports back). Object keys keep insertion
+//! order, making report output byte-stable for the golden-schema test.
 
 /// An insertion-ordered JSON value.
 #[derive(Debug, Clone, PartialEq)]
@@ -31,6 +31,62 @@ impl Json {
             other => panic!("Json::set on non-object {other:?}"),
         }
         self
+    }
+
+    /// Parse a JSON document. Numbers come back as `Num(f64)` (ample for
+    /// report/trace introspection); errors carry the byte offset.
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let value = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing data at byte {}", p.pos));
+        }
+        Ok(value)
+    }
+
+    /// Member lookup on an object (first match; `None` otherwise).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(x) => Some(*x),
+            Json::Int(i) => Some(*i as f64),
+            Json::UInt(u) => Some(*u as f64),
+            _ => None,
+        }
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::UInt(u) => Some(*u),
+            Json::Int(i) => u64::try_from(*i).ok(),
+            Json::Num(x) if *x >= 0.0 && x.fract() == 0.0 => Some(*x as u64),
+            _ => None,
+        }
     }
 
     fn write(&self, out: &mut String) {
@@ -81,6 +137,175 @@ impl std::fmt::Display for Json {
         let mut out = String::new();
         self.write(&mut out);
         f.write_str(&out)
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| matches!(b, b' ' | b'\t' | b'\n' | b'\r'))
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {:?} at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn eat_lit(&mut self, lit: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(value)
+        } else {
+            Err(format!("expected {lit} at byte {}", self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.eat_lit("true", Json::Bool(true)),
+            Some(b'f') => self.eat_lit("false", Json::Bool(false)),
+            Some(b'n') => self.eat_lit("null", Json::Null),
+            Some(_) => self.number(),
+            None => Err("unexpected end of input".to_string()),
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.eat(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            self.skip_ws();
+            pairs.push((key, self.value()?));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(pairs));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".to_string()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or("truncated \\u escape")?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                                16,
+                            )
+                            .map_err(|e| e.to_string())?;
+                            // Surrogate pairs are not produced by our writer;
+                            // map lone surrogates to the replacement char.
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        _ => return Err(format!("bad escape at byte {}", self.pos)),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is a &str, so the
+                    // byte stream is valid UTF-8).
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|e| e.to_string())?;
+                    let c = rest.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        while self
+            .peek()
+            .is_some_and(|b| matches!(b, b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|e| e.to_string())?;
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| format!("bad number {text:?} at byte {start}"))
     }
 }
 
@@ -146,6 +371,43 @@ mod tests {
         let mut o = Json::obj();
         o.set("s", "a\"b\\c\nd".into()).set("nan", Json::Num(f64::NAN));
         assert_eq!(o.to_string(), r#"{"s":"a\"b\\c\nd","nan":null}"#);
+    }
+
+    #[test]
+    fn parses_what_the_writer_emits() {
+        let mut o = Json::obj();
+        o.set("name", "coupled".into())
+            .set("sypd", Json::Num(0.5))
+            .set("ranks", Json::UInt(3))
+            .set("note", "a\"b\nc".into())
+            .set("list", Json::Arr(vec![Json::Int(-1), Json::Bool(true), Json::Null]))
+            .set("empty", Json::obj());
+        let parsed = Json::parse(&o.to_string()).unwrap();
+        assert_eq!(parsed.get("name").and_then(Json::as_str), Some("coupled"));
+        assert_eq!(parsed.get("sypd").and_then(Json::as_f64), Some(0.5));
+        assert_eq!(parsed.get("ranks").and_then(Json::as_u64), Some(3));
+        assert_eq!(parsed.get("note").and_then(Json::as_str), Some("a\"b\nc"));
+        assert_eq!(parsed.get("list").and_then(Json::as_arr).unwrap().len(), 3);
+        assert_eq!(parsed.get("empty"), Some(&Json::Obj(Vec::new())));
+    }
+
+    #[test]
+    fn parse_rejects_malformed_documents() {
+        assert!(Json::parse("{").is_err());
+        assert!(Json::parse(r#"{"a":1,}"#).is_err());
+        assert!(Json::parse(r#"{"a":1} extra"#).is_err());
+        assert!(Json::parse(r#""unterminated"#).is_err());
+        assert!(Json::parse("[1,2").is_err());
+    }
+
+    #[test]
+    fn parse_accepts_whitespace_and_nested_structures() {
+        let doc = "\n{ \"a\" : [ 1 , { \"b\" : -2.5e1 } ] ,\t\"c\": false }\n";
+        let parsed = Json::parse(doc).unwrap();
+        let arr = parsed.get("a").and_then(Json::as_arr).unwrap();
+        assert_eq!(arr[0].as_f64(), Some(1.0));
+        assert_eq!(arr[1].get("b").and_then(Json::as_f64), Some(-25.0));
+        assert_eq!(parsed.get("c"), Some(&Json::Bool(false)));
     }
 
     #[test]

@@ -15,6 +15,11 @@
 //! * [`report`] — a run-report sink that renders the span tree for humans
 //!   and writes one machine-readable JSON object per run to
 //!   `target/obs/run-<name>.json`.
+//! * [`trace`] — per-rank timeline export: Chrome Trace Event Format
+//!   (`target/obs/trace-<name>.json`, openable in Perfetto) with one `pid`
+//!   per rank, span `X` events, resilience instant events and send/recv
+//!   flow arrows, plus collapsed-stack flamegraph output
+//!   (`trace-<name>.folded` for `inferno`/`flamegraph.pl`).
 //!
 //! Leaf crates instrument hot paths through the free functions below
 //! ([`span()`], [`counter_add()`], …), which act on a **thread-local active
@@ -29,11 +34,13 @@ pub mod metrics;
 pub mod rankagg;
 pub mod report;
 pub mod span;
+pub mod trace;
 
 pub use metrics::{Counter, Gauge, Histogram, Metrics, MetricSnapshot};
-pub use rankagg::{aggregate_sections, SectionStats};
+pub use rankagg::{aggregate_sections, gather_span_trees, RankTree, SectionStats};
 pub use report::{CommSummary, ReportBuilder, RunReport};
 pub use span::{Profiler, SpanGuard, SpanSnapshot};
+pub use trace::{ChromeTrace, TraceEvent, TracePhase, TraceSink};
 
 use std::cell::RefCell;
 use std::sync::Arc;
@@ -117,6 +124,15 @@ pub fn gauge_set(name: &str, value: f64) {
 pub fn histogram_record(name: &str, value: u64) {
     if let Some(obs) = active() {
         obs.metrics.histogram(name).record(value);
+    }
+}
+
+/// Records an instant trace event (fault injection, health verdict,
+/// rollback, checkpoint begin/commit…) on the active profiler's trace
+/// sink; a no-op without an active instance or with tracing off.
+pub fn instant(name: &str) {
+    if let Some(obs) = active() {
+        obs.profiler.record_instant(name);
     }
 }
 

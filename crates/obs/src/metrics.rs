@@ -126,10 +126,21 @@ impl Histogram {
     }
 
     /// Value at quantile `q` in `[0, 1]` (nearest-rank over buckets).
+    /// Defined on every state: an empty histogram returns 0 and a
+    /// single-sample histogram returns that sample exactly for every `q`,
+    /// instead of walking buckets into an underflow edge case.
     pub fn quantile(&self, q: f64) -> u64 {
         let n = self.count();
         if n == 0 {
             return 0;
+        }
+        // Snapshot the extremes once, defensively ordered: a concurrent
+        // `record` updates min before max, so a racing reader can observe
+        // min > max — which would make `clamp` panic.
+        let lo = self.min();
+        let hi = self.max().max(lo);
+        if n == 1 || lo == hi {
+            return hi;
         }
         let target = ((q.clamp(0.0, 1.0) * n as f64).ceil() as u64).max(1);
         let mut seen = 0u64;
@@ -137,10 +148,10 @@ impl Histogram {
             seen += b.load(Ordering::Relaxed);
             if seen >= target {
                 // Clamp to the exact extremes so q=0/q=1 are error-free.
-                return bucket_value(idx).clamp(self.min(), self.max());
+                return bucket_value(idx).clamp(lo, hi);
             }
         }
-        self.max()
+        hi
     }
 
     pub fn summary(&self) -> HistogramSummary {
@@ -281,6 +292,41 @@ mod tests {
                 assert!(rel <= 1.0 / LINEAR_MAX as f64 + 1e-12, "rel err {rel} at {v}");
             }
         }
+    }
+
+    #[test]
+    fn empty_histogram_quantiles_are_defined() {
+        let h = Histogram::default();
+        for q in [0.0, 0.5, 0.95, 1.0] {
+            assert_eq!(h.quantile(q), 0);
+        }
+        let s = h.summary();
+        assert_eq!((s.count, s.min, s.max, s.p50, s.p95), (0, 0, 0, 0, 0));
+        assert_eq!(s.mean, 0.0);
+    }
+
+    #[test]
+    fn single_sample_histogram_returns_the_sample_at_every_quantile() {
+        // A value deep in the log-bucketed range, where the bucket midpoint
+        // differs from the sample — quantiles must still be exact.
+        let h = Histogram::default();
+        h.record(1_000_003);
+        for q in [0.0, 0.5, 0.95, 1.0] {
+            assert_eq!(h.quantile(q), 1_000_003, "q={q}");
+        }
+        let s = h.summary();
+        assert_eq!((s.p50, s.p95), (1_000_003, 1_000_003));
+        assert_eq!((s.min, s.max), (1_000_003, 1_000_003));
+    }
+
+    #[test]
+    fn identical_samples_collapse_to_the_exact_value() {
+        let h = Histogram::default();
+        for _ in 0..100 {
+            h.record(777_777);
+        }
+        assert_eq!(h.quantile(0.5), 777_777);
+        assert_eq!(h.quantile(0.95), 777_777);
     }
 
     #[test]

@@ -5,11 +5,14 @@
 //! load imbalance." [`aggregate_sections`] implements that rule on top of
 //! the `ap3esm-comm` collectives — every rank contributes its local span
 //! snapshot and every rank returns the same merged table of per-section
-//! max/min/mean plus the load-imbalance ratio max/mean.
+//! max/min/mean plus the load-imbalance ratio. [`gather_span_trees`]
+//! additionally ships every rank's *full tree* (bounded by depth and span
+//! count) to the reporting rank, so the run report and the chrome-trace
+//! export can show each rank's structure, not just a flat table.
 
 use std::collections::BTreeMap;
 
-use ap3esm_comm::collectives::allgather;
+use ap3esm_comm::collectives::{allgather, gather};
 use ap3esm_comm::{CommError, Rank};
 
 use crate::span::SpanSnapshot;
@@ -24,10 +27,17 @@ pub struct SectionStats {
     pub min_s: f64,
     /// Mean over the ranks that entered the section.
     pub mean_s: f64,
-    /// Load-imbalance ratio max/mean (1.0 = perfectly balanced).
+    /// Load-imbalance ratio: max over the *world-wide* mean, where ranks
+    /// that never entered the section contribute zero. A section run by one
+    /// rank of N therefore reads as N× imbalanced instead of silently
+    /// reporting 1.0 — the coupled layout (atmosphere on rank 0, ocean
+    /// elsewhere) is full of such sections and they are exactly the ones
+    /// the §6.2 analysis needs flagged.
     pub imbalance: f64,
     /// How many ranks entered the section.
     pub ranks: usize,
+    /// World size the aggregation ran over.
+    pub world: usize,
     /// Largest per-rank call count.
     pub count: u64,
 }
@@ -49,6 +59,9 @@ fn decode(mut buf: &[u8]) -> Vec<(String, f64, u64)> {
     let mut out = Vec::new();
     while buf.len() >= 4 {
         let len = u32::from_le_bytes(buf[..4].try_into().unwrap()) as usize;
+        if buf.len() < 4 + len + 16 {
+            break; // truncated record: keep the complete prefix
+        }
         buf = &buf[4..];
         let path = String::from_utf8_lossy(&buf[..len]).into_owned();
         buf = &buf[len..];
@@ -74,6 +87,7 @@ pub fn aggregate_sections(
     let lens = allgather(rank, tag, vec![mine.len() as u64])?;
     let all = allgather(rank, tag + 1, mine)?;
 
+    let world = rank.size();
     let mut merged: BTreeMap<String, SectionStats> = BTreeMap::new();
     let mut offset = 0usize;
     for &len in &lens {
@@ -86,6 +100,7 @@ pub fn aggregate_sections(
                 mean_s: 0.0, // holds the running sum until the final pass
                 imbalance: 1.0,
                 ranks: 0,
+                world,
                 count: 0,
             });
             entry.max_s = entry.max_s.max(total);
@@ -99,11 +114,116 @@ pub fn aggregate_sections(
     Ok(merged
         .into_values()
         .map(|mut s| {
+            // Imbalance over the whole world: absent ranks contribute zero
+            // time, so a section run by 1 of N ranks reads as N×.
+            let world_mean = s.mean_s / world as f64;
             s.mean_s /= s.ranks as f64;
-            s.imbalance = if s.mean_s > 0.0 { s.max_s / s.mean_s } else { 1.0 };
+            s.imbalance = if world_mean > 0.0 {
+                s.max_s / world_mean
+            } else {
+                1.0
+            };
             s
         })
         .collect())
+}
+
+/// One rank's (bounded) span tree as gathered by [`gather_span_trees`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct RankTree {
+    pub rank: usize,
+    /// Spans omitted by the depth/count bounds.
+    pub dropped: u64,
+    /// Preorder snapshot, parents before children.
+    pub spans: Vec<SpanSnapshot>,
+}
+
+// Wire encoding of one bounded tree: [u64 dropped] then per span
+// [u32 path len][path][u32 depth][f64 total bits][f64 self bits][u64 count].
+fn encode_tree(dropped: u64, spans: &[SpanSnapshot]) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&dropped.to_le_bytes());
+    for s in spans {
+        out.extend_from_slice(&(s.path.len() as u32).to_le_bytes());
+        out.extend_from_slice(s.path.as_bytes());
+        out.extend_from_slice(&(s.depth as u32).to_le_bytes());
+        out.extend_from_slice(&s.total_s.to_bits().to_le_bytes());
+        out.extend_from_slice(&s.self_s.to_bits().to_le_bytes());
+        out.extend_from_slice(&s.count.to_le_bytes());
+    }
+    out
+}
+
+fn decode_tree(rank: usize, mut buf: &[u8]) -> RankTree {
+    let dropped = if buf.len() >= 8 {
+        let d = u64::from_le_bytes(buf[..8].try_into().unwrap());
+        buf = &buf[8..];
+        d
+    } else {
+        0
+    };
+    let mut spans = Vec::new();
+    while buf.len() >= 4 {
+        let len = u32::from_le_bytes(buf[..4].try_into().unwrap()) as usize;
+        if buf.len() < 4 + len + 28 {
+            break; // truncated record: keep the complete prefix
+        }
+        buf = &buf[4..];
+        let path = String::from_utf8_lossy(&buf[..len]).into_owned();
+        buf = &buf[len..];
+        let depth = u32::from_le_bytes(buf[..4].try_into().unwrap()) as usize;
+        buf = &buf[4..];
+        let total_s = f64::from_bits(u64::from_le_bytes(buf[..8].try_into().unwrap()));
+        buf = &buf[8..];
+        let self_s = f64::from_bits(u64::from_le_bytes(buf[..8].try_into().unwrap()));
+        buf = &buf[8..];
+        let count = u64::from_le_bytes(buf[..8].try_into().unwrap());
+        buf = &buf[8..];
+        let name = path.rsplit('/').next().unwrap_or(&path).to_string();
+        spans.push(SpanSnapshot {
+            path,
+            name,
+            depth,
+            total_s,
+            self_s,
+            count,
+        });
+    }
+    RankTree {
+        rank,
+        dropped,
+        spans,
+    }
+}
+
+/// Ships every rank's span tree (preorder, bounded to `max_depth` and
+/// `max_spans` per rank) to rank 0. Collective over the whole world; rank 0
+/// returns `Some(trees)` in rank order, every other rank returns `None`.
+pub fn gather_span_trees(
+    rank: &Rank,
+    tag: u64,
+    spans: &[SpanSnapshot],
+    max_depth: usize,
+    max_spans: usize,
+) -> Result<Option<Vec<RankTree>>, CommError> {
+    // Depth bound first (preorder keeps parents before children, and a
+    // node's children are strictly deeper, so the prefix stays a forest).
+    let kept: Vec<&SpanSnapshot> = spans
+        .iter()
+        .filter(|s| s.depth <= max_depth)
+        .take(max_spans)
+        .collect();
+    let dropped = (spans.len() - kept.len()) as u64;
+    let bounded: Vec<SpanSnapshot> = kept.into_iter().cloned().collect();
+    let wire = encode_tree(dropped, &bounded);
+    let gathered = gather::<u8>(rank, tag, 0, wire)?;
+    Ok(gathered.map(|parts| {
+        parts
+            .into_iter()
+            .enumerate()
+            .map(|(r, bytes)| decode_tree(r, &bytes))
+            .collect()
+    }))
 }
 
 #[cfg(test)]
@@ -135,6 +255,7 @@ mod tests {
             let w = &t[0];
             assert_eq!(w.path, "work");
             assert_eq!(w.ranks, 4);
+            assert_eq!(w.world, 4);
             assert_eq!(w.max_s, 4.0);
             assert_eq!(w.min_s, 1.0);
             assert!((w.mean_s - 2.5).abs() < 1e-12);
@@ -146,25 +267,81 @@ mod tests {
     }
 
     #[test]
-    fn sections_missing_on_some_ranks_average_over_participants() {
+    fn sections_missing_on_some_ranks_read_as_world_imbalance() {
         let world = World::new(3);
         let tables = world.run(|rank| {
-            // Only rank 0 runs the atmosphere; all ranks run the ocean.
+            // Only rank 0 runs the atmosphere; all ranks run the ocean. The
+            // section also exists on ranks *other than 0* in real coupled
+            // runs (ocean spans absent on rank 0): either way the table
+            // must list it and flag the concentration, not report 1.0.
             let mut spans = vec![span("ocn_run", 2.0, 4)];
             if rank.id() == 0 {
                 spans.push(span("atm_run", 6.0, 8));
+            } else {
+                spans.push(span("ocn_run/barotropic", 1.0, 2));
             }
             aggregate_sections(rank, 0x0B60, &spans).unwrap()
         });
         let t = &tables[1];
-        assert_eq!(t.len(), 2);
+        assert_eq!(t.len(), 3);
         assert_eq!(t[0].path, "atm_run"); // BTreeMap: sorted by path
         assert_eq!(t[0].ranks, 1);
-        assert_eq!(t[0].mean_s, 6.0);
-        assert_eq!(t[0].imbalance, 1.0);
+        assert_eq!(t[0].world, 3);
+        assert_eq!(t[0].mean_s, 6.0); // mean over participants is unchanged
+        // World mean is 6/3 = 2 s, so one-rank-of-three reads as 3×.
+        assert!((t[0].imbalance - 3.0).abs() < 1e-12);
         assert_eq!(t[1].path, "ocn_run");
         assert_eq!(t[1].ranks, 3);
-        assert_eq!(t[1].imbalance, 1.0);
+        assert_eq!(t[1].imbalance, 1.0); // balanced sections still read 1.0
+        // Present on ranks 1..3 but absent on rank 0: 1.0/(2/3) = 1.5×.
+        assert_eq!(t[2].path, "ocn_run/barotropic");
+        assert_eq!(t[2].ranks, 2);
+        assert!((t[2].imbalance - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gathers_every_ranks_tree_to_root_in_rank_order() {
+        let world = World::new(3);
+        let trees = world.run(|rank| {
+            let spans = vec![
+                span("top", (rank.id() + 1) as f64, 1),
+                span("top/leaf", 0.5, 2),
+            ];
+            gather_span_trees(rank, 0x0B70, &spans, 16, 512).unwrap()
+        });
+        assert!(trees[1].is_none());
+        assert!(trees[2].is_none());
+        let trees = trees[0].as_ref().unwrap();
+        assert_eq!(trees.len(), 3);
+        for (r, t) in trees.iter().enumerate() {
+            assert_eq!(t.rank, r);
+            assert_eq!(t.dropped, 0);
+            assert_eq!(t.spans.len(), 2);
+            assert_eq!(t.spans[0].path, "top");
+            assert_eq!(t.spans[0].total_s, (r + 1) as f64);
+            assert_eq!(t.spans[1].path, "top/leaf");
+            assert_eq!(t.spans[1].name, "leaf");
+            assert_eq!(t.spans[1].depth, 1);
+        }
+    }
+
+    #[test]
+    fn tree_gather_bounds_depth_and_count() {
+        let world = World::new(2);
+        let trees = world.run(|rank| {
+            let spans = vec![
+                span("a", 3.0, 1),
+                span("a/b", 2.0, 1),
+                span("a/b/c", 1.0, 1), // over max_depth
+                span("d", 1.0, 1),     // over max_spans after depth cut
+            ];
+            gather_span_trees(rank, 0x0B80, &spans, 1, 2).unwrap()
+        });
+        let trees = trees[0].as_ref().unwrap();
+        let t = &trees[1];
+        assert_eq!(t.dropped, 2);
+        let paths: Vec<&str> = t.spans.iter().map(|s| s.path.as_str()).collect();
+        assert_eq!(paths, vec!["a", "a/b"]);
     }
 
     #[test]

@@ -10,11 +10,13 @@ use std::path::{Path, PathBuf};
 
 use crate::json::Json;
 use crate::metrics::MetricSnapshot;
-use crate::rankagg::SectionStats;
+use crate::rankagg::{RankTree, SectionStats};
 use crate::span::SpanSnapshot;
 
 /// Schema tag stamped into every report (bump on breaking layout changes).
-pub const SCHEMA: &str = "ap3esm-obs/1";
+/// `/2`: per-rank span trees (`rank_trees`) and world-relative section
+/// imbalance (`world` field on each `rank_sections` entry).
+pub const SCHEMA: &str = "ap3esm-obs/2";
 
 /// Communication traffic digest (fed from `ap3esm_comm::CommStats`).
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -35,6 +37,7 @@ pub struct ReportBuilder {
     meta: Vec<(String, Json)>,
     spans: Vec<SpanSnapshot>,
     sections: Vec<SectionStats>,
+    rank_trees: Vec<RankTree>,
     metrics: Vec<(String, MetricSnapshot)>,
     comm: Option<CommSummary>,
 }
@@ -65,6 +68,12 @@ impl ReportBuilder {
         self
     }
 
+    /// Attach every rank's (bounded) span tree, in rank order.
+    pub fn rank_trees(mut self, trees: Vec<RankTree>) -> Self {
+        self.rank_trees = trees;
+        self
+    }
+
     /// Attach a metrics snapshot.
     pub fn metrics(mut self, metrics: Vec<(String, MetricSnapshot)>) -> Self {
         self.metrics = metrics;
@@ -83,6 +92,7 @@ impl ReportBuilder {
             meta: self.meta,
             spans: self.spans,
             sections: self.sections,
+            rank_trees: self.rank_trees,
             metrics: self.metrics,
             comm: self.comm,
         }
@@ -95,6 +105,7 @@ pub struct RunReport {
     meta: Vec<(String, Json)>,
     spans: Vec<SpanSnapshot>,
     sections: Vec<SectionStats>,
+    rank_trees: Vec<RankTree>,
     metrics: Vec<(String, MetricSnapshot)>,
     comm: Option<CommSummary>,
 }
@@ -116,20 +127,7 @@ impl RunReport {
         }
         root.set("meta", meta);
 
-        let spans = self
-            .spans
-            .iter()
-            .map(|s| {
-                let mut o = Json::obj();
-                o.set("path", s.path.as_str().into())
-                    .set("depth", s.depth.into())
-                    .set("total_s", s.total_s.into())
-                    .set("self_s", s.self_s.into())
-                    .set("count", s.count.into());
-                o
-            })
-            .collect();
-        root.set("spans", Json::Arr(spans));
+        root.set("spans", Json::Arr(span_array(&self.spans)));
 
         let sections = self
             .sections
@@ -142,11 +140,25 @@ impl RunReport {
                     .set("mean_s", s.mean_s.into())
                     .set("imbalance", s.imbalance.into())
                     .set("ranks", s.ranks.into())
+                    .set("world", s.world.into())
                     .set("count", s.count.into());
                 o
             })
             .collect();
         root.set("rank_sections", Json::Arr(sections));
+
+        let trees = self
+            .rank_trees
+            .iter()
+            .map(|t| {
+                let mut o = Json::obj();
+                o.set("rank", t.rank.into())
+                    .set("dropped", t.dropped.into())
+                    .set("spans", Json::Arr(span_array(&t.spans)));
+                o
+            })
+            .collect();
+        root.set("rank_trees", Json::Arr(trees));
 
         let mut metrics = Json::obj();
         for (name, snap) in &self.metrics {
@@ -264,6 +276,21 @@ impl RunReport {
     }
 }
 
+fn span_array(spans: &[SpanSnapshot]) -> Vec<Json> {
+    spans
+        .iter()
+        .map(|s| {
+            let mut o = Json::obj();
+            o.set("path", s.path.as_str().into())
+                .set("depth", s.depth.into())
+                .set("total_s", s.total_s.into())
+                .set("self_s", s.self_s.into())
+                .set("count", s.count.into());
+            o
+        })
+        .collect()
+}
+
 /// The workspace report directory (`target/obs` at the repository root).
 pub fn default_dir() -> PathBuf {
     // CARGO_TARGET_DIR is honoured when set; otherwise resolve the
@@ -309,7 +336,20 @@ mod tests {
                 mean_s: 2.25,
                 imbalance: 2.5 / 2.25,
                 ranks: 2,
+                world: 3,
                 count: 4,
+            }])
+            .rank_trees(vec![crate::rankagg::RankTree {
+                rank: 1,
+                dropped: 2,
+                spans: vec![SpanSnapshot {
+                    path: "ocn_run".into(),
+                    name: "ocn_run".into(),
+                    depth: 0,
+                    total_s: 2.0,
+                    self_s: 2.0,
+                    count: 4,
+                }],
             }])
             .metrics(vec![
                 ("io.bytes".into(), MetricSnapshot::Counter(4096)),
@@ -340,12 +380,14 @@ mod tests {
     fn json_matches_golden_schema() {
         let got = fixed_report().to_json();
         let want = concat!(
-            r#"{"schema":"ap3esm-obs/1","name":"golden","#,
+            r#"{"schema":"ap3esm-obs/2","name":"golden","#,
             r#""meta":{"world_size":3,"sypd":0.54},"#,
             r#""spans":[{"path":"step","depth":0,"total_s":2.5,"self_s":0.5,"count":4},"#,
             r#"{"path":"step/atm","depth":1,"total_s":2,"self_s":2,"count":8}],"#,
             r#""rank_sections":[{"path":"step","max_s":2.5,"min_s":2,"mean_s":2.25,"#,
-            r#""imbalance":1.1111111111111112,"ranks":2,"count":4}],"#,
+            r#""imbalance":1.1111111111111112,"ranks":2,"world":3,"count":4}],"#,
+            r#""rank_trees":[{"rank":1,"dropped":2,"#,
+            r#""spans":[{"path":"ocn_run","depth":0,"total_s":2,"self_s":2,"count":4}]}],"#,
             r#""metrics":{"io.bytes":4096,"#,
             r#""rearrange.ns":{"count":10,"min":100,"max":900,"mean":500,"p50":496,"p95":880}},"#,
             r#""comm":{"total_messages":42,"total_bytes":1000000,"#,

@@ -17,6 +17,10 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::Instant;
 
+use ap3esm_comm::events::trace_now_us;
+
+use crate::trace::TraceSink;
+
 /// Sentinel parent id for top-level spans.
 const ROOT: u32 = u32::MAX;
 
@@ -47,6 +51,12 @@ pub struct Profiler {
     /// Distinguishes profilers on the shared thread-local span stack.
     id: u64,
     tree: Mutex<Tree>,
+    /// Fast gate mirroring `trace.is_some()`; checked with one relaxed load
+    /// on the span path so non-traced runs pay nothing extra.
+    trace_on: AtomicBool,
+    /// When installed, every completed span and instant event is also
+    /// pushed here for chrome-trace export.
+    trace: Mutex<Option<Arc<TraceSink>>>,
 }
 
 impl Default for Profiler {
@@ -76,6 +86,8 @@ impl Profiler {
             enabled: AtomicBool::new(true),
             id: next_profiler_id(),
             tree: Mutex::new(Tree::default()),
+            trace_on: AtomicBool::new(false),
+            trace: Mutex::new(None),
         }
     }
 
@@ -92,6 +104,33 @@ impl Profiler {
 
     pub fn is_enabled(&self) -> bool {
         self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Install (or remove) a trace sink. While one is installed, every
+    /// completed span additionally records a chrome-trace complete event.
+    pub fn set_trace_sink(&self, sink: Option<Arc<TraceSink>>) {
+        let mut slot = self.trace.lock().unwrap_or_else(|p| p.into_inner());
+        self.trace_on.store(sink.is_some(), Ordering::Relaxed);
+        *slot = sink;
+    }
+
+    /// The currently installed trace sink, if any.
+    pub fn trace_sink(&self) -> Option<Arc<TraceSink>> {
+        if !self.trace_on.load(Ordering::Relaxed) {
+            return None;
+        }
+        self.trace
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .clone()
+    }
+
+    /// Record a point event (fault injection, health verdict, rollback…)
+    /// on the installed trace sink; a no-op when tracing is off.
+    pub fn record_instant(&self, name: &str) {
+        if let Some(sink) = self.trace_sink() {
+            sink.record_instant(name);
+        }
     }
 
     /// Opens the span `name` under the calling thread's current span of
@@ -135,12 +174,16 @@ impl Profiler {
             }
         };
         STACK.with(|s| s.borrow_mut().push((self.id, node)));
+        let trace = self
+            .trace_sink()
+            .map(|sink| (sink, name.to_string(), trace_now_us()));
         SpanGuard {
             open: Some(OpenSpan {
                 profiler_id: self.id,
                 node,
                 stats,
                 t0: Instant::now(),
+                trace,
             }),
         }
     }
@@ -195,6 +238,8 @@ struct OpenSpan {
     node: u32,
     stats: Arc<NodeStats>,
     t0: Instant,
+    /// `(sink, span name, enter timestamp µs)` when tracing is active.
+    trace: Option<(Arc<TraceSink>, String, u64)>,
 }
 
 /// RAII handle for an open span; accumulates on drop.
@@ -217,6 +262,9 @@ impl Drop for SpanGuard {
         let elapsed = open.t0.elapsed().as_nanos() as u64;
         open.stats.total_ns.fetch_add(elapsed, Ordering::Relaxed);
         open.stats.count.fetch_add(1, Ordering::Relaxed);
+        if let Some((sink, name, ts_us)) = &open.trace {
+            sink.record_complete(name, *ts_us, elapsed / 1_000);
+        }
         STACK.with(|s| {
             let mut stack = s.borrow_mut();
             // Guards normally drop innermost-first; tolerate out-of-order
@@ -352,6 +400,28 @@ mod tests {
         assert_eq!(snap[0].count, (threads * iters) as u64);
         assert_eq!(snap[1].path, "work/leaf");
         assert_eq!(snap[1].count, (threads * iters) as u64);
+    }
+
+    #[test]
+    fn installed_trace_sink_sees_spans_and_instants() {
+        let p = Profiler::new();
+        let sink = Arc::new(TraceSink::new(64));
+        p.set_trace_sink(Some(Arc::clone(&sink)));
+        {
+            let _a = p.enter("a");
+            spin(1_000);
+        }
+        p.record_instant("fault.kill");
+        p.set_trace_sink(None);
+        {
+            let _b = p.enter("b"); // not traced once the sink is removed
+        }
+        let (events, dropped) = sink.take();
+        assert_eq!(dropped, 0);
+        let names: Vec<&str> = events.iter().map(|e| e.name.as_str()).collect();
+        assert_eq!(names, vec!["a", "fault.kill"]);
+        assert!(events[0].dur_us >= 1_000);
+        assert_eq!(p.snapshot().len(), 2); // tree still records both spans
     }
 
     #[test]

@@ -3,8 +3,11 @@
 //!
 //! ```sh
 //! cargo run --release --example ai_physics_training
+//! # with an obs run report and a chrome trace + flamegraph:
+//! cargo run --release --example ai_physics_training -- --report-name ai-train --trace
 //! ```
 
+use ap3esm::obs;
 use ap3esm::prelude::*;
 use ap3esm_ai::modules::{Normalizer, RadiationModule, TendencyModule};
 use ap3esm_ai::net::{RadiationMlp, TendencyCnn};
@@ -12,10 +15,47 @@ use ap3esm_ai::train::{TrainConfig, Trainer};
 use ap3esm_atm::pdc::{PhysicsDriver, PhysicsDynamicsCoupler, SurfaceForcing};
 use ap3esm_atm::state::AtmState;
 use ap3esm_physics::suite::{hydrostatic_thickness, Column, ConventionalSuite, SurfaceProperties};
+use std::sync::Arc;
+
+struct Cli {
+    report_name: Option<String>,
+    trace: bool,
+}
+
+fn parse_cli() -> Cli {
+    let mut cli = Cli {
+        report_name: None,
+        trace: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--report-name" => {
+                cli.report_name =
+                    Some(args.next().expect("--report-name needs a value"))
+            }
+            "--trace" => cli.trace = true,
+            other => panic!("unknown flag {other} (try --report-name, --trace)"),
+        }
+    }
+    cli
+}
 
 fn main() {
+    let cli = parse_cli();
+    // Single-process example: wire the obs instance, trace sink and report
+    // directly (one pid 0) instead of going through a World.
+    let obs_state = Arc::new(obs::Obs::new());
+    let sink = cli.trace.then(|| {
+        let sink = Arc::new(obs::TraceSink::default());
+        obs_state.profiler.set_trace_sink(Some(Arc::clone(&sink)));
+        sink
+    });
+    let _guard = obs::install(Arc::clone(&obs_state));
+
     let nlev = 8;
     // ---- 1. Generate supervision from the conventional suite. ----------
+    let supervision_span = obs::span("ai.supervision");
     let suite = ConventionalSuite::default();
     let sigma: Vec<f64> = (0..nlev).map(|k| 1.0 - (k as f64 + 0.5) / nlev as f64).collect();
     let ds = vec![1.0 / nlev as f64; nlev];
@@ -47,8 +87,11 @@ fn main() {
     for s in targets.iter_mut() {
         *s = out_norm.normalize(s, 4);
     }
+    obs::counter_add("ai.samples", inputs.len() as u64);
+    drop(supervision_span);
 
     // ---- 2. Train the tendency CNN. -------------------------------------
+    let training_span = obs::span("ai.train");
     let mut net = TendencyCnn::with_width(nlev, 16, 3);
     println!(
         "training tendency CNN ({} conv layers, {} ResUnits, {} params)…",
@@ -61,8 +104,11 @@ fn main() {
     }
     let last = stats.last().unwrap();
     println!("  final: train {:.4} / test {:.4}", last.train_mse, last.test_mse);
+    obs::gauge_set("ai.test_mse", f64::from(last.test_mse));
+    drop(training_span);
 
     // ---- 3. Swap the trained suite into the atmosphere. -----------------
+    let swap_span = obs::span("ai.swap");
     let grid = std::sync::Arc::new(GeodesicGrid::new(3));
     let mut atm = AtmState::isothermal(std::sync::Arc::clone(&grid), nlev, 288.0);
     // Put the state inside the training distribution (a ~6 K/level lapse),
@@ -93,13 +139,52 @@ fn main() {
     println!("\nrunning the atmosphere with the AI suite (is_ai = {})…", pdc.is_ai());
     let forcing = SurfaceForcing::uniform(grid.ncells(), 299.0, 0.6, 1.0);
     for step in 0..3 {
-        let precip = pdc.apply(&mut atm, &forcing, 600.0);
+        let precip = {
+            let _s = obs::span("ai_physics_step");
+            pdc.apply(&mut atm, &forcing, 600.0)
+        };
         println!(
             "  AI-physics step {step}: mean θ {:.2} K, global precip {:.2e} kg/m²/s",
             atm.mean_theta(),
             precip
         );
     }
+    drop(swap_span);
     println!("\nAI suite drives the same physics–dynamics interface as the");
     println!("conventional suite — the Fig. 4 architecture swap.");
+
+    if let Some(name) = &cli.report_name {
+        obs_state.profiler.set_trace_sink(None);
+        let spans = obs_state.profiler.snapshot();
+        let tree = obs::RankTree {
+            rank: 0,
+            dropped: 0,
+            spans: spans.clone(),
+        };
+        let report = obs::ReportBuilder::new(name)
+            .meta("example", "ai_physics_training")
+            .spans(spans)
+            .rank_trees(vec![tree.clone()])
+            .metrics(obs_state.metrics.snapshot())
+            .build();
+        match report.write() {
+            Ok(path) => println!("\nobs run report: {}", path.display()),
+            Err(e) => eprintln!("cannot write report: {e}"),
+        }
+        if let Some(sink) = sink {
+            let (events, _dropped) = sink.take();
+            let mut ct = obs::ChromeTrace::new();
+            ct.add_process(0, "rank 0");
+            ct.add_span_events(0, &events);
+            match ct.write(name) {
+                Ok(path) => println!("chrome trace:   {} (open in ui.perfetto.dev)", path.display()),
+                Err(e) => eprintln!("cannot write trace: {e}"),
+            }
+            let folded = obs::trace::folded_stacks(&[tree]);
+            match obs::trace::write_folded(name, &folded) {
+                Ok(path) => println!("flamegraph:     {} (render with inferno/flamegraph.pl)", path.display()),
+                Err(e) => eprintln!("cannot write folded stacks: {e}"),
+            }
+        }
+    }
 }

@@ -11,7 +11,9 @@
 //! ```
 //!
 //! Flags: `--fault-plan <file>` (enables checkpointing), `--checkpoint-dir
-//! <dir>` (default `target/ckpt` when faults are on), `--days <n>`.
+//! <dir>` (default `target/ckpt` when faults are on), `--days <n>`,
+//! `--trace` (chrome-trace + flamegraph export under `target/obs/`),
+//! `--progress-every <n>` (live telemetry every n ocean couplings).
 
 use ap3esm::comm::{FaultInjector, FaultPlan};
 use ap3esm::esm::RecoveryConfig;
@@ -22,6 +24,8 @@ struct Cli {
     days: f64,
     fault_plan: Option<std::path::PathBuf>,
     checkpoint_dir: Option<std::path::PathBuf>,
+    trace: bool,
+    progress_every: Option<u64>,
 }
 
 fn parse_cli() -> Cli {
@@ -29,6 +33,8 @@ fn parse_cli() -> Cli {
         days: 2.0,
         fault_plan: None,
         checkpoint_dir: None,
+        trace: false,
+        progress_every: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -40,7 +46,17 @@ fn parse_cli() -> Cli {
             "--days" => cli.days = value("--days").parse().expect("--days: not a number"),
             "--fault-plan" => cli.fault_plan = Some(value("--fault-plan").into()),
             "--checkpoint-dir" => cli.checkpoint_dir = Some(value("--checkpoint-dir").into()),
-            other => panic!("unknown flag {other} (try --days, --fault-plan, --checkpoint-dir)"),
+            "--trace" => cli.trace = true,
+            "--progress-every" => {
+                cli.progress_every = Some(
+                    value("--progress-every")
+                        .parse()
+                        .expect("--progress-every: not a number"),
+                )
+            }
+            other => panic!(
+                "unknown flag {other} (try --days, --fault-plan, --checkpoint-dir, --trace, --progress-every)"
+            ),
         }
     }
     cli
@@ -69,6 +85,8 @@ fn main() {
     let mut opts = CoupledOptions {
         days: cli.days,
         report_name: Some("coupled-esm".to_string()),
+        trace: cli.trace,
+        progress_every: cli.progress_every,
         checkpoint_dir: cli.checkpoint_dir,
         recovery: RecoveryConfig {
             checkpoint_interval: 1,
@@ -141,5 +159,11 @@ fn main() {
 
     if let Some(path) = &root.report_path {
         println!("\nobs run report: {}", path.display());
+    }
+    if let Some(path) = &root.trace_path {
+        println!("chrome trace:   {} (open in ui.perfetto.dev)", path.display());
+    }
+    if let Some(path) = &root.folded_path {
+        println!("flamegraph:     {} (render with inferno/flamegraph.pl)", path.display());
     }
 }

@@ -4,44 +4,128 @@
 //!
 //! ```sh
 //! cargo run --release --example scaling_projection [nodes…]
+//! # with an obs run report and a chrome trace + flamegraph:
+//! cargo run --release --example scaling_projection -- --report-name scaling --trace
 //! ```
 
+use ap3esm::obs;
 use ap3esm::prelude::*;
 use ap3esm_machine::calibration::paper_table2;
 use ap3esm_machine::perf::ScalingModel;
+use std::sync::Arc;
+
+struct Cli {
+    nodes: Vec<usize>,
+    report_name: Option<String>,
+    trace: bool,
+}
+
+fn parse_cli() -> Cli {
+    let mut cli = Cli {
+        nodes: Vec::new(),
+        report_name: None,
+        trace: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--report-name" => {
+                cli.report_name =
+                    Some(args.next().expect("--report-name needs a value"))
+            }
+            "--trace" => cli.trace = true,
+            other => match other.parse() {
+                Ok(n) => cli.nodes.push(n),
+                Err(_) => panic!("unknown argument {other} (try node counts, --report-name, --trace)"),
+            },
+        }
+    }
+    if cli.nodes.is_empty() {
+        cli.nodes = vec![10_000, 25_000, 50_000, 107_520];
+    }
+    cli
+}
 
 fn main() {
-    let nodes: Vec<usize> = std::env::args()
-        .skip(1)
-        .filter_map(|a| a.parse().ok())
-        .collect();
-    let nodes = if nodes.is_empty() {
-        vec![10_000, 25_000, 50_000, 107_520]
-    } else {
-        nodes
-    };
+    let cli = parse_cli();
 
-    let cal = paper_table2()
-        .into_iter()
-        .find(|c| c.label.contains("AP3ESM 1v1"))
-        .expect("calibration");
-    let model = ScalingModel::fit(MachineSpec::sunway_oceanlight(), &cal);
+    // This example has no World: it is a single-process projection, so the
+    // obs instance, trace sink and report are wired directly (one pid 0).
+    let obs_state = Arc::new(obs::Obs::new());
+    let sink = cli.trace.then(|| {
+        let sink = Arc::new(obs::TraceSink::default());
+        obs_state.profiler.set_trace_sink(Some(Arc::clone(&sink)));
+        sink
+    });
+    let _guard = obs::install(Arc::clone(&obs_state));
+
+    let model = {
+        let _s = obs::span("scaling.fit");
+        let cal = paper_table2()
+            .into_iter()
+            .find(|c| c.label.contains("AP3ESM 1v1"))
+            .expect("calibration");
+        ScalingModel::fit(MachineSpec::sunway_oceanlight(), &cal)
+    };
     println!("coupled AP3ESM 1v1 on Sunway OceanLight (calibrated model):\n");
     println!("{:>10} {:>14} {:>10} {:>12}", "nodes", "cores", "SYPD", "efficiency");
-    for &n in &nodes {
-        let m = MachineSpec::sunway_oceanlight();
-        println!(
-            "{:>10} {:>14} {:>10.3} {:>11.1}%",
-            n,
-            m.cores(n),
-            model.sypd(n),
-            model.efficiency(n) * 100.0
-        );
+    {
+        let _s = obs::span("scaling.project");
+        for &n in &cli.nodes {
+            let _p = obs::span("point");
+            let m = MachineSpec::sunway_oceanlight();
+            println!(
+                "{:>10} {:>14} {:>10.3} {:>11.1}%",
+                n,
+                m.cores(n),
+                model.sypd(n),
+                model.efficiency(n) * 100.0
+            );
+        }
     }
+    let headline = {
+        let _s = obs::span("scaling.headline");
+        model.sypd(95_316)
+    };
     println!(
-        "\npaper headline: 0.54 SYPD at 37.2M cores — model gives {:.3} at {} nodes",
-        model.sypd(95_316),
+        "\npaper headline: 0.54 SYPD at 37.2M cores — model gives {headline:.3} at {} nodes",
         95_316
     );
     println!("\nusage: cargo run --release --example scaling_projection 20000 40000");
+
+    if let Some(name) = &cli.report_name {
+        obs_state.profiler.set_trace_sink(None);
+        let spans = obs_state.profiler.snapshot();
+        let tree = obs::RankTree {
+            rank: 0,
+            dropped: 0,
+            spans: spans.clone(),
+        };
+        let report = obs::ReportBuilder::new(name)
+            .meta("example", "scaling_projection")
+            .meta("points", cli.nodes.len())
+            .spans(spans)
+            .rank_trees(vec![tree.clone()])
+            .metrics(obs_state.metrics.snapshot())
+            .build();
+        match report.write() {
+            Ok(path) => println!("\nobs run report: {}", path.display()),
+            Err(e) => eprintln!("cannot write report: {e}"),
+        }
+        if let Some(sink) = sink {
+            let (events, _dropped) = sink.take();
+            let mut ct = obs::ChromeTrace::new();
+            ct.add_process(0, "rank 0");
+            ct.add_span_events(0, &events);
+            match ct.write(name) {
+                Ok(path) => println!("chrome trace:   {} (open in ui.perfetto.dev)", path.display()),
+                Err(e) => eprintln!("cannot write trace: {e}"),
+            }
+            let folded = obs::trace::folded_stacks(&[tree]);
+            match obs::trace::write_folded(name, &folded) {
+                Ok(path) => println!("flamegraph:     {} (render with inferno/flamegraph.pl)", path.display()),
+                Err(e) => eprintln!("cannot write folded stacks: {e}"),
+            }
+        }
+    }
 }

@@ -4,17 +4,49 @@
 //!
 //! ```sh
 //! cargo run --release --example typhoon_forecast
+//! # with an obs run report and a per-rank chrome trace + flamegraph:
+//! cargo run --release --example typhoon_forecast -- --report-name doksuri --trace
 //! ```
 
 use ap3esm::prelude::*;
 
+struct Cli {
+    report_name: Option<String>,
+    trace: bool,
+}
+
+fn parse_cli() -> Cli {
+    let mut cli = Cli {
+        report_name: None,
+        trace: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--report-name" => {
+                cli.report_name =
+                    Some(args.next().expect("--report-name needs a value"))
+            }
+            "--trace" => cli.trace = true,
+            other => panic!("unknown flag {other} (try --report-name, --trace)"),
+        }
+    }
+    cli
+}
+
 fn main() {
+    let cli = parse_cli();
     let mut config = CoupledConfig::test_tiny();
     config.atm_glevel = 4; // ~450 km cells: coarse, but tracks a vortex
     println!("Typhoon Doksuri forecast experiment (idealized-vortex analogue)");
     println!("atmosphere: G{}, coupled to {}×{} ocean\n", config.atm_glevel, config.ocn_nlon, config.ocn_nlat);
 
-    let result = run_forecast(&config, 1.0);
+    let base = CoupledOptions {
+        report_name: cli.report_name,
+        trace: cli.trace,
+        ..Default::default()
+    };
+    let result = run_forecast_with(&config, 1.0, &base);
 
     println!(
         "{:>7} {:>18} {:>18} {:>10} {:>12}",
@@ -44,4 +76,14 @@ fn main() {
     println!("\n(The paper's 3-km configuration captures the eyewall; at");
     println!("laptop scale the experiment validates the forecast *pipeline*:");
     println!("initialize → couple → track → score.)");
+
+    if let Some(path) = &result.stats.report_path {
+        println!("\nobs run report: {}", path.display());
+    }
+    if let Some(path) = &result.stats.trace_path {
+        println!("chrome trace:   {} (open in ui.perfetto.dev)", path.display());
+    }
+    if let Some(path) = &result.stats.folded_path {
+        println!("flamegraph:     {} (render with inferno/flamegraph.pl)", path.display());
+    }
 }

@@ -39,7 +39,7 @@ pub mod prelude {
     pub use ap3esm_comm::World;
     pub use ap3esm_esm::config::{CoupledConfig, Resolution};
     pub use ap3esm_esm::coupled::{run_coupled, CoupledOptions, CoupledStats};
-    pub use ap3esm_esm::forecast::run_forecast;
+    pub use ap3esm_esm::forecast::{run_forecast, run_forecast_with};
     pub use ap3esm_esm::timing::get_timing;
     pub use ap3esm_grid::{GeodesicGrid, TripolarGrid};
     pub use ap3esm_machine::topology::MachineSpec;
