@@ -44,6 +44,23 @@ impl Dense {
             out_dim,
         }
     }
+
+    /// Inference-only forward: the same arithmetic as [`Layer::forward`]
+    /// (one GEMM then bias), but by shared reference and without caching
+    /// the input for backward — one warm layer can serve many threads.
+    pub fn infer(&self, x: &Tensor) -> Tensor {
+        assert_eq!(x.shape.len(), 2, "dense expects [batch, in]");
+        assert_eq!(x.shape[1], self.in_dim);
+        let batch = x.shape[0];
+        let mut y = Tensor::zeros(&[batch, self.out_dim]);
+        matmul_a_bt(&x.data, &self.w.data, &mut y.data, batch, self.in_dim, self.out_dim);
+        for bi in 0..batch {
+            for o in 0..self.out_dim {
+                y.data[bi * self.out_dim + o] += self.b.data[o];
+            }
+        }
+        y
+    }
 }
 
 impl Layer for Dense {
@@ -139,6 +156,65 @@ impl Conv1d {
             k,
         }
     }
+
+    /// Inference-only forward via im2col: the whole `[batch, ch, L]` input
+    /// is lowered to one `[batch·L, in_ch·k]` patch matrix and the
+    /// convolution becomes a dense GEMM with branch-free inner loops —
+    /// the batched serving path. Accumulation order matches
+    /// [`Layer::forward`] (bias first, then taps in `(in_ch, k)` order;
+    /// padding contributes an exact `+0.0`), so results agree element-wise
+    /// with the per-sample training forward. Takes `&self` and leaves no
+    /// backward caches, so many threads can share one warm layer.
+    pub fn infer(&self, x: &Tensor) -> Tensor {
+        assert_eq!(x.shape.len(), 3, "conv1d expects [batch, ch, L]");
+        assert_eq!(x.shape[1], self.in_ch);
+        let (batch, len) = (x.shape[0], x.shape[2]);
+        let half = self.k / 2;
+        let patch = self.in_ch * self.k;
+        let patch_of = |i: usize, t: usize| i * self.k + t;
+        let bl = batch * len;
+        // Transposed im2col: `colst[p][bi·len + l]`, patch row p = (i, t).
+        // Pre-zeroed, so the padded window contributes an exact +0.0.
+        let mut colst = vec![0.0f32; patch * bl];
+        for bi in 0..batch {
+            let xb = &x.data[bi * self.in_ch * len..(bi + 1) * self.in_ch * len];
+            for i in 0..self.in_ch {
+                let xrow = &xb[i * len..(i + 1) * len];
+                for t in 0..self.k {
+                    // Output position l reads x[l + t - half]; restrict l to
+                    // the in-bounds window so padding stays zero.
+                    let lo = half.saturating_sub(t);
+                    let hi = (len + half).saturating_sub(t).min(len);
+                    let dst = &mut colst[patch_of(i, t) * bl + bi * len..][..len];
+                    for l in lo..hi {
+                        dst[l] = xrow[l + t - half];
+                    }
+                }
+            }
+        }
+        // GEMM with the reduction kept *serial per output element* (bias
+        // first, then taps in (in_ch, k) order — exactly the training
+        // forward's order) while the `bl` output positions act as
+        // independent accumulators, so the inner axpy loops vectorize.
+        let mut rows = vec![0.0f32; bl];
+        let mut y = Tensor::zeros(&[batch, self.out_ch, len]);
+        for o in 0..self.out_ch {
+            rows.fill(self.b.data[o]);
+            let wrow = &self.w.data[o * patch..(o + 1) * patch];
+            for (p, &w) in wrow.iter().enumerate() {
+                let col = &colst[p * bl..(p + 1) * bl];
+                for (r, &c) in rows.iter_mut().zip(col) {
+                    *r += c * w;
+                }
+            }
+            // Scatter [o][bi·len + l] → y[bi][o][l].
+            for bi in 0..batch {
+                y.data[(bi * self.out_ch + o) * len..(bi * self.out_ch + o + 1) * len]
+                    .copy_from_slice(&rows[bi * len..(bi + 1) * len]);
+            }
+        }
+        y
+    }
 }
 
 impl Layer for Conv1d {
@@ -226,6 +302,15 @@ impl Layer for Conv1d {
 // ---------------------------------------------------------------------------
 // ReLU
 // ---------------------------------------------------------------------------
+
+/// Inference-only elementwise ReLU, in place (no gradient mask is kept).
+/// Uses the same `max(0.0)` as [`Relu::forward`] so both paths agree
+/// element-wise.
+pub fn relu_infer_inplace(t: &mut Tensor) {
+    for v in &mut t.data {
+        *v = v.max(0.0);
+    }
+}
 
 /// Elementwise rectifier.
 #[derive(Default)]
@@ -363,6 +448,49 @@ mod tests {
         assert_eq!(y.data, vec![0.0, 2.0, 0.0]);
         let dx = r.backward(&Tensor::from_vec(vec![1.0, 1.0, 1.0], &[3]));
         assert_eq!(dx.data, vec![0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn conv1d_infer_matches_forward_exactly() {
+        let mut c = Conv1d::new(3, 4, 3, 9);
+        for batch in [1usize, 2, 5] {
+            let x = Tensor::xavier(&[batch, 3, 7], 9, 12, batch as u64 + 1);
+            let want = c.forward(&x);
+            let got = c.infer(&x);
+            assert_eq!(got.shape, want.shape);
+            for (g, w) in got.data.iter().zip(&want.data) {
+                assert!((g - w).abs() <= 1e-7, "{g} vs {w}");
+            }
+        }
+    }
+
+    #[test]
+    fn conv1d_infer_handles_kernel_wider_than_column() {
+        // k = 5 on a length-2 column: every tap is partially padded.
+        let mut c = Conv1d::new(2, 2, 5, 4);
+        let x = Tensor::xavier(&[2, 2, 2], 10, 10, 3);
+        let want = c.forward(&x);
+        let got = c.infer(&x);
+        for (g, w) in got.data.iter().zip(&want.data) {
+            assert!((g - w).abs() <= 1e-7, "{g} vs {w}");
+        }
+    }
+
+    #[test]
+    fn dense_infer_matches_forward_exactly() {
+        let mut d = Dense::new(6, 3, 21);
+        let x = Tensor::xavier(&[4, 6], 6, 3, 2);
+        assert_eq!(d.infer(&x).data, d.forward(&x).data);
+    }
+
+    #[test]
+    fn relu_infer_matches_layer() {
+        let x = Tensor::from_vec(vec![-2.0, -0.0, 0.0, 3.5], &[4]);
+        let mut r = Relu::default();
+        let want = r.forward(&x);
+        let mut got = x.clone();
+        relu_infer_inplace(&mut got);
+        assert_eq!(got.data, want.data);
     }
 
     #[test]

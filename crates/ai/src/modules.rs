@@ -178,6 +178,34 @@ impl TendencyModule {
             })
             .collect()
     }
+
+    /// [`TendencyModule::predict`] by shared reference: normalisation plus
+    /// one batched inference forward ([`TendencyCnn::forward_batch`]), no
+    /// backward caches touched — safe to call concurrently from many
+    /// serving threads on one warm module.
+    pub fn predict_batch(&self, columns: &[ColumnState]) -> Vec<ColumnTendency> {
+        if columns.is_empty() {
+            return Vec::new();
+        }
+        let nlev = self.net.nlev;
+        let b = columns.len();
+        let mut x = Vec::with_capacity(b * TENDENCY_IN_CH * nlev);
+        for col in columns {
+            assert_eq!(col.nlev(), nlev, "column level mismatch");
+            x.extend(self.in_norm.normalize(&col.to_input(), TENDENCY_IN_CH));
+        }
+        let xt = Tensor::from_vec(x, &[b, TENDENCY_IN_CH, nlev]);
+        let y = self.net.forward_batch(&xt);
+        let per = TENDENCY_OUT_CH * nlev;
+        (0..b)
+            .map(|bi| {
+                let raw = self
+                    .out_norm
+                    .denormalize(&y.data[bi * per..(bi + 1) * per], TENDENCY_OUT_CH);
+                ColumnTendency::from_output(&raw, nlev)
+            })
+            .collect()
+    }
 }
 
 /// Surface radiation estimates from the MLP module.
@@ -227,6 +255,32 @@ impl RadiationModule {
         }
         let xt = Tensor::from_vec(x, &[b, dim]);
         let y = self.net.forward(&xt);
+        (0..b)
+            .map(|bi| {
+                let raw = self.out_norm.denormalize(&y.data[bi * 2..bi * 2 + 2], 2);
+                SurfaceRadiation {
+                    gsw: raw[0] as f64,
+                    glw: raw[1] as f64,
+                }
+            })
+            .collect()
+    }
+
+    /// [`RadiationModule::predict`] by shared reference (see
+    /// [`TendencyModule::predict_batch`]): the concurrent serving path.
+    pub fn predict_batch(&self, inputs: &[Vec<f32>]) -> Vec<SurfaceRadiation> {
+        if inputs.is_empty() {
+            return Vec::new();
+        }
+        let dim = inputs[0].len();
+        let b = inputs.len();
+        let mut x = Vec::with_capacity(b * dim);
+        for s in inputs {
+            assert_eq!(s.len(), dim);
+            x.extend(self.in_norm.normalize(s, 1));
+        }
+        let xt = Tensor::from_vec(x, &[b, dim]);
+        let y = self.net.forward_batch(&xt);
         (0..b)
             .map(|bi| {
                 let raw = self.out_norm.denormalize(&y.data[bi * 2..bi * 2 + 2], 2);

@@ -1,6 +1,6 @@
 //! The paper's two network architectures (§5.2.1, Fig. 4).
 
-use crate::layers::{Conv1d, Dense, Layer, Relu};
+use crate::layers::{relu_infer_inplace, Conv1d, Dense, Layer, Relu};
 use crate::tensor::Tensor;
 
 /// One residual unit: `y = relu(conv2(relu(conv1(x))) + x)`.
@@ -41,6 +41,19 @@ impl ResUnit {
             *d += s; // skip-connection gradient
         }
         dx
+    }
+
+    /// Inference-only forward (shared reference, batched im2col convs,
+    /// no backward caches).
+    fn infer(&self, x: &Tensor) -> Tensor {
+        let mut h = self.conv1.infer(x);
+        relu_infer_inplace(&mut h);
+        let mut sum = self.conv2.infer(&h);
+        for (s, xv) in sum.data.iter_mut().zip(&x.data) {
+            *s += xv;
+        }
+        relu_infer_inplace(&mut sum);
+        sum
     }
 }
 
@@ -109,6 +122,22 @@ impl TendencyCnn {
         }
         let g = self.relu_in.backward(&g);
         self.conv_in.backward(&g)
+    }
+
+    /// Batched inference path for the serving layer: a batch of B columns
+    /// flows through one im2col GEMM per conv layer instead of B per-sample
+    /// loops, by shared reference (no backward caches), so one set of warm
+    /// weights serves many threads concurrently. Agrees element-wise with
+    /// [`TendencyCnn::forward`] — same accumulation order per output.
+    pub fn forward_batch(&self, x: &Tensor) -> Tensor {
+        assert_eq!(x.shape[1], TENDENCY_IN_CH, "expected [B, 5, nlev]");
+        assert_eq!(x.shape[2], self.nlev);
+        let mut h = self.conv_in.infer(x);
+        relu_infer_inplace(&mut h);
+        for u in &self.units {
+            h = u.infer(&h);
+        }
+        self.head.infer(&h)
     }
 
     pub fn params_mut(&mut self) -> Vec<(&mut Tensor, &mut Tensor)> {
@@ -203,6 +232,24 @@ impl RadiationMlp {
             h = z;
         }
         self.output.forward(&h)
+    }
+
+    /// Batched inference path (see [`TendencyCnn::forward_batch`]): shared
+    /// reference, no backward caches, element-wise equal to
+    /// [`RadiationMlp::forward`].
+    pub fn forward_batch(&self, x: &Tensor) -> Tensor {
+        assert_eq!(x.shape[1], Self::input_dim(self.nlev));
+        let mut h = self.input.infer(x);
+        relu_infer_inplace(&mut h);
+        for (dense, _) in &self.hidden {
+            let mut z = dense.infer(&h);
+            relu_infer_inplace(&mut z);
+            for (zv, hv) in z.data.iter_mut().zip(&h.data) {
+                *zv += hv; // residual connection
+            }
+            h = z;
+        }
+        self.output.infer(&h)
     }
 
     pub fn backward(&mut self, dy: &Tensor) -> Tensor {
@@ -332,6 +379,44 @@ mod tests {
                 "dx[{idx}]: numeric {num} analytic {}",
                 dx.data[idx]
             );
+        }
+    }
+
+    #[test]
+    fn cnn_forward_batch_matches_training_forward() {
+        let mut net = TendencyCnn::with_width(9, 8, 31);
+        let x = Tensor::xavier(&[4, 5, 9], 5, 8, 17);
+        let want = net.forward(&x);
+        let got = net.forward_batch(&x);
+        assert_eq!(got.shape, want.shape);
+        for (g, w) in got.data.iter().zip(&want.data) {
+            assert!((g - w).abs() <= 1e-6, "{g} vs {w}");
+        }
+    }
+
+    #[test]
+    fn mlp_forward_batch_matches_training_forward() {
+        let mut net = RadiationMlp::with_width(6, 16, 13);
+        let x = Tensor::xavier(&[5, 32], 32, 16, 23);
+        let want = net.forward(&x);
+        let got = net.forward_batch(&x);
+        for (g, w) in got.data.iter().zip(&want.data) {
+            assert!((g - w).abs() <= 1e-6, "{g} vs {w}");
+        }
+    }
+
+    #[test]
+    fn forward_batch_rows_are_batch_independent() {
+        // Row bi of a size-B batch must equal the same sample run alone.
+        let net = TendencyCnn::with_width(7, 8, 5);
+        let x = Tensor::xavier(&[3, 5, 7], 5, 8, 29);
+        let all = net.forward_batch(&x);
+        let per = 5 * 7;
+        let out_per = 4 * 7;
+        for bi in 0..3 {
+            let xs = Tensor::from_vec(x.data[bi * per..(bi + 1) * per].to_vec(), &[1, 5, 7]);
+            let ys = net.forward_batch(&xs);
+            assert_eq!(&all.data[bi * out_per..(bi + 1) * out_per], &ys.data[..]);
         }
     }
 

@@ -1,0 +1,94 @@
+//! Property tests: the inference-only batched forward path
+//! (`forward_batch`, used by the serving subsystem) must match the
+//! per-sample training `forward` element-wise within 1e-6 for random
+//! batch sizes in 1..=32.
+
+use ap3esm_ai::net::{RadiationMlp, TendencyCnn, TENDENCY_IN_CH, TENDENCY_OUT_CH};
+use ap3esm_ai::Tensor;
+use proptest::prelude::*;
+
+/// Deterministic xorshift-based input filler so every proptest case is
+/// reproducible from its drawn seed.
+fn fill(seed: u64, n: usize, scale: f32) -> Vec<f32> {
+    let mut s = seed | 1;
+    (0..n)
+        .map(|_| {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            let u = (s >> 11) as f32 / (1u64 << 53) as f32;
+            (u * 2.0 - 1.0) * scale
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn cnn_batched_matches_per_sample(
+        batch in 1usize..=32,
+        nlev in 4usize..=12,
+        seed in 1u64..u64::MAX,
+        scale in 0.1f64..4.0,
+    ) {
+        let mut net = TendencyCnn::with_width(nlev, 8, seed);
+        let per = TENDENCY_IN_CH * nlev;
+        let data = fill(seed, batch * per, scale as f32);
+        let x = Tensor::from_vec(data.clone(), &[batch, TENDENCY_IN_CH, nlev]);
+        let yb = net.forward_batch(&x);
+        prop_assert_eq!(&yb.shape, &vec![batch, TENDENCY_OUT_CH, nlev]);
+
+        let out = TENDENCY_OUT_CH * nlev;
+        for bi in 0..batch {
+            let xi = Tensor::from_vec(
+                data[bi * per..(bi + 1) * per].to_vec(),
+                &[1, TENDENCY_IN_CH, nlev],
+            );
+            let yi = net.forward(&xi);
+            for (j, (&b, &s)) in yb.data[bi * out..(bi + 1) * out]
+                .iter()
+                .zip(&yi.data)
+                .enumerate()
+            {
+                prop_assert!(
+                    (b - s).abs() <= 1e-6,
+                    "cnn sample {} elem {}: batched {} vs per-sample {}",
+                    bi, j, b, s
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mlp_batched_matches_per_sample(
+        batch in 1usize..=32,
+        nlev in 4usize..=12,
+        seed in 1u64..u64::MAX,
+        scale in 0.1f64..4.0,
+    ) {
+        let mut net = RadiationMlp::with_width(nlev, 8, seed);
+        let dim = RadiationMlp::input_dim(nlev);
+        let data = fill(seed.wrapping_mul(2654435761), batch * dim, scale as f32);
+        let x = Tensor::from_vec(data.clone(), &[batch, dim]);
+        let yb = net.forward_batch(&x);
+        prop_assert_eq!(yb.shape[0], batch);
+        let out = yb.shape[1];
+
+        for bi in 0..batch {
+            let xi = Tensor::from_vec(data[bi * dim..(bi + 1) * dim].to_vec(), &[1, dim]);
+            let yi = net.forward(&xi);
+            for (j, (&b, &s)) in yb.data[bi * out..(bi + 1) * out]
+                .iter()
+                .zip(&yi.data)
+                .enumerate()
+            {
+                prop_assert!(
+                    (b - s).abs() <= 1e-6,
+                    "mlp sample {} elem {}: batched {} vs per-sample {}",
+                    bi, j, b, s
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,117 @@
+//! Micro-batching win: per-sample CNN forward (the training path, one
+//! column at a time) vs the serving subsystem's batched inference forward
+//! (`forward_batch`, one set of tensor ops per batch) at batch sizes
+//! 1/8/32. Emits a JSON point for the bench trajectory at
+//! `target/experiments/bench_serve.json`; the acceptance bar is batched
+//! throughput ≥ 3× per-sample at batch 32.
+
+use std::io::Write as _;
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use ap3esm_ai::net::{TendencyCnn, TENDENCY_IN_CH};
+use ap3esm_ai::Tensor;
+
+const NLEV: usize = 30;
+
+fn make_input(batch: usize) -> Tensor {
+    let n = batch * TENDENCY_IN_CH * NLEV;
+    let data: Vec<f32> = (0..n).map(|i| ((i % 97) as f32 / 97.0) - 0.5).collect();
+    Tensor::from_vec(data, &[batch, TENDENCY_IN_CH, NLEV])
+}
+
+/// Samples/s of the per-sample path: `batch` independent `forward` calls.
+fn per_sample_throughput(net: &mut TendencyCnn, batch: usize, iters: usize) -> f64 {
+    let singles: Vec<Tensor> = (0..batch)
+        .map(|b| {
+            let x = make_input(batch);
+            let per = TENDENCY_IN_CH * NLEV;
+            Tensor::from_vec(
+                x.data[b * per..(b + 1) * per].to_vec(),
+                &[1, TENDENCY_IN_CH, NLEV],
+            )
+        })
+        .collect();
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        for x in &singles {
+            criterion::black_box(net.forward(x));
+        }
+    }
+    (iters * batch) as f64 / t0.elapsed().as_secs_f64()
+}
+
+/// Samples/s of the serving path: one `forward_batch` per batch.
+fn batched_throughput(net: &TendencyCnn, batch: usize, iters: usize) -> f64 {
+    let x = make_input(batch);
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        criterion::black_box(net.forward_batch(&x));
+    }
+    (iters * batch) as f64 / t0.elapsed().as_secs_f64()
+}
+
+fn bench_serve(c: &mut Criterion) {
+    let mut net = TendencyCnn::paper(NLEV);
+
+    let mut group = c.benchmark_group("serve_cnn_forward");
+    group.sample_size(10);
+    for &batch in &[1usize, 8, 32] {
+        let x = make_input(batch);
+        group.bench_with_input(BenchmarkId::new("per_sample", batch), &batch, |b, &bs| {
+            let per = TENDENCY_IN_CH * NLEV;
+            let singles: Vec<Tensor> = (0..bs)
+                .map(|i| {
+                    Tensor::from_vec(
+                        x.data[i * per..(i + 1) * per].to_vec(),
+                        &[1, TENDENCY_IN_CH, NLEV],
+                    )
+                })
+                .collect();
+            b.iter(|| {
+                for s in &singles {
+                    criterion::black_box(net.forward(s));
+                }
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("micro_batched", batch), &batch, |b, _| {
+            b.iter(|| criterion::black_box(net.forward_batch(&x)));
+        });
+    }
+    group.finish();
+
+    // JSON trajectory point (hand-measured so the numbers are ours, not
+    // criterion internals).
+    let iters = 30;
+    let mut rows = Vec::new();
+    for &batch in &[1usize, 8, 32] {
+        // Warmup.
+        per_sample_throughput(&mut net, batch, 2);
+        batched_throughput(&net, batch, 2);
+        let per = per_sample_throughput(&mut net, batch, iters);
+        let bat = batched_throughput(&net, batch, iters);
+        let speedup = bat / per;
+        println!(
+            "batch {batch:>2}: per-sample {per:>10.0} samples/s, \
+             micro-batched {bat:>10.0} samples/s, speedup {speedup:.2}x"
+        );
+        rows.push(format!(
+            "    {{\"batch\": {batch}, \"per_sample_sps\": {per:.1}, \
+             \"batched_sps\": {bat:.1}, \"speedup\": {speedup:.3}}}"
+        ));
+    }
+    let dir = ap3esm_bench::out_dir();
+    let path = dir.join("bench_serve.json");
+    let mut f = std::fs::File::create(&path).expect("create bench_serve.json");
+    writeln!(
+        f,
+        "{{\n  \"bench\": \"serve_cnn_forward\",\n  \"nlev\": {NLEV},\n  \"points\": [\n{}\n  ]\n}}",
+        rows.join(",\n")
+    )
+    .expect("write bench_serve.json");
+    println!("wrote {}", path.display());
+}
+
+criterion_group!(benches, bench_serve);
+criterion_main!(benches);

@@ -24,12 +24,20 @@
 use std::io::Write;
 use std::path::PathBuf;
 
-/// Output directory for experiment CSVs.
+/// Output directory for experiment CSVs. Anchored to the workspace root's
+/// `target/` (not the CWD): cargo runs benches with CWD = the crate dir,
+/// while `cargo run` binaries keep the invoker's CWD — both must land in
+/// the same `target/experiments/`.
 pub fn out_dir() -> PathBuf {
-    let dir = PathBuf::from(
-        std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| "target".into()),
-    )
-    .join("experiments");
+    let base = std::env::var("CARGO_TARGET_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| {
+            PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+                .join("..")
+                .join("..")
+                .join("target")
+        });
+    let dir = base.join("experiments");
     std::fs::create_dir_all(&dir).expect("create experiments dir");
     dir
 }

@@ -1,0 +1,208 @@
+//! The micro-batching queue: a bounded submission queue plus the batch
+//! former workers pull from.
+//!
+//! A batch closes on whichever comes first:
+//! * `max_batch` requests are waiting, or
+//! * `max_wait` has elapsed since the *oldest* waiting request was
+//!   enqueued (the deadline is per-request age, not per-poll, so a lone
+//!   request is never delayed more than `max_wait`).
+//!
+//! The queue is bounded: `try_push` rejects with
+//! [`ServeError::Overloaded`] instead of growing without bound, which is
+//! the backpressure half of admission control.
+
+use std::collections::VecDeque;
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+use ap3esm_ai::modules::{ColumnState, ColumnTendency};
+use parking_lot::{Condvar, Mutex};
+
+use crate::error::ServeError;
+
+/// One queued request: the input column, its response channel, and when it
+/// entered the queue (for queue-wait metrics and the batch deadline).
+pub(crate) struct Pending {
+    pub input: ColumnState,
+    pub enqueued: Instant,
+    pub tx: mpsc::Sender<Result<ColumnTendency, ServeError>>,
+}
+
+struct QueueState {
+    queue: VecDeque<Pending>,
+    draining: bool,
+}
+
+pub(crate) struct BatchQueue {
+    state: Mutex<QueueState>,
+    cv: Condvar,
+    capacity: usize,
+    max_batch: usize,
+    max_wait: Duration,
+}
+
+impl BatchQueue {
+    pub fn new(capacity: usize, max_batch: usize, max_wait: Duration) -> Self {
+        assert!(capacity >= 1 && max_batch >= 1);
+        BatchQueue {
+            state: Mutex::new(QueueState {
+                queue: VecDeque::new(),
+                draining: false,
+            }),
+            cv: Condvar::new(),
+            capacity,
+            max_batch,
+            max_wait,
+        }
+    }
+
+    pub fn depth(&self) -> usize {
+        self.state.lock().queue.len()
+    }
+
+    /// Enqueue a request. Returns the post-push depth, or `Draining` /
+    /// `Overloaded` without consuming the request's channel.
+    pub fn try_push(&self, p: Pending) -> Result<usize, ServeError> {
+        let mut st = self.state.lock();
+        if st.draining {
+            return Err(ServeError::Draining);
+        }
+        if st.queue.len() >= self.capacity {
+            return Err(ServeError::Overloaded {
+                queue_depth: st.queue.len(),
+                capacity: self.capacity,
+            });
+        }
+        st.queue.push_back(p);
+        let depth = st.queue.len();
+        self.cv.notify_one();
+        Ok(depth)
+    }
+
+    /// Block until a batch is ready and take it. Returns `None` once the
+    /// queue is draining *and* empty — the worker-exit signal. Every
+    /// request that made it into the queue is handed to some batch before
+    /// that happens, so drain flushes in-flight work.
+    pub fn next_batch(&self) -> Option<Vec<Pending>> {
+        let mut st = self.state.lock();
+        loop {
+            if !st.queue.is_empty() {
+                break;
+            }
+            if st.draining {
+                return None;
+            }
+            self.cv.wait(&mut st);
+        }
+        // Batch former: hold the batch open until it is full, the oldest
+        // member times out, or drain is requested.
+        let deadline = st.queue.front().unwrap().enqueued + self.max_wait;
+        while st.queue.len() < self.max_batch && !st.draining {
+            let now = Instant::now();
+            let Some(left) = deadline.checked_duration_since(now).filter(|d| !d.is_zero())
+            else {
+                break;
+            };
+            if self.cv.wait_for(&mut st, left).timed_out() {
+                break;
+            }
+        }
+        let take = st.queue.len().min(self.max_batch);
+        let batch: Vec<Pending> = st.queue.drain(..take).collect();
+        if !st.queue.is_empty() || st.draining {
+            // More work (or the drain signal) may be waiting for a peer.
+            self.cv.notify_all();
+        }
+        Some(batch)
+    }
+
+    /// Stop admitting; wake all workers so they flush and exit.
+    pub fn start_drain(&self) {
+        let mut st = self.state.lock();
+        st.draining = true;
+        drop(st);
+        self.cv.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pending(nlev: usize) -> (Pending, mpsc::Receiver<Result<ColumnTendency, ServeError>>) {
+        let (tx, rx) = mpsc::channel();
+        (
+            Pending {
+                input: ColumnState {
+                    u: vec![0.0; nlev],
+                    v: vec![0.0; nlev],
+                    t: vec![280.0; nlev],
+                    q: vec![0.0; nlev],
+                    p: vec![1.0e5; nlev],
+                },
+                enqueued: Instant::now(),
+                tx,
+            },
+            rx,
+        )
+    }
+
+    #[test]
+    fn full_queue_sheds_with_overloaded() {
+        let q = BatchQueue::new(2, 8, Duration::from_millis(50));
+        let mut rxs = Vec::new();
+        for _ in 0..2 {
+            let (p, rx) = pending(4);
+            q.try_push(p).unwrap();
+            rxs.push(rx);
+        }
+        let (p, _rx) = pending(4);
+        match q.try_push(p) {
+            Err(ServeError::Overloaded {
+                queue_depth,
+                capacity,
+            }) => {
+                assert_eq!(queue_depth, 2);
+                assert_eq!(capacity, 2);
+            }
+            other => panic!("expected Overloaded, got {:?}", other.map(|_| "Ok")),
+        }
+    }
+
+    #[test]
+    fn batch_closes_on_size_before_deadline() {
+        let q = BatchQueue::new(16, 3, Duration::from_secs(60));
+        for _ in 0..3 {
+            let (p, rx) = pending(4);
+            q.try_push(p).unwrap();
+            std::mem::forget(rx);
+        }
+        let t0 = Instant::now();
+        let b = q.next_batch().unwrap();
+        assert_eq!(b.len(), 3);
+        assert!(t0.elapsed() < Duration::from_secs(5), "must not wait for deadline");
+    }
+
+    #[test]
+    fn batch_closes_on_deadline_with_partial_fill() {
+        let q = BatchQueue::new(16, 8, Duration::from_millis(20));
+        let (p, _rx) = pending(4);
+        q.try_push(p).unwrap();
+        let b = q.next_batch().unwrap();
+        assert_eq!(b.len(), 1, "lone request must be released at the deadline");
+    }
+
+    #[test]
+    fn drain_flushes_then_signals_exit() {
+        let q = BatchQueue::new(16, 8, Duration::from_millis(5));
+        let (p, _rx) = pending(4);
+        q.try_push(p).unwrap();
+        q.start_drain();
+        let (p2, _rx2) = pending(4);
+        assert_eq!(q.try_push(p2).unwrap_err(), ServeError::Draining);
+        // Queued work is still handed out...
+        assert_eq!(q.next_batch().unwrap().len(), 1);
+        // ...and only then do workers see the exit signal.
+        assert!(q.next_batch().is_none());
+    }
+}

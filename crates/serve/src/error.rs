@@ -1,0 +1,46 @@
+//! Structured serving errors. Every rejected or failed request resolves to
+//! one of these — there is no silent drop path.
+
+use std::fmt;
+
+/// Why a request was rejected or failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// The bounded submission queue is full: load was shed instead of
+    /// letting latency grow without bound.
+    Overloaded {
+        /// Queue depth observed at rejection time.
+        queue_depth: usize,
+        /// Configured queue capacity.
+        capacity: usize,
+    },
+    /// The tenant's token bucket is empty.
+    RateLimited { tenant: String },
+    /// The service (or scheduler) is draining and no longer admits work.
+    Draining,
+    /// The worker side disappeared without resolving the request. This is
+    /// a bug guard: the drain test asserts it never happens.
+    Dropped,
+    /// The request itself was malformed (e.g. wrong column height).
+    BadRequest(String),
+    /// A background forecast job failed.
+    JobFailed(String),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Overloaded {
+                queue_depth,
+                capacity,
+            } => write!(f, "overloaded: queue depth {queue_depth} >= capacity {capacity}"),
+            ServeError::RateLimited { tenant } => write!(f, "rate limited: tenant {tenant}"),
+            ServeError::Draining => write!(f, "draining: service no longer admits work"),
+            ServeError::Dropped => write!(f, "request dropped without resolution (bug)"),
+            ServeError::BadRequest(msg) => write!(f, "bad request: {msg}"),
+            ServeError::JobFailed(msg) => write!(f, "forecast job failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}

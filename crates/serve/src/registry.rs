@@ -1,0 +1,187 @@
+//! Versioned model registry: warm `TendencyModule`/`RadiationModule`
+//! weights plus their normalisers, atomically hot-swappable.
+//!
+//! Workers grab `current()` once per batch, so a `publish` takes effect at
+//! the next batch boundary: requests submitted after `publish` returns are
+//! guaranteed to be served by the new (or a newer) version. `rollback`
+//! restores the previously published version.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use ap3esm_ai::modules::Normalizer;
+use ap3esm_ai::net::{TENDENCY_IN_CH, TENDENCY_OUT_CH};
+use ap3esm_ai::{RadiationMlp, RadiationModule, TendencyCnn, TendencyModule};
+use parking_lot::{Mutex, RwLock};
+
+use crate::error::ServeError;
+
+/// Build a warm, untrained (identity-normalised) module pair at the given
+/// width/seed. Weight *values* are irrelevant for serving-path tests,
+/// benches and the load-generator example; only shapes and determinism
+/// matter. Distinct seeds give distinct weights (for hot-swap tests).
+pub fn warm_modules(nlev: usize, width: usize, seed: u64) -> (TendencyModule, RadiationModule) {
+    let ident = |ch: usize| Normalizer {
+        mean: vec![0.0; ch],
+        std: vec![1.0; ch],
+    };
+    let tendency = TendencyModule::new(
+        TendencyCnn::with_width(nlev, width, seed),
+        ident(TENDENCY_IN_CH),
+        ident(TENDENCY_OUT_CH),
+    );
+    let radiation = RadiationModule::new(
+        RadiationMlp::with_width(nlev, width, seed.wrapping_add(7)),
+        ident(1),
+        ident(2),
+    );
+    (tendency, radiation)
+}
+
+/// One immutable published model version. Shared read-only by all workers,
+/// which is what makes the hot-swap safe: inference uses the `&self`
+/// `predict_batch` path only.
+pub struct ModelVersion {
+    /// Monotonically increasing version number (1-based).
+    pub version: u64,
+    /// Human-readable tag ("canary-w16", "retrained-day80", ...).
+    pub tag: String,
+    pub tendency: TendencyModule,
+    pub radiation: RadiationModule,
+}
+
+/// Registry holding the live version plus the rollback history.
+pub struct ModelRegistry {
+    current: RwLock<Arc<ModelVersion>>,
+    history: Mutex<Vec<Arc<ModelVersion>>>,
+    next_version: AtomicU64,
+    /// Column height every published version must serve.
+    nlev: usize,
+}
+
+impl ModelRegistry {
+    /// Create a registry with an initial version (version 1).
+    pub fn new(tag: &str, tendency: TendencyModule, radiation: RadiationModule) -> Self {
+        let nlev = tendency.net.nlev;
+        assert_eq!(radiation.net.nlev, nlev, "module level mismatch");
+        let v = Arc::new(ModelVersion {
+            version: 1,
+            tag: tag.to_string(),
+            tendency,
+            radiation,
+        });
+        ModelRegistry {
+            current: RwLock::new(v),
+            history: Mutex::new(Vec::new()),
+            next_version: AtomicU64::new(2),
+            nlev,
+        }
+    }
+
+    /// Registry seeded with [`warm_modules`] as version 1.
+    pub fn warm(nlev: usize, width: usize, seed: u64, tag: &str) -> Self {
+        let (tendency, radiation) = warm_modules(nlev, width, seed);
+        ModelRegistry::new(tag, tendency, radiation)
+    }
+
+    /// Column height served by every version in this registry.
+    pub fn nlev(&self) -> usize {
+        self.nlev
+    }
+
+    /// The live version. Cheap (one RwLock read + Arc clone); workers call
+    /// this once per batch.
+    pub fn current(&self) -> Arc<ModelVersion> {
+        Arc::clone(&self.current.read())
+    }
+
+    /// Live version number.
+    pub fn version(&self) -> u64 {
+        self.current.read().version
+    }
+
+    /// Atomically publish a new version and return its version number.
+    /// The displaced version is pushed onto the rollback history.
+    pub fn publish(
+        &self,
+        tag: &str,
+        tendency: TendencyModule,
+        radiation: RadiationModule,
+    ) -> u64 {
+        assert_eq!(tendency.net.nlev, self.nlev, "published tendency nlev mismatch");
+        assert_eq!(radiation.net.nlev, self.nlev, "published radiation nlev mismatch");
+        let version = self.next_version.fetch_add(1, Ordering::Relaxed);
+        let v = Arc::new(ModelVersion {
+            version,
+            tag: tag.to_string(),
+            tendency,
+            radiation,
+        });
+        // Take the history lock for the whole swap so concurrent
+        // publish/rollback interleave atomically.
+        let mut history = self.history.lock();
+        let old = std::mem::replace(&mut *self.current.write(), v);
+        history.push(old);
+        version
+    }
+
+    /// Roll back to the previously published version. Returns the version
+    /// number now live, or `BadRequest` if there is nothing to roll back to.
+    pub fn rollback(&self) -> Result<u64, ServeError> {
+        let mut history = self.history.lock();
+        let prev = history
+            .pop()
+            .ok_or_else(|| ServeError::BadRequest("no version to roll back to".into()))?;
+        let version = prev.version;
+        *self.current.write() = prev;
+        Ok(version)
+    }
+
+    /// How many versions are available for rollback.
+    pub fn history_len(&self) -> usize {
+        self.history.lock().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn publish_and_rollback_swap_versions() {
+        let reg = ModelRegistry::warm(8, 4, 1, "v1");
+        assert_eq!(reg.version(), 1);
+        assert_eq!(reg.current().tag, "v1");
+
+        let (t, r) = warm_modules(8, 4, 2);
+        let v2 = reg.publish("v2", t, r);
+        assert_eq!(v2, 2);
+        assert_eq!(reg.version(), 2);
+        assert_eq!(reg.history_len(), 1);
+
+        let back = reg.rollback().unwrap();
+        assert_eq!(back, 1);
+        assert_eq!(reg.current().tag, "v1");
+        assert!(reg.rollback().is_err());
+    }
+
+    #[test]
+    fn swapped_version_actually_changes_outputs() {
+        use ap3esm_ai::modules::ColumnState;
+        let nlev = 8;
+        let col = ColumnState {
+            u: vec![1.0; nlev],
+            v: vec![-0.5; nlev],
+            t: vec![280.0; nlev],
+            q: vec![0.002; nlev],
+            p: vec![9.0e4; nlev],
+        };
+        let reg = ModelRegistry::warm(nlev, 4, 11, "a");
+        let before = reg.current().tendency.predict_batch(std::slice::from_ref(&col));
+
+        let (t, r) = warm_modules(nlev, 4, 99);
+        reg.publish("b", t, r);
+        let after = reg.current().tendency.predict_batch(std::slice::from_ref(&col));
+        assert_ne!(before[0].dt, after[0].dt, "new weights must change outputs");
+    }
+}

@@ -1,0 +1,248 @@
+//! Closed-loop load generator for the `ap3esm-serve` inference service.
+//!
+//! Spawns `--clients` closed-loop clients that together target `--rps`
+//! column-inference requests per second for `--duration` seconds against
+//! a micro-batching [`Service`], hot-swaps the model registry to a new
+//! version mid-run (and rolls it back at three quarters), then prints
+//! p50/p95 latency, throughput and the shed rate, and writes the obs run
+//! report (and, with `--trace`, a chrome trace of the serve batches).
+//!
+//! ```sh
+//! cargo run --release --example forecast_service -- \
+//!     --clients 8 --rps 400 --duration 3 --report-name serve --trace
+//! # optionally also run N background ensemble forecast jobs:
+//! cargo run --release --example forecast_service -- --jobs 3
+//! ```
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use ap3esm::ai::modules::ColumnState;
+use ap3esm::obs::Obs;
+use ap3esm::serve::registry::warm_modules;
+use ap3esm::serve::{
+    coupled_compute, ForecastScheduler, ModelRegistry, ProductKey, ServeConfig, ServeError,
+    Service,
+};
+use ap3esm_esm::config::CoupledConfig;
+
+struct Cli {
+    clients: usize,
+    rps: f64,
+    duration: f64,
+    report_name: Option<String>,
+    trace: bool,
+    jobs: usize,
+}
+
+fn parse_cli() -> Cli {
+    let mut cli = Cli {
+        clients: 4,
+        rps: 200.0,
+        duration: 2.0,
+        report_name: None,
+        trace: false,
+        jobs: 0,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut val = |flag: &str| args.next().unwrap_or_else(|| panic!("{flag} needs a value"));
+        match a.as_str() {
+            "--clients" => cli.clients = val("--clients").parse().expect("usize"),
+            "--rps" => cli.rps = val("--rps").parse().expect("f64"),
+            "--duration" => cli.duration = val("--duration").parse().expect("f64"),
+            "--report-name" => cli.report_name = Some(val("--report-name")),
+            "--trace" => cli.trace = true,
+            "--jobs" => cli.jobs = val("--jobs").parse().expect("usize"),
+            other => panic!(
+                "unknown flag {other} (try --clients, --rps, --duration, \
+                 --report-name, --trace, --jobs)"
+            ),
+        }
+    }
+    cli
+}
+
+fn column(nlev: usize, phase: f64) -> ColumnState {
+    ColumnState {
+        u: (0..nlev).map(|k| 5.0 * (0.3 * k as f64 + phase).sin()).collect(),
+        v: (0..nlev).map(|k| 2.0 * (0.2 * k as f64 + phase).cos()).collect(),
+        t: (0..nlev).map(|k| 295.0 - 4.0 * k as f64).collect(),
+        q: (0..nlev).map(|k| 0.01 * (-0.4 * k as f64).exp()).collect(),
+        p: (0..nlev).map(|k| 1.0e5 * (1.0 - k as f64 / nlev as f64)).collect(),
+    }
+}
+
+fn main() {
+    let cli = parse_cli();
+    let nlev = 30;
+    let obs = Arc::new(Obs::new());
+    let sink = cli.trace.then(|| {
+        let s = Arc::new(ap3esm::obs::TraceSink::default());
+        obs.profiler.set_trace_sink(Some(Arc::clone(&s)));
+        s
+    });
+
+    let cfg = ServeConfig {
+        workers: 2,
+        max_batch: 16,
+        max_wait: Duration::from_millis(2),
+        queue_capacity: 128,
+        ..ServeConfig::default()
+    };
+    let registry = Arc::new(ModelRegistry::warm(nlev, 32, 20230721, "warm-v1"));
+    let svc = Service::start(cfg, registry, Arc::clone(&obs));
+    println!(
+        "serving: {} clients, {:.0} rps target, {:.1}s, model v{} ({})",
+        cli.clients,
+        cli.rps,
+        cli.duration,
+        svc.registry().version(),
+        svc.registry().current().tag,
+    );
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let ok = Arc::new(AtomicU64::new(0));
+    let shed = Arc::new(AtomicU64::new(0));
+    let errors = Arc::new(AtomicU64::new(0));
+    let period = Duration::from_secs_f64(cli.clients.max(1) as f64 / cli.rps.max(1.0));
+
+    let clients: Vec<_> = (0..cli.clients.max(1))
+        .map(|ci| {
+            let svc = Arc::clone(&svc);
+            let stop = Arc::clone(&stop);
+            let (ok, shed, errors) =
+                (Arc::clone(&ok), Arc::clone(&shed), Arc::clone(&errors));
+            std::thread::spawn(move || {
+                let tenant = format!("client-{ci}");
+                let mut n = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let tick = Instant::now();
+                    let col = column(nlev, ci as f64 + n as f64 * 0.01);
+                    // Closed loop: submit, wait for the result, then pace.
+                    match svc.submit(&tenant, col) {
+                        Ok(ticket) => match ticket.wait() {
+                            Ok(_) => drop(ok.fetch_add(1, Ordering::Relaxed)),
+                            Err(_) => drop(errors.fetch_add(1, Ordering::Relaxed)),
+                        },
+                        Err(ServeError::Overloaded { .. }) => {
+                            shed.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(_) => drop(errors.fetch_add(1, Ordering::Relaxed)),
+                    }
+                    n += 1;
+                    if let Some(rest) = period.checked_sub(tick.elapsed()) {
+                        std::thread::sleep(rest);
+                    }
+                }
+            })
+        })
+        .collect();
+
+    // Hot-swap a retrained model at the halfway mark, roll back at 3/4 —
+    // both under full load.
+    let half = Duration::from_secs_f64(cli.duration / 2.0);
+    std::thread::sleep(half);
+    let (t, r) = warm_modules(nlev, 32, 20230722);
+    let v = svc.registry().publish("retrained-v2", t, r);
+    println!("hot-swapped model registry to v{v} mid-run");
+    std::thread::sleep(half / 2);
+    let back = svc.registry().rollback().expect("rollback");
+    println!("rolled back to v{back}");
+    std::thread::sleep(half / 2);
+
+    stop.store(true, Ordering::Relaxed);
+    for c in clients {
+        c.join().expect("client thread");
+    }
+    svc.drain();
+
+    let served = ok.load(Ordering::Relaxed);
+    let shed_n = shed.load(Ordering::Relaxed);
+    let err_n = errors.load(Ordering::Relaxed);
+    let total = served + shed_n + err_n;
+    let lat = obs.metrics.histogram("serve.latency_us").summary();
+    let bs = obs.metrics.histogram("serve.batch_size").summary();
+    println!("\n--- results ---");
+    println!("requests:   {total} ({served} served, {shed_n} shed, {err_n} errors)");
+    println!(
+        "latency:    p50 {:.2} ms, p95 {:.2} ms (n={})",
+        lat.p50 as f64 / 1e3,
+        lat.p95 as f64 / 1e3,
+        lat.count
+    );
+    println!(
+        "shed rate:  {:.2}%",
+        100.0 * shed_n as f64 / total.max(1) as f64
+    );
+    println!(
+        "batching:   mean {:.1} req/forward (max {}), {} batches",
+        bs.mean,
+        bs.max,
+        obs.metrics.counter("serve.batches").get()
+    );
+
+    // Optional: background ensemble forecast products through the job
+    // scheduler (real coupled runs at tiny scale, deduped + cached).
+    if cli.jobs > 0 {
+        println!("\nrunning {} ensemble forecast job(s)...", cli.jobs);
+        let sched = ForecastScheduler::start(
+            2,
+            8,
+            Arc::clone(&obs),
+            coupled_compute(CoupledConfig::test_tiny(), 0.25),
+        );
+        let handles: Vec<_> = (0..cli.jobs as u32)
+            .map(|m| {
+                sched.request(ProductKey {
+                    region: "wnp".into(),
+                    init_time: 2023_07_21,
+                    member: m,
+                })
+            })
+            .collect();
+        for h in handles {
+            match h.wait() {
+                Ok(p) => println!(
+                    "  member {}: track err {:.0} km, peak wind {:.1} m/s, min ps {:.0} Pa",
+                    p.key.member, p.mean_track_error_km, p.peak_intensity_ms, p.min_pressure_pa
+                ),
+                Err(e) => println!("  job failed: {e}"),
+            }
+        }
+        sched.drain();
+    }
+
+    // Obs artefacts: run report + optional chrome trace.
+    if let Some(name) = &cli.report_name {
+        if let Some(sink) = &sink {
+            obs.profiler.set_trace_sink(None);
+            let (events, dropped) = sink.take();
+            if dropped > 0 {
+                eprintln!("[trace] {dropped} span events dropped (sink full)");
+            }
+            let mut ct = ap3esm::obs::ChromeTrace::new();
+            ct.add_process(0, "serve");
+            ct.add_span_events(0, &events);
+            if let Ok(p) = ct.write(name) {
+                println!("trace:      {}", p.display());
+            }
+        }
+        let report = ap3esm::obs::ReportBuilder::new(name)
+            .meta("clients", cli.clients as u64)
+            .meta("target_rps", cli.rps)
+            .meta("duration_s", cli.duration)
+            .meta("served", served)
+            .meta("shed", shed_n)
+            .meta("errors", err_n)
+            .meta("model_version", svc.registry().version())
+            .spans(obs.profiler.snapshot())
+            .metrics(obs.metrics.snapshot())
+            .build();
+        match report.write() {
+            Ok(p) => println!("report:     {}", p.display()),
+            Err(e) => eprintln!("report write failed: {e}"),
+        }
+    }
+}

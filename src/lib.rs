@@ -33,6 +33,7 @@ pub use ap3esm_ocn as ocn;
 pub use ap3esm_physics as physics;
 pub use ap3esm_pp as pp;
 pub use ap3esm_precision as precision;
+pub use ap3esm_serve as serve;
 
 /// The most commonly used items in one import.
 pub mod prelude {
@@ -44,6 +45,9 @@ pub mod prelude {
     pub use ap3esm_grid::{GeodesicGrid, TripolarGrid};
     pub use ap3esm_machine::topology::MachineSpec;
     pub use ap3esm_pp::{ExecSpace, Serial, SimulatedCpe, Threads};
+    pub use ap3esm_serve::{
+        ForecastScheduler, ModelRegistry, ProductKey, ServeConfig, ServeError, Service,
+    };
 }
 
 #[cfg(test)]
