@@ -2,6 +2,11 @@
 //! loop must cost nothing measurable when no collector is installed, and
 //! <2% when an `Obs` is installed with the profiler disabled. Compare the
 //! `dycore_model_step` entries across the three modes.
+//!
+//! The `sampler_*` pair bounds the continuous-telemetry tentpole: the
+//! background `Sampler` thread reads the registry on its own cadence, so
+//! the hot loop must run within noise (<0.5%) of the no-sampler case —
+//! the only shared state is the metric atomics it reads.
 
 use std::sync::Arc;
 
@@ -53,5 +58,36 @@ fn bench_primitives(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_dycore_modes, bench_primitives);
+fn bench_sampler_overhead(c: &mut Criterion) {
+    // The continuous-telemetry sampler runs on its own thread; the hot
+    // loop only touches the same metric atomics it reads. Compare
+    // `sampler_off` vs `sampler_on`: the delta is the tentpole's <0.5%
+    // steady-state overhead budget.
+    let grid = Arc::new(ap3esm_grid::GeodesicGrid::new(3));
+    let dx = grid.mean_spacing_km();
+    let dycore = Dycore::new(Arc::clone(&grid), DycoreConfig::for_spacing_km(dx));
+    let mut group = c.benchmark_group("dycore_with_telemetry");
+    group.sample_size(20);
+    for mode in ["sampler_off", "sampler_on"] {
+        group.bench_with_input(BenchmarkId::from_parameter(mode), &mode, |b, &mode| {
+            let obs = Arc::new(Obs::new());
+            let _guard = ap3esm_obs::install(Arc::clone(&obs));
+            let _sampler = (mode == "sampler_on").then(|| {
+                ap3esm_obs::Sampler::start(
+                    Arc::clone(&obs),
+                    Arc::new(ap3esm_obs::SeriesStore::new(1024)),
+                    None,
+                    std::time::Duration::from_millis(10),
+                    Vec::new(),
+                )
+            });
+            let mut state = AtmState::isothermal(Arc::clone(&grid), 5, 288.0);
+            state.ps[0] += 300.0;
+            b.iter(|| dycore.step_model_dynamics(&mut state));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dycore_modes, bench_primitives, bench_sampler_overhead);
 criterion_main!(benches);

@@ -54,6 +54,11 @@ const CKPT_ID_TAG: u64 = 0x7EA2;
 const CKPT_OK_TAG: u64 = 0x7EA3;
 /// Sub-files per checkpoint field (matches the restart layer).
 const CKPT_SUBFILES: usize = 4;
+/// Telemetry busy-time exchange tags (max-reduce, sum-reduce). Dedicated
+/// tags, only exchanged when `CoupledOptions::telemetry` is set, so fault
+/// plans counting messages on the physics/health tags are unaffected.
+const TELE_MAX_TAG: u64 = 0x7E1E;
+const TELE_SUM_TAG: u64 = 0x7E1F;
 
 /// Build the AI physics suite for the coupled model: a quick in-situ
 /// training pass over conventional-physics supervision (our stand-in for
@@ -168,6 +173,12 @@ pub struct CoupledOptions {
     pub checkpoint_dir: Option<std::path::PathBuf>,
     /// Recovery policy (only consulted when `checkpoint_dir` is set).
     pub recovery: RecoveryConfig,
+    /// Continuous telemetry: background sampling of the metrics registry
+    /// into a time-series store, SLO/anomaly alerting, and an optional
+    /// OpenMetrics scrape endpoint — all on rank 0. `None` (the default)
+    /// runs no sampler thread and exchanges no telemetry messages, so
+    /// fault plans that count messages see an unchanged stream.
+    pub telemetry: Option<TelemetryOptions>,
 }
 
 impl Default for CoupledOptions {
@@ -181,6 +192,51 @@ impl Default for CoupledOptions {
             progress_every: None,
             checkpoint_dir: None,
             recovery: RecoveryConfig::default(),
+            telemetry: None,
+        }
+    }
+}
+
+/// Continuous-telemetry options. When set on [`CoupledOptions`], rank 0
+/// runs a background [`ap3esm_obs::Sampler`] copying every registered
+/// counter/gauge/histogram into an in-process [`ap3esm_obs::SeriesStore`]
+/// on `cadence`, evaluates the alert rules on every tick, and (with
+/// `metrics_addr`) serves live OpenMetrics scrapes over HTTP. Every ocean
+/// coupling additionally exchanges per-rank busy time (dedicated tags) so
+/// rank 0 can gauge `sim.sypd`, `sim.imbalance` and `sim.step_wall_s`.
+#[derive(Debug, Clone)]
+pub struct TelemetryOptions {
+    /// Sampling cadence of the background sampler thread.
+    pub cadence: std::time::Duration,
+    /// Bind an OpenMetrics scrape endpoint here (e.g. `127.0.0.1:9464`;
+    /// port 0 binds an ephemeral port — see
+    /// [`CoupledStats::metrics_addr`]). `None` disables the endpoint.
+    pub metrics_addr: Option<String>,
+    /// Seed the engine with the built-in simulation rules ([SYPD collapse,
+    /// imbalance drift, Degraded streak](ap3esm_obs::sim_rules)).
+    pub builtin_rules: bool,
+    /// Extra alert rules in the `ap3esm_obs::alert` grammar, one per line
+    /// (appended after the built-ins; bad rules panic at startup).
+    pub rules: String,
+    /// Write the full series store to `target/obs/series-<name>.json`
+    /// after the run (requires `report_name`; ignored without it).
+    pub snapshot: bool,
+    /// Raw-tier ring capacity per series, in samples. At the default
+    /// cadence the default capacity retains minutes of raw history (the
+    /// 10x/100x tiers extend it); size up for high-frequency sampling so
+    /// pre-incident baseline survives for offline replay.
+    pub capacity: usize,
+}
+
+impl Default for TelemetryOptions {
+    fn default() -> Self {
+        TelemetryOptions {
+            cadence: std::time::Duration::from_millis(250),
+            metrics_addr: None,
+            builtin_rules: true,
+            rules: String::new(),
+            snapshot: true,
+            capacity: ap3esm_obs::tsdb::DEFAULT_CAPACITY,
         }
     }
 }
@@ -220,6 +276,15 @@ pub struct CoupledStats {
     /// Set when the run ended in a clean structured failure (recovery
     /// budget exhausted or no usable checkpoint) instead of completing.
     pub failure: Option<String>,
+    /// Alert firings observed by the telemetry engine, in firing order
+    /// (rank 0, when telemetry was enabled).
+    pub alerts: Vec<String>,
+    /// Where the time-series snapshot was written (rank 0, when telemetry
+    /// with `snapshot` and a `report_name` were set).
+    pub series_path: Option<std::path::PathBuf>,
+    /// The OpenMetrics endpoint actually bound — resolves port 0 to the
+    /// ephemeral port (rank 0, when telemetry set `metrics_addr`).
+    pub metrics_addr: Option<String>,
 }
 
 /// Fit the atmosphere stepping so an integer number of model steps covers
@@ -457,6 +522,41 @@ pub fn run_coupled(rank: &Rank, config: &CoupledConfig, opts: &CoupledOptions) -
     let total_seconds = (opts.days * 86_400.0).round();
     let mut stats = CoupledStats::default();
 
+    // --- Continuous telemetry (opt-in). Every rank notes the flag (the
+    //     busy-time exchange is collective); rank 0 additionally runs the
+    //     sampler thread, the alert engine, and the scrape endpoint. ---
+    let telemetry_on = opts.telemetry.is_some();
+    let mut telemetry = opts.telemetry.as_ref().filter(|_| is_root).map(|t| {
+        let store = std::sync::Arc::new(ap3esm_obs::SeriesStore::new(t.capacity));
+        let mut rules = if t.builtin_rules {
+            ap3esm_obs::sim_rules()
+        } else {
+            Vec::new()
+        };
+        rules.extend(ap3esm_obs::parse_rules(&t.rules).expect("telemetry alert rules"));
+        let engine = std::sync::Arc::new(ap3esm_obs::AlertEngine::new(rules));
+        let sampler = ap3esm_obs::Sampler::start(
+            std::sync::Arc::clone(&obs),
+            std::sync::Arc::clone(&store),
+            Some(std::sync::Arc::clone(&engine)),
+            t.cadence,
+            Vec::new(),
+        );
+        let server = t.metrics_addr.as_ref().map(|addr| {
+            ap3esm_obs::MetricsServer::start(
+                addr,
+                std::sync::Arc::clone(&obs),
+                std::sync::Arc::clone(&store),
+                Some(std::sync::Arc::clone(&engine)),
+            )
+            .expect("bind OpenMetrics endpoint")
+        });
+        (store, engine, sampler, server)
+    });
+    if let Some((_, _, _, Some(server))) = &telemetry {
+        stats.metrics_addr = Some(server.local_addr().to_string());
+    }
+
     if is_root {
         // ================= Domain A: coupler + ATM + ICE + LND ==========
         let grid = std::sync::Arc::new(GeodesicGrid::new(config.atm_glevel));
@@ -537,6 +637,10 @@ pub fn run_coupled(rank: &Rank, config: &CoupledConfig, opts: &CoupledOptions) -
 
         // Live-telemetry state: wall clock + sim time at the last heartbeat.
         let mut hb_last: Option<(std::time::Instant, f64)> = None;
+        // Continuous-telemetry state: cumulative busy seconds + wall clock
+        // at the previous ocean coupling.
+        let mut tele_prev_busy = 0.0f64;
+        let mut tele_last_wall = std::time::Instant::now();
 
         let mut resil = opts
             .checkpoint_dir
@@ -998,6 +1102,34 @@ pub fn run_coupled(rank: &Rank, config: &CoupledConfig, opts: &CoupledOptions) -
                         hb_last = Some((now, sim_s));
                     }
                 }
+
+                // ----- Continuous telemetry: global busy-time exchange at
+                //       the coupling sync point, then rank-0 gauges the
+                //       sampler thread turns into series. -----
+                if telemetry_on {
+                    let busy: f64 = timers
+                        .sections()
+                        .iter()
+                        .map(|s| timers.seconds(s))
+                        .sum();
+                    let d_busy = (busy - tele_prev_busy).max(0.0);
+                    tele_prev_busy = busy;
+                    let max_busy =
+                        ap3esm_comm::collectives::allreduce_max(rank, TELE_MAX_TAG, d_busy)
+                            .unwrap_or(d_busy);
+                    let sum_busy =
+                        ap3esm_comm::collectives::allreduce_sum(rank, TELE_SUM_TAG, d_busy)
+                            .unwrap_or(d_busy);
+                    let now = std::time::Instant::now();
+                    let dw = now.duration_since(tele_last_wall).as_secs_f64().max(1e-9);
+                    tele_last_wall = now;
+                    ap3esm_obs::gauge_set("sim.step_wall_s", dw);
+                    ap3esm_obs::gauge_set("sim.sypd", get_timing(ocn_period, dw));
+                    let mean_busy = sum_busy / world_ranks as f64;
+                    if mean_busy > 0.0 {
+                        ap3esm_obs::gauge_set("sim.imbalance", max_busy / mean_busy);
+                    }
+                }
             }
         }
         stats.simulated_seconds = clock.time as f64;
@@ -1021,6 +1153,7 @@ pub fn run_coupled(rank: &Rank, config: &CoupledConfig, opts: &CoupledOptions) -
             GuardConfig::default(),
             ocn_config.dt_baroclinic / ocn_config.n_barotropic.max(1) as f64,
         );
+        let mut tele_prev_busy = 0.0f64;
 
         'sim: while (clock.time as f64) < total_seconds {
             let event = clock.advance();
@@ -1153,6 +1286,16 @@ pub fn run_coupled(rank: &Rank, config: &CoupledConfig, opts: &CoupledOptions) -
                         rank.barrier(); // rank 0 commits after this
                     }
                 }
+
+                // Continuous telemetry: the collective leg of rank 0's
+                // busy-time exchange (results only consumed there).
+                if telemetry_on {
+                    let busy = timers.seconds("ocn_run");
+                    let d_busy = (busy - tele_prev_busy).max(0.0);
+                    tele_prev_busy = busy;
+                    let _ = ap3esm_comm::collectives::allreduce_max(rank, TELE_MAX_TAG, d_busy);
+                    let _ = ap3esm_comm::collectives::allreduce_sum(rank, TELE_SUM_TAG, d_busy);
+                }
             }
         }
         stats.simulated_seconds = clock.time as f64;
@@ -1176,6 +1319,25 @@ pub fn run_coupled(rank: &Rank, config: &CoupledConfig, opts: &CoupledOptions) -
         .iter()
         .map(|s| (s.to_string(), timers.seconds(s)))
         .collect();
+
+    // Telemetry teardown before the report: the shutdown handshake forces
+    // one final sample + alert pass, so the report's alerts array and the
+    // series snapshot include the run's last state. The scrape endpoint
+    // stays up until the snapshot is on disk.
+    let mut alert_events: Vec<ap3esm_obs::AlertEvent> = Vec::new();
+    if let Some((store, engine, sampler, server)) = telemetry.take() {
+        sampler.shutdown();
+        alert_events = engine.events();
+        stats.alerts = alert_events.iter().map(|e| e.message.clone()).collect();
+        if let Some(name) = &opts.report_name {
+            if opts.telemetry.as_ref().is_some_and(|t| t.snapshot) {
+                stats.series_path = store.write_snapshot(name).ok();
+            }
+        }
+        if let Some(server) = server {
+            server.stop();
+        }
+    }
 
     if let Some(name) = &opts.report_name {
         // Paper §6.2 measurement rule: per-section times reduced to the
@@ -1260,6 +1422,7 @@ pub fn run_coupled(rank: &Rank, config: &CoupledConfig, opts: &CoupledOptions) -
                     ),
                 )
                 .spans(spans)
+                .alerts(alert_events)
                 .sections(sections)
                 .rank_trees(trees.unwrap_or_default())
                 .metrics(obs.metrics.snapshot())
@@ -1329,7 +1492,7 @@ mod tests {
         // Only rank 0 writes; ocean ranks still participated in aggregation.
         assert!(all[1..].iter().all(|s| s.report_json.is_none()));
         let json = root.report_json.as_ref().expect("rank 0 report");
-        assert!(json.starts_with(r#"{"schema":"ap3esm-obs/2","name":"esm-report-test""#));
+        assert!(json.starts_with(r#"{"schema":"ap3esm-obs/3","name":"esm-report-test""#));
 
         // The sink wrote the same bytes to target/obs/.
         let path = root.report_path.as_ref().expect("report written");

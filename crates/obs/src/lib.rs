@@ -20,6 +20,17 @@
 //!   per rank, span `X` events, resilience instant events and send/recv
 //!   flow arrows, plus collapsed-stack flamegraph output
 //!   (`trace-<name>.folded` for `inferno`/`flamegraph.pl`).
+//! * [`tsdb`] — continuous telemetry: a lock-sharded in-process time-series
+//!   store with ring-buffered downsampling tiers (raw → 10× → 100×) and a
+//!   [`Sampler`](tsdb::Sampler) thread that snapshots the registry on a
+//!   configurable cadence, so week-long runs keep bounded in-flight history.
+//! * [`openmetrics`] — OpenMetrics text exposition of the registry and
+//!   series, a strict parser for CI validation, and a std-only blocking
+//!   HTTP scrape endpoint (opt-in `--metrics-addr`).
+//! * [`alert`] — declarative SLO/anomaly rules (threshold, rolling-mean
+//!   deviation, rate-of-change) evaluated on the sampled series; firings
+//!   land on stderr, in the chrome trace as instants, and in the run
+//!   report's `"alerts"` array.
 //!
 //! Leaf crates instrument hot paths through the free functions below
 //! ([`span()`], [`counter_add()`], …), which act on a **thread-local active
@@ -29,18 +40,26 @@
 //! bitwise trajectory of the model is unchanged whether or not profiling is
 //! on — timing is observed, never consulted.
 
+pub mod alert;
 pub mod json;
 pub mod metrics;
+pub mod openmetrics;
 pub mod rankagg;
 pub mod report;
 pub mod span;
 pub mod trace;
+pub mod tsdb;
 
+pub use alert::{
+    parse_rules, serve_rules, sim_rules, AlertEngine, AlertEvent, Rule, RuleKind, RuleStatus,
+};
 pub use metrics::{Counter, Gauge, Histogram, Metrics, MetricSnapshot};
+pub use openmetrics::MetricsServer;
 pub use rankagg::{aggregate_sections, gather_span_trees, RankTree, SectionStats};
-pub use report::{CommSummary, ReportBuilder, RunReport};
+pub use report::{alert_event_json, CommSummary, ReportBuilder, RunReport};
 pub use span::{Profiler, SpanGuard, SpanSnapshot};
 pub use trace::{ChromeTrace, TraceEvent, TracePhase, TraceSink};
+pub use tsdb::{Derived, Sampler, SeriesSnapshot, SeriesStore};
 
 use std::cell::RefCell;
 use std::sync::Arc;

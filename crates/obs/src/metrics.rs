@@ -164,6 +164,30 @@ impl Histogram {
             p95: self.quantile(0.95),
         }
     }
+
+    /// Fold `other`'s samples into `self` bucket-wise, so quantiles of the
+    /// merged histogram are exact (up to bucketing error) rather than
+    /// approximated from two digests. The raw `min` atomics are merged with
+    /// `fetch_min` on the stored bits, so an empty side's `u64::MAX`
+    /// sentinel never poisons the result — merging an empty histogram is a
+    /// no-op and merging *into* an empty one yields `other` exactly, which
+    /// keeps alert-rule thresholds on merged p50/p95 NaN-free.
+    pub fn merge(&self, other: &Histogram) {
+        for (dst, src) in self.buckets.iter().zip(&other.buckets) {
+            let n = src.load(Ordering::Relaxed);
+            if n != 0 {
+                dst.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        self.count
+            .fetch_add(other.count.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.sum
+            .fetch_add(other.sum.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.min
+            .fetch_min(other.min.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.max
+            .fetch_max(other.max.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
 }
 
 /// Point-in-time digest of a [`Histogram`].
@@ -175,6 +199,34 @@ pub struct HistogramSummary {
     pub mean: f64,
     pub p50: u64,
     pub p95: u64,
+}
+
+impl HistogramSummary {
+    /// Combine two digests (e.g. the same histogram from two ranks). An
+    /// empty side contributes nothing: the result's p50/p95 equal the
+    /// non-empty side's, never 0 or NaN. When both sides hold samples the
+    /// quantiles are count-weighted interpolations — an approximation
+    /// (digests cannot be merged exactly); merge [`Histogram`]s bucket-wise
+    /// via [`Histogram::merge`] when exactness matters.
+    pub fn merge(&self, other: &HistogramSummary) -> HistogramSummary {
+        if self.count == 0 {
+            return other.clone();
+        }
+        if other.count == 0 {
+            return self.clone();
+        }
+        let n = self.count + other.count;
+        let (wa, wb) = (self.count as f64 / n as f64, other.count as f64 / n as f64);
+        let blend = |a: u64, b: u64| (a as f64 * wa + b as f64 * wb).round() as u64;
+        HistogramSummary {
+            count: n,
+            min: self.min.min(other.min),
+            max: self.max.max(other.max),
+            mean: self.mean * wa + other.mean * wb,
+            p50: blend(self.p50, other.p50),
+            p95: blend(self.p95, other.p95),
+        }
+    }
 }
 
 enum Metric {
@@ -375,6 +427,48 @@ mod tests {
         assert_eq!(h.count(), 4000);
         assert_eq!(h.min(), 0);
         assert_eq!(h.max(), 3999);
+    }
+
+    #[test]
+    fn merging_an_empty_histogram_keeps_quantiles_of_the_nonempty_side() {
+        // Both directions: empty into nonempty, and nonempty into empty.
+        // Before the raw-bits min merge, the empty side's u64::MAX sentinel
+        // (or its `min() == 0` public value) would poison the result and
+        // drive alert thresholds to 0/NaN.
+        let full = Histogram::default();
+        for v in [100, 200, 300, 400, 1000] {
+            full.record(v);
+        }
+        let want = full.summary();
+
+        let empty = Histogram::default();
+        full.merge(&empty);
+        assert_eq!(full.summary(), want, "empty → nonempty must be a no-op");
+
+        let dst = Histogram::default();
+        dst.merge(&full);
+        assert_eq!(dst.summary(), want, "nonempty → empty must equal the source");
+        assert_eq!(dst.min(), 100);
+
+        // Digest-level merge observes the same invariant.
+        let none = Histogram::default().summary();
+        assert_eq!(none.merge(&want), want);
+        assert_eq!(want.merge(&none), want);
+        assert!(!none.merge(&want).mean.is_nan());
+    }
+
+    #[test]
+    fn merging_two_nonempty_histograms_is_bucket_exact() {
+        let a = Histogram::default();
+        let b = Histogram::default();
+        let whole = Histogram::default();
+        for v in 0..500u64 {
+            let x = v * 7 + 3;
+            if v % 2 == 0 { a.record(x) } else { b.record(x) }
+            whole.record(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.summary(), whole.summary());
     }
 
     #[test]

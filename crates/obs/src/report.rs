@@ -8,6 +8,7 @@
 
 use std::path::{Path, PathBuf};
 
+use crate::alert::AlertEvent;
 use crate::json::Json;
 use crate::metrics::MetricSnapshot;
 use crate::rankagg::{RankTree, SectionStats};
@@ -16,7 +17,9 @@ use crate::span::SpanSnapshot;
 /// Schema tag stamped into every report (bump on breaking layout changes).
 /// `/2`: per-rank span trees (`rank_trees`) and world-relative section
 /// imbalance (`world` field on each `rank_sections` entry).
-pub const SCHEMA: &str = "ap3esm-obs/2";
+/// `/3`: SLO/anomaly alert events (`alerts` array between `metrics` and
+/// `comm`).
+pub const SCHEMA: &str = "ap3esm-obs/3";
 
 /// Communication traffic digest (fed from `ap3esm_comm::CommStats`).
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -39,6 +42,7 @@ pub struct ReportBuilder {
     sections: Vec<SectionStats>,
     rank_trees: Vec<RankTree>,
     metrics: Vec<(String, MetricSnapshot)>,
+    alerts: Vec<AlertEvent>,
     comm: Option<CommSummary>,
 }
 
@@ -80,6 +84,12 @@ impl ReportBuilder {
         self
     }
 
+    /// Attach SLO/anomaly alert events fired during the run.
+    pub fn alerts(mut self, alerts: Vec<AlertEvent>) -> Self {
+        self.alerts = alerts;
+        self
+    }
+
     /// Attach the communication summary.
     pub fn comm(mut self, comm: CommSummary) -> Self {
         self.comm = Some(comm);
@@ -94,6 +104,7 @@ impl ReportBuilder {
             sections: self.sections,
             rank_trees: self.rank_trees,
             metrics: self.metrics,
+            alerts: self.alerts,
             comm: self.comm,
         }
     }
@@ -107,6 +118,7 @@ pub struct RunReport {
     sections: Vec<SectionStats>,
     rank_trees: Vec<RankTree>,
     metrics: Vec<(String, MetricSnapshot)>,
+    alerts: Vec<AlertEvent>,
     comm: Option<CommSummary>,
 }
 
@@ -180,6 +192,11 @@ impl RunReport {
         }
         root.set("metrics", metrics);
 
+        root.set(
+            "alerts",
+            Json::Arr(self.alerts.iter().map(alert_event_json).collect()),
+        );
+
         if let Some(comm) = &self.comm {
             let mut o = Json::obj();
             o.set("total_messages", comm.total_messages.into())
@@ -246,6 +263,12 @@ impl RunReport {
                 ));
             }
         }
+        if !self.alerts.is_empty() {
+            out.push_str("  alerts:\n");
+            for a in &self.alerts {
+                out.push_str(&format!("    {}\n", a.message));
+            }
+        }
         if let Some(c) = &self.comm {
             out.push_str(&format!(
                 "  comm: {} messages, {} bytes\n",
@@ -274,6 +297,18 @@ impl RunReport {
     pub fn write(&self) -> std::io::Result<PathBuf> {
         self.write_to(default_dir())
     }
+}
+
+/// JSON form of one alert event (shared by the report's `alerts` array and
+/// the scrape endpoint's `/alerts` route).
+pub fn alert_event_json(e: &AlertEvent) -> Json {
+    let mut o = Json::obj();
+    o.set("rule", e.rule.as_str().into())
+        .set("series", e.series.as_str().into())
+        .set("t_s", e.t_s.into())
+        .set("value", e.value.into())
+        .set("message", e.message.as_str().into());
+    o
 }
 
 fn span_array(spans: &[SpanSnapshot]) -> Vec<Json> {
@@ -365,6 +400,13 @@ mod tests {
                     }),
                 ),
             ])
+            .alerts(vec![AlertEvent {
+                rule: "sypd-collapse".into(),
+                series: "sim.sypd".into(),
+                t_s: 12.5,
+                value: 0.2,
+                message: "sypd-collapse: sim.sypd breached".into(),
+            }])
             .comm(CommSummary {
                 total_messages: 42,
                 total_bytes: 1_000_000,
@@ -380,7 +422,7 @@ mod tests {
     fn json_matches_golden_schema() {
         let got = fixed_report().to_json();
         let want = concat!(
-            r#"{"schema":"ap3esm-obs/2","name":"golden","#,
+            r#"{"schema":"ap3esm-obs/3","name":"golden","#,
             r#""meta":{"world_size":3,"sypd":0.54},"#,
             r#""spans":[{"path":"step","depth":0,"total_s":2.5,"self_s":0.5,"count":4},"#,
             r#"{"path":"step/atm","depth":1,"total_s":2,"self_s":2,"count":8}],"#,
@@ -390,6 +432,8 @@ mod tests {
             r#""spans":[{"path":"ocn_run","depth":0,"total_s":2,"self_s":2,"count":4}]}],"#,
             r#""metrics":{"io.bytes":4096,"#,
             r#""rearrange.ns":{"count":10,"min":100,"max":900,"mean":500,"p50":496,"p95":880}},"#,
+            r#""alerts":[{"rule":"sypd-collapse","series":"sim.sypd","t_s":12.5,"#,
+            r#""value":0.2,"message":"sypd-collapse: sim.sypd breached"}],"#,
             r#""comm":{"total_messages":42,"total_bytes":1000000,"#,
             r#""top_pairs":[{"src":0,"dst":1,"bytes":700000},{"src":1,"dst":0,"bytes":300000}],"#,
             r#""streams":[{"label":"cpl_scatter","messages":30,"bytes":700000}]}}"#,

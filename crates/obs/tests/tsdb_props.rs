@@ -1,0 +1,101 @@
+//! Property tests for the time-series downsampling tiers: every bucket of
+//! a downsampled tier must *bound* the raw samples it covers — its `min`
+//! and `max` are the extremes of the covered window, its mean lies inside
+//! `[min, max]`, and the bucket counts account for every cascaded sample.
+//! Otherwise alert rules evaluated on coarse tiers could see values no raw
+//! sample ever took.
+
+use ap3esm_obs::tsdb::{SeriesStore, DOWNSAMPLE_FACTOR, N_TIERS};
+use proptest::prelude::*;
+
+/// Deterministic sample stream mixing smooth drift with spiky noise, so
+/// windows have genuine interior extremes.
+fn sample_stream(seed: u64, n: usize, scale: f64) -> Vec<f64> {
+    let mut s = seed | 1;
+    (0..n)
+        .map(|i| {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            let noise = (s >> 11) as f64 / (1u64 << 53) as f64 - 0.5;
+            let drift = (i as f64 * 0.05).sin();
+            scale * (drift + if s % 7 == 0 { 5.0 * noise } else { noise })
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn downsampled_buckets_bound_their_raw_windows(
+        n in 1usize..400,
+        seed in 1u64..u64::MAX,
+        scale in 0.01f64..1e6,
+    ) {
+        // Capacity large enough that nothing is evicted: then tier k+1's
+        // buckets partition tier k's closed windows exactly.
+        let store = SeriesStore::new(512);
+        let samples = sample_stream(seed, n, scale);
+        for (i, &v) in samples.iter().enumerate() {
+            store.record_at("x", i as f64, v);
+        }
+        let snap = &store.snapshot()[0];
+        prop_assert_eq!(snap.total, n as u64);
+
+        for tier in 1..N_TIERS {
+            let window = DOWNSAMPLE_FACTOR.pow(tier as u32);
+            prop_assert_eq!(snap.tiers[tier].len(), n / window, "tier {} len", tier);
+            for (bi, b) in snap.tiers[tier].iter().enumerate() {
+                let raw = &samples[bi * window..(bi + 1) * window];
+                let lo = raw.iter().cloned().fold(f64::INFINITY, f64::min);
+                let hi = raw.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+                let sum: f64 = raw.iter().sum();
+
+                prop_assert_eq!(b.count, window as u64);
+                prop_assert_eq!(b.t_s, (bi * window) as f64, "bucket starts at window");
+                prop_assert_eq!(b.min, lo, "tier {} bucket {} min", tier, bi);
+                prop_assert_eq!(b.max, hi, "tier {} bucket {} max", tier, bi);
+                // The sum is accumulated pairwise through the cascade, so
+                // allow f64 reassociation error relative to the magnitude.
+                let tol = 1e-9 * raw.iter().map(|v| v.abs()).sum::<f64>().max(1e-300);
+                prop_assert!((b.sum - sum).abs() <= tol, "sum {} vs {}", b.sum, sum);
+
+                let mean = b.mean();
+                prop_assert!(
+                    lo - tol <= mean && mean <= hi + tol,
+                    "mean {} outside [{}, {}]", mean, lo, hi
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn eviction_never_widens_bounds(
+        n in 64usize..2000,
+        seed in 1u64..u64::MAX,
+    ) {
+        // Small capacity forces raw-ring eviction; surviving coarse buckets
+        // must still bound the (recomputable) windows they summarise.
+        let store = SeriesStore::new(16);
+        let samples = sample_stream(seed, n, 10.0);
+        for (i, &v) in samples.iter().enumerate() {
+            store.record_at("x", i as f64, v);
+        }
+        let snap = &store.snapshot()[0];
+        prop_assert!(snap.tiers[0].len() <= 16);
+        for tier in 1..N_TIERS {
+            let window = DOWNSAMPLE_FACTOR.pow(tier as u32);
+            for b in &snap.tiers[tier] {
+                let start = b.t_s as usize;
+                prop_assert_eq!(start % window, 0, "window-aligned timestamp");
+                let raw = &samples[start..start + window];
+                let lo = raw.iter().cloned().fold(f64::INFINITY, f64::min);
+                let hi = raw.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+                prop_assert_eq!(b.min, lo);
+                prop_assert_eq!(b.max, hi);
+                prop_assert_eq!(b.count, window as u64);
+            }
+        }
+    }
+}

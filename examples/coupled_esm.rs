@@ -13,9 +13,15 @@
 //! Flags: `--fault-plan <file>` (enables checkpointing), `--checkpoint-dir
 //! <dir>` (default `target/ckpt` when faults are on), `--days <n>`,
 //! `--trace` (chrome-trace + flamegraph export under `target/obs/`),
-//! `--progress-every <n>` (live telemetry every n ocean couplings).
+//! `--progress-every <n>` (live telemetry every n ocean couplings),
+//! `--metrics-addr <ip:port>` (live OpenMetrics scrape endpoint — `curl
+//! http://<addr>/metrics` mid-run; implies continuous telemetry),
+//! `--slo` (continuous telemetry + built-in SYPD-collapse /
+//! imbalance-drift / degraded-streak alert rules), `--slo-rules <file>`
+//! (extra rules, one per line), `--cadence-ms <n>` (sampling cadence).
 
 use ap3esm::comm::{FaultInjector, FaultPlan};
+use ap3esm::esm::coupled::TelemetryOptions;
 use ap3esm::esm::RecoveryConfig;
 use ap3esm::prelude::*;
 use std::sync::Arc;
@@ -26,6 +32,10 @@ struct Cli {
     checkpoint_dir: Option<std::path::PathBuf>,
     trace: bool,
     progress_every: Option<u64>,
+    slo: bool,
+    slo_rules: Option<std::path::PathBuf>,
+    metrics_addr: Option<String>,
+    cadence_ms: u64,
 }
 
 fn parse_cli() -> Cli {
@@ -35,6 +45,10 @@ fn parse_cli() -> Cli {
         checkpoint_dir: None,
         trace: false,
         progress_every: None,
+        slo: false,
+        slo_rules: None,
+        metrics_addr: None,
+        cadence_ms: 250,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -54,8 +68,17 @@ fn parse_cli() -> Cli {
                         .expect("--progress-every: not a number"),
                 )
             }
+            "--slo" => cli.slo = true,
+            "--slo-rules" => cli.slo_rules = Some(value("--slo-rules").into()),
+            "--metrics-addr" => cli.metrics_addr = Some(value("--metrics-addr")),
+            "--cadence-ms" => {
+                cli.cadence_ms = value("--cadence-ms")
+                    .parse()
+                    .expect("--cadence-ms: not a number")
+            }
             other => panic!(
-                "unknown flag {other} (try --days, --fault-plan, --checkpoint-dir, --trace, --progress-every)"
+                "unknown flag {other} (try --days, --fault-plan, --checkpoint-dir, --trace, \
+                 --progress-every, --slo, --slo-rules, --metrics-addr, --cadence-ms)"
             ),
         }
     }
@@ -107,6 +130,25 @@ fn main() {
         opts.checkpoint_dir
             .get_or_insert_with(|| "target/ckpt".into());
     }
+    if cli.slo || cli.metrics_addr.is_some() {
+        let rules = cli
+            .slo_rules
+            .as_ref()
+            .map(|p| {
+                std::fs::read_to_string(p)
+                    .unwrap_or_else(|e| panic!("cannot read {}: {e}", p.display()))
+            })
+            .unwrap_or_default();
+        opts.telemetry = Some(TelemetryOptions {
+            cadence: std::time::Duration::from_millis(cli.cadence_ms.max(1)),
+            metrics_addr: cli.metrics_addr.clone(),
+            rules,
+            ..TelemetryOptions::default()
+        });
+    }
+    if let Some(addr) = &cli.metrics_addr {
+        println!("metrics endpoint: http://{addr}/metrics (live during the run)\n");
+    }
     let all = world.run(|rank| run_coupled(rank, &config, &opts));
     let root = &all[0];
 
@@ -146,6 +188,12 @@ fn main() {
             println!("  fault: {e}");
         }
     }
+    if !root.alerts.is_empty() {
+        println!("\ntelemetry alerts ({}):", root.alerts.len());
+        for a in &root.alerts {
+            println!("  {a}");
+        }
+    }
     match &root.failure {
         Some(f) => {
             println!("\nrun FAILED (structured): {f}");
@@ -165,5 +213,8 @@ fn main() {
     }
     if let Some(path) = &root.folded_path {
         println!("flamegraph:     {} (render with inferno/flamegraph.pl)", path.display());
+    }
+    if let Some(path) = &root.series_path {
+        println!("series store:   {} (replay with scripts/slo_check.sh)", path.display());
     }
 }

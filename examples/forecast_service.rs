@@ -7,11 +7,21 @@
 //! p50/p95 latency, throughput and the shed rate, and writes the obs run
 //! report (and, with `--trace`, a chrome trace of the serve batches).
 //!
+//! With `--slo` the run is continuously sampled into a time-series store
+//! and judged against the built-in serving SLO rules (p95 latency budget,
+//! shed-rate ceiling); a final SLO summary prints per-rule verdicts and
+//! `--slo-strict` exits nonzero on any violation. `--metrics-addr` serves
+//! live OpenMetrics scrapes while the load runs.
+//!
 //! ```sh
 //! cargo run --release --example forecast_service -- \
 //!     --clients 8 --rps 400 --duration 3 --report-name serve --trace
 //! # optionally also run N background ensemble forecast jobs:
 //! cargo run --release --example forecast_service -- --jobs 3
+//! # SLO-gated run with a live scrape endpoint:
+//! cargo run --release --example forecast_service -- \
+//!     --slo-strict --slo-p95-ms 50 --slo-shed 0.05 \
+//!     --metrics-addr 127.0.0.1:9464 --report-name serve
 //! ```
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -34,6 +44,12 @@ struct Cli {
     report_name: Option<String>,
     trace: bool,
     jobs: usize,
+    slo: bool,
+    slo_strict: bool,
+    slo_p95_ms: f64,
+    slo_shed: f64,
+    metrics_addr: Option<String>,
+    cadence_ms: u64,
 }
 
 fn parse_cli() -> Cli {
@@ -44,6 +60,12 @@ fn parse_cli() -> Cli {
         report_name: None,
         trace: false,
         jobs: 0,
+        slo: false,
+        slo_strict: false,
+        slo_p95_ms: 50.0,
+        slo_shed: 0.05,
+        metrics_addr: None,
+        cadence_ms: 50,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -55,9 +77,16 @@ fn parse_cli() -> Cli {
             "--report-name" => cli.report_name = Some(val("--report-name")),
             "--trace" => cli.trace = true,
             "--jobs" => cli.jobs = val("--jobs").parse().expect("usize"),
+            "--slo" => cli.slo = true,
+            "--slo-strict" => cli.slo_strict = true,
+            "--slo-p95-ms" => cli.slo_p95_ms = val("--slo-p95-ms").parse().expect("f64"),
+            "--slo-shed" => cli.slo_shed = val("--slo-shed").parse().expect("f64"),
+            "--metrics-addr" => cli.metrics_addr = Some(val("--metrics-addr")),
+            "--cadence-ms" => cli.cadence_ms = val("--cadence-ms").parse().expect("u64"),
             other => panic!(
                 "unknown flag {other} (try --clients, --rps, --duration, \
-                 --report-name, --trace, --jobs)"
+                 --report-name, --trace, --jobs, --slo, --slo-strict, \
+                 --slo-p95-ms, --slo-shed, --metrics-addr, --cadence-ms)"
             ),
         }
     }
@@ -81,6 +110,39 @@ fn main() {
     let sink = cli.trace.then(|| {
         let s = Arc::new(ap3esm::obs::TraceSink::default());
         obs.profiler.set_trace_sink(Some(Arc::clone(&s)));
+        s
+    });
+
+    // Continuous telemetry: background sampler feeding a time-series
+    // store, the built-in serving SLO rules, and an optional OpenMetrics
+    // scrape endpoint that serves live while the load runs.
+    let telemetry_on = cli.slo || cli.slo_strict || cli.metrics_addr.is_some();
+    let store = telemetry_on
+        .then(|| Arc::new(ap3esm::obs::SeriesStore::new(ap3esm::obs::tsdb::DEFAULT_CAPACITY)));
+    let engine = telemetry_on.then(|| {
+        Arc::new(ap3esm::obs::AlertEngine::new(ap3esm::obs::serve_rules(
+            cli.slo_p95_ms * 1e3,
+            cli.slo_shed,
+        )))
+    });
+    let sampler = store.as_ref().map(|store| {
+        ap3esm::obs::Sampler::start(
+            Arc::clone(&obs),
+            Arc::clone(store),
+            engine.clone(),
+            Duration::from_millis(cli.cadence_ms.max(1)),
+            ap3esm::serve::telemetry_derived(),
+        )
+    });
+    let server = cli.metrics_addr.as_ref().map(|addr| {
+        let s = ap3esm::obs::MetricsServer::start(
+            addr,
+            Arc::clone(&obs),
+            Arc::clone(store.as_ref().expect("telemetry store")),
+            engine.clone(),
+        )
+        .expect("bind OpenMetrics endpoint");
+        println!("metrics:    http://{}/metrics", s.local_addr());
         s
     });
 
@@ -214,6 +276,40 @@ fn main() {
         sched.drain();
     }
 
+    // Telemetry teardown: the shutdown handshake forces one final sample
+    // and alert pass, so the verdicts below include the run's last state.
+    if let Some(sampler) = sampler {
+        sampler.shutdown();
+    }
+    let mut slo_violated = false;
+    if let Some(engine) = &engine {
+        println!("\n--- SLO summary ---");
+        for st in engine.status() {
+            let violated = st.fired > 0 || st.firing;
+            slo_violated |= violated;
+            println!(
+                "{:<12} {:<22} {} ({} firing(s), {} samples)",
+                st.rule,
+                st.series,
+                if violated { "VIOLATED" } else { "met" },
+                st.fired,
+                st.evaluated,
+            );
+        }
+        for e in engine.events() {
+            println!("  alert: t={:.2}s {}", e.t_s, e.message);
+        }
+    }
+    if let (Some(store), Some(name)) = (&store, &cli.report_name) {
+        match store.write_snapshot(name) {
+            Ok(p) => println!("series:     {}", p.display()),
+            Err(e) => eprintln!("series snapshot write failed: {e}"),
+        }
+    }
+    if let Some(server) = server {
+        server.stop();
+    }
+
     // Obs artefacts: run report + optional chrome trace.
     if let Some(name) = &cli.report_name {
         if let Some(sink) = &sink {
@@ -238,11 +334,17 @@ fn main() {
             .meta("errors", err_n)
             .meta("model_version", svc.registry().version())
             .spans(obs.profiler.snapshot())
+            .alerts(engine.as_ref().map(|e| e.events()).unwrap_or_default())
             .metrics(obs.metrics.snapshot())
             .build();
         match report.write() {
             Ok(p) => println!("report:     {}", p.display()),
             Err(e) => eprintln!("report write failed: {e}"),
         }
+    }
+
+    if cli.slo_strict && slo_violated {
+        eprintln!("SLO violated under --slo-strict: exiting nonzero");
+        std::process::exit(1);
     }
 }

@@ -1,0 +1,108 @@
+//! Offline SLO check: replay a saved time-series snapshot
+//! (`target/obs/series-<name>.json`, written by a telemetry-enabled
+//! coupled run or `forecast_service`) through the alert engine, print a
+//! per-rule verdict table, and exit nonzero if any rule fired.
+//!
+//! ```sh
+//! cargo run --release --example coupled_esm -- --slo
+//! cargo run --release --example slo_replay -- target/obs/series-coupled-esm.json
+//! # custom rules instead of the built-in simulation set:
+//! cargo run --release --example slo_replay -- --rules my-rules.txt <snapshot>
+//! # validate an OpenMetrics scrape against the strict parser instead:
+//! cargo run --release --example slo_replay -- --validate-openmetrics scrape.txt
+//! ```
+//!
+//! `scripts/slo_check.sh` wraps this for CI gates.
+
+use ap3esm::obs::{alert, openmetrics, parse_rules, sim_rules, tsdb, Rule};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: slo_replay [--rules <file>] <series-snapshot.json>\n\
+         \x20      slo_replay --validate-openmetrics <scrape.txt>"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut rules_path: Option<std::path::PathBuf> = None;
+    let mut validate: Option<std::path::PathBuf> = None;
+    let mut snapshot: Option<std::path::PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--rules" => rules_path = Some(args.next().unwrap_or_else(|| usage()).into()),
+            "--validate-openmetrics" => {
+                validate = Some(args.next().unwrap_or_else(|| usage()).into())
+            }
+            "--help" | "-h" => usage(),
+            other if other.starts_with("--") => usage(),
+            other => snapshot = Some(other.into()),
+        }
+    }
+
+    // Mode 2: strict OpenMetrics validation of a saved scrape.
+    if let Some(path) = validate {
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+        match openmetrics::parse(&text) {
+            Ok(families) => {
+                let samples: usize = families.iter().map(|f| f.samples.len()).sum();
+                println!(
+                    "{}: valid OpenMetrics ({} families, {} samples)",
+                    path.display(),
+                    families.len(),
+                    samples
+                );
+                return;
+            }
+            Err(e) => {
+                eprintln!("{}: invalid OpenMetrics: {e}", path.display());
+                std::process::exit(1);
+            }
+        }
+    }
+
+    // Mode 1: replay a series snapshot through the alert engine.
+    let path = snapshot.unwrap_or_else(|| usage());
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+    let snaps = tsdb::snapshot_from_json(&text)
+        .unwrap_or_else(|e| panic!("bad snapshot {}: {e}", path.display()));
+    let rules: Vec<Rule> = match &rules_path {
+        Some(p) => {
+            let text = std::fs::read_to_string(p)
+                .unwrap_or_else(|e| panic!("cannot read {}: {e}", p.display()));
+            parse_rules(&text).unwrap_or_else(|e| panic!("bad rules {}: {e}", p.display()))
+        }
+        None => sim_rules(),
+    };
+    println!(
+        "replaying {} series from {} against {} rule(s)",
+        snaps.len(),
+        path.display(),
+        rules.len()
+    );
+
+    let engine = alert::replay(rules, &snaps);
+    let mut violated = false;
+    println!("\n--- SLO summary ---");
+    for st in engine.status() {
+        let bad = st.fired > 0 || st.firing;
+        violated |= bad;
+        println!(
+            "{:<18} {:<28} {} ({} firing(s), {} samples)",
+            st.rule,
+            st.series,
+            if bad { "VIOLATED" } else { "met" },
+            st.fired,
+            st.evaluated,
+        );
+    }
+    for e in engine.events() {
+        println!("  alert: t={:.2}s {}", e.t_s, e.message);
+    }
+    if violated {
+        std::process::exit(1);
+    }
+}
