@@ -1,6 +1,9 @@
 //! AI-physics vs conventional-physics cost per column (the Fig. 4 /
 //! §5.2.1 claim: the AI suite turns parameterizations into tensor kernels).
+//! Also emits an `ap3esm-bench/1` point file at
+//! `target/experiments/bench_ai.json`.
 
+use ap3esm_obs::perf::{Direction, Stat};
 use criterion::{criterion_group, criterion_main, Criterion};
 
 use ap3esm_ai::modules::{ColumnState, Normalizer, TendencyModule};
@@ -77,6 +80,48 @@ fn bench_suites(c: &mut Criterion) {
         b.iter(|| criterion::black_box(module.predict(&ai_cols)));
     });
     group.finish();
+
+    // `ap3esm-bench/1` point file: per-column cost of each physics path
+    // plus the headline AI-vs-conventional speedup.
+    let conv = ap3esm_pp::measure(2, 10, || {
+        for col in &phys_cols {
+            criterion::black_box(suite.step_column(col, &sfc));
+        }
+    });
+    let ai = ap3esm_pp::measure(2, 10, || {
+        criterion::black_box(module.predict(&ai_cols));
+    });
+    let metrics = vec![
+        (
+            "ai.conventional.ns_per_col".to_string(),
+            Stat::sampled(
+                conv.per_item(batch),
+                "ns/col",
+                conv.n as u64,
+                conv.stddev_per_item(batch),
+                Direction::LowerIsBetter,
+            ),
+        ),
+        (
+            "ai.cnn.ns_per_col".to_string(),
+            Stat::sampled(
+                ai.per_item(batch),
+                "ns/col",
+                ai.n as u64,
+                ai.stddev_per_item(batch),
+                Direction::LowerIsBetter,
+            ),
+        ),
+        (
+            "ai.speedup_vs_conventional".to_string(),
+            Stat::single(
+                conv.mean_ns / ai.mean_ns,
+                "x",
+                Direction::HigherIsBetter,
+            ),
+        ),
+    ];
+    ap3esm_bench::emit_bench_points("bench_ai", metrics);
 }
 
 criterion_group!(benches, bench_suites);

@@ -56,6 +56,50 @@ fn bench_primitives(c: &mut Criterion) {
     c.bench_function("span_enter_exit_disabled", |b| {
         b.iter(|| ap3esm_obs::span("bench"));
     });
+
+    // `ap3esm-bench/1` point file at `target/experiments/bench_obs.json`:
+    // ns per primitive op, 10k ops per timed sample.
+    use ap3esm_obs::perf::{Direction, Stat};
+    let ops = 10_000usize;
+    let mut metrics = Vec::new();
+    obs.profiler.set_enabled(true);
+    for (name, f) in [
+        ("obs.span_enabled.ns_per_op", true),
+        ("obs.span_disabled.ns_per_op", false),
+    ] {
+        obs.profiler.set_enabled(f);
+        let s = ap3esm_pp::measure(3, 12, || {
+            for _ in 0..ops {
+                criterion::black_box(ap3esm_obs::span("bench"));
+            }
+        });
+        metrics.push((
+            name.to_string(),
+            Stat::sampled(
+                s.per_item(ops),
+                "ns/op",
+                s.n as u64,
+                s.stddev_per_item(ops),
+                Direction::LowerIsBetter,
+            ),
+        ));
+    }
+    let s = ap3esm_pp::measure(3, 12, || {
+        for _ in 0..ops {
+            ap3esm_obs::histogram_record("bench.ns", 1234);
+        }
+    });
+    metrics.push((
+        "obs.histogram_record.ns_per_op".to_string(),
+        Stat::sampled(
+            s.per_item(ops),
+            "ns/op",
+            s.n as u64,
+            s.stddev_per_item(ops),
+            Direction::LowerIsBetter,
+        ),
+    ));
+    ap3esm_bench::emit_bench_points("bench_obs", metrics);
 }
 
 fn bench_sampler_overhead(c: &mut Criterion) {

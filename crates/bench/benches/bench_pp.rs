@@ -1,10 +1,14 @@
 //! Performance-portability backend micro-bench: the same kernel on the
 //! Serial ("MPE"), Threads (host-parallel) and SimulatedCpe backends —
 //! the per-kernel version of the paper's MPE vs CPE+OPT comparison.
+//! Also emits an `ap3esm-bench/1` point file at
+//! `target/experiments/bench_pp.json` (warm-up-discarded trimmed stats
+//! from `pp::measure`, same schema as the repo-root trajectory).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-use ap3esm_pp::{ExecSpace, Serial, SharedSlice, SimulatedCpe, Threads};
+use ap3esm_obs::perf::{Direction, Stat};
+use ap3esm_pp::{measure, ExecSpace, Serial, SharedSlice, SimulatedCpe, Threads};
 
 fn saxpy_kernel(space: &dyn ExecSpace, x: &[f64], y: &mut [f64], a: f64) {
     let n = x.len();
@@ -56,6 +60,40 @@ fn bench_backends(c: &mut Criterion) {
         });
     }
     group.finish();
+
+    // `ap3esm-bench/1` point file: the same kernels through `pp::measure`
+    // (warm-up discard + trimmed mean), in ns/gridpoint.
+    let mut metrics = Vec::new();
+    for (backend, space) in [
+        ("serial", &Serial as &dyn ExecSpace),
+        ("threads", &threads as &dyn ExecSpace),
+        ("cpe", &cpe as &dyn ExecSpace),
+    ] {
+        let mut y = vec![0.0; n];
+        let s = measure(3, 12, || saxpy_kernel(space, &x, &mut y, 1.0001));
+        metrics.push((
+            format!("pp.saxpy.{backend}.ns_per_gp"),
+            Stat::sampled(
+                s.per_item(n),
+                "ns/gp",
+                s.n as u64,
+                s.stddev_per_item(n),
+                Direction::LowerIsBetter,
+            ),
+        ));
+        let s = measure(3, 12, || stencil_kernel(space, &x, &mut y));
+        metrics.push((
+            format!("pp.stencil3.{backend}.ns_per_gp"),
+            Stat::sampled(
+                s.per_item(n),
+                "ns/gp",
+                s.n as u64,
+                s.stddev_per_item(n),
+                Direction::LowerIsBetter,
+            ),
+        ));
+    }
+    ap3esm_bench::emit_bench_points("bench_pp", metrics);
 }
 
 criterion_group!(benches, bench_backends);

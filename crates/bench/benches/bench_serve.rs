@@ -1,11 +1,10 @@
 //! Micro-batching win: per-sample CNN forward (the training path, one
 //! column at a time) vs the serving subsystem's batched inference forward
 //! (`forward_batch`, one set of tensor ops per batch) at batch sizes
-//! 1/8/32. Emits a JSON point for the bench trajectory at
+//! 1/8/32. Emits an `ap3esm-bench/1` point file at
 //! `target/experiments/bench_serve.json`; the acceptance bar is batched
 //! throughput ≥ 3× per-sample at batch 32.
 
-use std::io::Write as _;
 use std::time::Instant;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
@@ -81,10 +80,11 @@ fn bench_serve(c: &mut Criterion) {
     }
     group.finish();
 
-    // JSON trajectory point (hand-measured so the numbers are ours, not
-    // criterion internals).
+    // `ap3esm-bench/1` point file (hand-measured so the numbers are ours,
+    // not criterion internals) — same schema as the repo-root trajectory.
+    use ap3esm_obs::perf::{Direction, Stat};
     let iters = 30;
-    let mut rows = Vec::new();
+    let mut metrics = Vec::new();
     for &batch in &[1usize, 8, 32] {
         // Warmup.
         per_sample_throughput(&mut net, batch, 2);
@@ -96,21 +96,20 @@ fn bench_serve(c: &mut Criterion) {
             "batch {batch:>2}: per-sample {per:>10.0} samples/s, \
              micro-batched {bat:>10.0} samples/s, speedup {speedup:.2}x"
         );
-        rows.push(format!(
-            "    {{\"batch\": {batch}, \"per_sample_sps\": {per:.1}, \
-             \"batched_sps\": {bat:.1}, \"speedup\": {speedup:.3}}}"
+        metrics.push((
+            format!("serve.cnn.b{batch}.per_sample_sps"),
+            Stat::sampled(per, "samples/s", iters as u64, 0.0, Direction::HigherIsBetter),
+        ));
+        metrics.push((
+            format!("serve.cnn.b{batch}.batched_sps"),
+            Stat::sampled(bat, "samples/s", iters as u64, 0.0, Direction::HigherIsBetter),
+        ));
+        metrics.push((
+            format!("serve.cnn.b{batch}.speedup"),
+            Stat::single(speedup, "x", Direction::HigherIsBetter),
         ));
     }
-    let dir = ap3esm_bench::out_dir();
-    let path = dir.join("bench_serve.json");
-    let mut f = std::fs::File::create(&path).expect("create bench_serve.json");
-    writeln!(
-        f,
-        "{{\n  \"bench\": \"serve_cnn_forward\",\n  \"nlev\": {NLEV},\n  \"points\": [\n{}\n  ]\n}}",
-        rows.join(",\n")
-    )
-    .expect("write bench_serve.json");
-    println!("wrote {}", path.display());
+    ap3esm_bench::emit_bench_points("bench_serve", metrics);
 }
 
 criterion_group!(benches, bench_serve);

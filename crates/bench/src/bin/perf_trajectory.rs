@@ -1,0 +1,465 @@
+//! The performance observatory's canonical quick suite.
+//!
+//! Runs per-kernel cost attribution (the same kernel through every
+//! `pp` backend and tile size, registered and dispatched through the
+//! hash-based `KernelRegistry`, timed with warm-up discard + trimmed
+//! statistics), a laptop-scale coupled run (SYPD + per-section wall
+//! breakdown + comm/IO byte traffic), and a batched-inference serving
+//! burst (latency p50/p95, shed rate) — plus allocation counters from a
+//! byte-counting global allocator — and emits one `ap3esm-bench/1` point
+//! as `BENCH_<n>.json` at the repository root. Each PR commits its point;
+//! the accumulated trajectory is what `--gate` judges new numbers
+//! against (see `scripts/bench_gate.sh` and DESIGN.md §12).
+//!
+//! ```text
+//! perf_trajectory [--out-dir D] [--gate] [--gate-only] [--dry-run]
+//!                 [--validate FILE] [--days F] [--serve-requests N]
+//!                 [--iters N] [--report-name S]
+//! ```
+//!
+//! Exit codes: 0 ok / gate passed (or `--dry-run`), 1 usage or invalid
+//! file, 2 gate regression.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use ap3esm_comm::World;
+use ap3esm_esm::config::CoupledConfig;
+use ap3esm_esm::coupled::{run_coupled, CoupledOptions};
+use ap3esm_obs::perf::{
+    gate, load_trajectory, unix_now, workspace_root, BenchFile, BuildInfo, Direction, Stat,
+};
+use ap3esm_pp::{
+    measure, ExecSpace, KernelArgs, KernelRegistry, MDRangePolicy, Serial, SharedSlice,
+    SimulatedCpe, Threads, TileProfiler,
+};
+
+// --- allocation accounting ---------------------------------------------
+// The suite's "allocation counter": every byte the process allocates is
+// tallied, and each phase reports its delta. Informational — it attributes
+// memory churn, it does not gate — but a 10× jump between PRs is exactly
+// the kind of silent cost this file exists to surface.
+
+static ALLOCATED_BYTES: AtomicU64 = AtomicU64::new(0);
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+struct CountingAlloc;
+
+// SAFETY: delegates to `System` unchanged; only relaxed counters added.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATED_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Bytes+count allocated while `f` runs.
+fn alloc_delta<T>(f: impl FnOnce() -> T) -> (T, u64, u64) {
+    let b0 = ALLOCATED_BYTES.load(Ordering::Relaxed);
+    let c0 = ALLOCATIONS.load(Ordering::Relaxed);
+    let out = f();
+    (
+        out,
+        ALLOCATED_BYTES.load(Ordering::Relaxed) - b0,
+        ALLOCATIONS.load(Ordering::Relaxed) - c0,
+    )
+}
+
+// --- kernel cost attribution -------------------------------------------
+
+/// Register the attribution kernels (the dycore/ocean hot-loop shapes:
+/// an axpy stream, a 1-D advection stencil, a vertical reduction) in the
+/// hash-based registry, exactly as CPE-side kernels are dispatched.
+fn register_kernels(reg: &KernelRegistry) {
+    reg.register("saxpy", |space, args| {
+        let a = args.scalars[0];
+        let n = args.n;
+        let x = args.inputs[0];
+        let out = SharedSlice::new(args.outputs[0]);
+        space.for_each(n, &|i| unsafe {
+            let v = *out.get(i) + a * x[i];
+            out.set(i, v);
+        });
+    });
+    reg.register("stencil3", |space, args| {
+        let n = args.n;
+        let x = args.inputs[0];
+        let out = SharedSlice::new(args.outputs[0]);
+        space.for_each(n, &|i| unsafe {
+            let l = x[if i == 0 { n - 1 } else { i - 1 }];
+            let r = x[if i + 1 == n { 0 } else { i + 1 }];
+            out.set(i, 0.25 * l + 0.5 * x[i] + 0.25 * r);
+        });
+    });
+    reg.register("vsum8", |space, args| {
+        // 8-level vertical integral per column (n columns, stride 8).
+        let n = args.n;
+        let x = args.inputs[0];
+        let out = SharedSlice::new(args.outputs[0]);
+        space.for_each(n, &|i| unsafe {
+            let mut acc = 0.0;
+            for k in 0..8 {
+                acc += x[i * 8 + k];
+            }
+            out.set(i, acc);
+        });
+    });
+}
+
+fn kernel_suite(iters: usize, file: &mut BenchFile) {
+    let n = 1 << 17;
+    let reg = KernelRegistry::new();
+    register_kernels(&reg);
+    let x: Vec<f64> = (0..n * 8).map(|i| (i as f64 * 1e-3).sin()).collect();
+    let threads = Threads::auto();
+    let cpe = SimulatedCpe::default();
+    let backends: [(&str, &dyn ExecSpace); 3] = [
+        ("serial", &Serial),
+        ("threads", &threads),
+        ("cpe", &cpe),
+    ];
+
+    for kernel in ["saxpy", "stencil3", "vsum8"] {
+        for (backend, space) in backends {
+            let mut y = vec![0.0f64; n];
+            let summary = measure(3, iters, || {
+                let mut args = KernelArgs {
+                    n,
+                    inputs: vec![&x[..]],
+                    outputs: vec![&mut y],
+                    scalars: vec![1.0001],
+                };
+                reg.launch_by_name(kernel, space, &mut args)
+                    .expect("registered kernel");
+            });
+            let name = format!("perf.kernel.{kernel}.{backend}.ns_per_gp");
+            println!(
+                "  {name:<46} {:>9.3} ns/gp  (n={}, sd {:.3})",
+                summary.per_item(n),
+                summary.n,
+                summary.stddev_per_item(n)
+            );
+            file.push(
+                &name,
+                Stat::sampled(
+                    summary.per_item(n),
+                    "ns/gp",
+                    summary.n as u64,
+                    summary.stddev_per_item(n),
+                    Direction::LowerIsBetter,
+                ),
+            );
+        }
+    }
+
+    // Tile-size attribution: the same 2-D stencil through MDRangePolicy's
+    // profiled tiles, per backend and tile shape — the measurement the
+    // upcoming autotuner (ROADMAP) will pick winners from.
+    let (n0, n1) = (256, 256);
+    let grid: Vec<f64> = (0..n0 * n1).map(|i| (i as f64 * 1e-3).cos()).collect();
+    for (tile, t) in [("t8x8", 8), ("t32x32", 32)] {
+        for (backend, space) in [
+            ("serial", &Serial as &dyn ExecSpace),
+            ("threads", &threads as &dyn ExecSpace),
+        ] {
+            let policy = MDRangePolicy::new_2d(n0, n1, t, t);
+            let mut out = vec![0.0f64; n0 * n1];
+            let profiler = TileProfiler::new("md2_stencil");
+            let summary = measure(3, iters, || {
+                let sink = SharedSlice::new(&mut out);
+                policy.for_each_2d_profiled(space, &profiler, |i, j| unsafe {
+                    let up = grid[((i + n0 - 1) % n0) * n1 + j];
+                    let dn = grid[((i + 1) % n0) * n1 + j];
+                    let lf = grid[i * n1 + (j + n1 - 1) % n1];
+                    let rt = grid[i * n1 + (j + 1) % n1];
+                    sink.set(i * n1 + j, 0.25 * (up + dn + lf + rt));
+                });
+            });
+            let work = n0 * n1;
+            let prof = profiler.finish();
+            let name = format!("perf.kernel.md2_stencil.{tile}.{backend}.ns_per_gp");
+            println!(
+                "  {name:<46} {:>9.3} ns/gp  ({} tiles, imbalance {:.2}x)",
+                summary.per_item(work),
+                prof.tiles / (3 + iters),
+                prof.imbalance()
+            );
+            file.push(
+                &name,
+                Stat::sampled(
+                    summary.per_item(work),
+                    "ns/gp",
+                    summary.n as u64,
+                    summary.stddev_per_item(work),
+                    Direction::LowerIsBetter,
+                ),
+            );
+        }
+    }
+}
+
+// --- coupled-driver SYPD -----------------------------------------------
+
+fn coupled_suite(days: f64, report_name: &str, file: &mut BenchFile) {
+    let config = CoupledConfig::test_tiny();
+    let opts = CoupledOptions {
+        days,
+        report_name: Some(format!("{report_name}-sim")),
+        ..Default::default()
+    };
+    let (stats, bytes, allocs) = alloc_delta(|| {
+        let world = World::new(config.world_size());
+        world.run(|rank| run_coupled(rank, &config, &opts))
+    });
+    let root = &stats[0];
+    println!(
+        "  coupled test_tiny x {days} days: SYPD {:.2}, wall {:.2}s, {} sections",
+        root.sypd,
+        root.wall_seconds,
+        root.per_section_seconds.len()
+    );
+    for (name, stat) in root.perf_metrics() {
+        file.push(&name, stat);
+    }
+    file.push(
+        "perf.sim.alloc_bytes",
+        Stat::single(bytes as f64, "bytes", Direction::Informational),
+    );
+    file.push(
+        "perf.sim.allocs",
+        Stat::single(allocs as f64, "count", Direction::Informational),
+    );
+}
+
+// --- serving latency ----------------------------------------------------
+
+fn serve_suite(requests: usize, file: &mut BenchFile) {
+    const NLEV: usize = 30;
+    let cfg = ap3esm_serve::ServeConfig {
+        workers: 2,
+        max_batch: 16,
+        max_wait: Duration::from_millis(2),
+        queue_capacity: 256,
+        ..Default::default()
+    };
+    let ((), bytes, allocs) = alloc_delta(|| {
+        let svc = ap3esm_serve::Service::start_warm(cfg, NLEV, 32, 42);
+        let submitters = 4;
+        let per = requests / submitters;
+        let workers: Vec<_> = (0..submitters)
+            .map(|w| {
+                let svc = Arc::clone(&svc);
+                std::thread::spawn(move || {
+                    // Closed loop in waves: keep a bounded window in
+                    // flight so batches form without flooding the queue.
+                    for wave in 0..per.div_ceil(16) {
+                        let tickets: Vec<_> = (0..16.min(per - wave * 16))
+                            .filter_map(|i| {
+                                let phase = (w * per + wave * 16 + i) as f64 * 0.1;
+                                svc.submit("perf", column(NLEV, phase)).ok()
+                            })
+                            .collect();
+                        for t in tickets {
+                            let _ = t.wait();
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in workers {
+            h.join().expect("submitter");
+        }
+        svc.drain();
+        for (name, stat) in ap3esm_serve::perf_snapshot(svc.obs()) {
+            file.push(&name, stat);
+        }
+    });
+    let p50 = file.get("perf.serve.latency_p50_us").map_or(0.0, |s| s.value);
+    let p95 = file.get("perf.serve.latency_p95_us").map_or(0.0, |s| s.value);
+    println!("  serve burst x {requests} reqs: p50 {p50:.0}us, p95 {p95:.0}us");
+    file.push(
+        "perf.serve.alloc_bytes",
+        Stat::single(bytes as f64, "bytes", Direction::Informational),
+    );
+    file.push(
+        "perf.serve.allocs",
+        Stat::single(allocs as f64, "count", Direction::Informational),
+    );
+}
+
+fn column(nlev: usize, phase: f64) -> ap3esm_ai::modules::ColumnState {
+    ap3esm_ai::modules::ColumnState {
+        u: (0..nlev).map(|k| 5.0 * (0.3 * k as f64 + phase).sin()).collect(),
+        v: (0..nlev).map(|k| 2.0 * (0.2 * k as f64 + phase).cos()).collect(),
+        t: (0..nlev).map(|k| 295.0 - 4.0 * k as f64).collect(),
+        q: (0..nlev).map(|k| 0.01 * (-0.4 * k as f64).exp()).collect(),
+        p: (0..nlev).map(|k| 1.0e5 * (1.0 - k as f64 / (nlev + 1) as f64)).collect(),
+    }
+}
+
+// --- reporting / gating -------------------------------------------------
+
+/// Mirror the BENCH point into the live-observability vocabulary: every
+/// metric as a `perf.*` gauge in a run report (`ap3esm-obs/4`, carrying
+/// the same build stamp) and as a one-point tsdb series snapshot.
+fn mirror_to_obs(file: &BenchFile, report_name: &str, gate_json: Option<ap3esm_obs::json::Json>) {
+    let obs = Arc::new(ap3esm_obs::Obs::new());
+    let store = ap3esm_obs::SeriesStore::new(64);
+    for (name, stat) in &file.metrics {
+        obs.metrics.gauge(name).set(stat.value);
+        store.record(name, stat.value);
+    }
+    let mut report = ap3esm_obs::ReportBuilder::new(report_name)
+        .meta("suite", file.name.as_str())
+        .meta("seq", file.seq)
+        .meta("created_unix", file.created_unix)
+        .meta("n_metrics", file.metrics.len());
+    if let Some(g) = gate_json {
+        report = report.meta("perf_gate", g);
+    }
+    let report = report.metrics(obs.metrics.snapshot()).build();
+    match report.write() {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("report write failed: {e}"),
+    }
+    match store.write_snapshot(report_name) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("series write failed: {e}"),
+    }
+}
+
+struct Args {
+    out_dir: std::path::PathBuf,
+    gate: bool,
+    gate_only: bool,
+    dry_run: bool,
+    validate: Option<String>,
+    days: f64,
+    serve_requests: usize,
+    iters: usize,
+    report_name: String,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        out_dir: workspace_root(),
+        gate: false,
+        gate_only: false,
+        dry_run: false,
+        validate: None,
+        days: 2.0,
+        serve_requests: 768,
+        iters: 12,
+        report_name: "perf-trajectory".to_string(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or(format!("{name} needs a value"));
+        match flag.as_str() {
+            "--out-dir" => args.out_dir = value("--out-dir")?.into(),
+            "--gate" => args.gate = true,
+            "--gate-only" => args.gate_only = true,
+            "--dry-run" => args.dry_run = true,
+            "--validate" => args.validate = Some(value("--validate")?),
+            "--days" => args.days = value("--days")?.parse().map_err(|e| format!("{e}"))?,
+            "--serve-requests" => {
+                args.serve_requests =
+                    value("--serve-requests")?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--iters" => args.iters = value("--iters")?.parse().map_err(|e| format!("{e}"))?,
+            "--report-name" => args.report_name = value("--report-name")?,
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("perf_trajectory: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    // Validation mode: strict-parse one BENCH file, report, exit.
+    if let Some(path) = &args.validate {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("perf_trajectory: read {path}: {e}");
+            std::process::exit(1);
+        });
+        match BenchFile::parse(&text) {
+            Ok(f) => {
+                println!(
+                    "{path}: valid {} (seq {}, {} metrics, sha {})",
+                    ap3esm_obs::perf::BENCH_SCHEMA,
+                    f.seq,
+                    f.metrics.len(),
+                    f.build.git_sha
+                );
+                return;
+            }
+            Err(e) => {
+                eprintln!("{path}: INVALID: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    let trajectory = load_trajectory(&args.out_dir).unwrap_or_else(|e| {
+        eprintln!("perf_trajectory: corrupt trajectory: {e}");
+        std::process::exit(1);
+    });
+
+    // Gate-only mode: judge the newest committed point against the rest.
+    if args.gate_only {
+        match trajectory.split_last() {
+            None => println!("no BENCH_*.json trajectory yet — nothing to gate"),
+            Some((current, history)) => {
+                let report = gate::evaluate(history, current, &gate::GateOptions::default());
+                print!("{}", report.render());
+                if !report.passed() && !args.dry_run {
+                    std::process::exit(2);
+                }
+            }
+        }
+        return;
+    }
+
+    ap3esm_bench::banner(
+        "perf_trajectory — canonical quick suite",
+        "ap3esm-bench/1 trajectory point (DESIGN.md §12)",
+    );
+    let mut file = BenchFile::new("perf_trajectory", BuildInfo::current().clone());
+    file.created_unix = unix_now();
+
+    println!("[1/3] per-kernel cost attribution (backends × tile sizes)");
+    kernel_suite(args.iters, &mut file);
+    println!("[2/3] coupled driver (SYPD, section breakdown, traffic)");
+    coupled_suite(args.days, &args.report_name, &mut file);
+    println!("[3/3] batched-inference serving (latency, shed)");
+    serve_suite(args.serve_requests, &mut file);
+
+    let path = file.write_next(&args.out_dir).expect("write BENCH file");
+    println!("wrote {} ({} metrics)", path.display(), file.metrics.len());
+
+    // Gate the fresh point against everything that came before it.
+    let gate_report = gate::evaluate(&trajectory, &file, &gate::GateOptions::default());
+    print!("{}", gate_report.render());
+    mirror_to_obs(&file, &args.report_name, Some(gate_report.to_json()));
+
+    if args.gate && !gate_report.passed() && !args.dry_run {
+        std::process::exit(2);
+    }
+}

@@ -62,6 +62,28 @@ pub fn banner(title: &str, artifact: &str) {
     println!("==================================================================");
 }
 
+/// Emit a criterion bench's key points as an `ap3esm-bench/1` document at
+/// `target/experiments/<name>.json` — the same schema the repo-root
+/// `BENCH_<n>.json` trajectory uses, so per-bench artifacts and trajectory
+/// points are diffable with one vocabulary. Returns the path written.
+pub fn emit_bench_points(
+    name: &str,
+    metrics: Vec<(String, ap3esm_obs::perf::Stat)>,
+) -> PathBuf {
+    let mut file = ap3esm_obs::perf::BenchFile::new(
+        name,
+        ap3esm_obs::perf::BuildInfo::current().clone(),
+    );
+    file.created_unix = ap3esm_obs::perf::unix_now();
+    for (metric, stat) in metrics {
+        file.push(&metric, stat);
+    }
+    let path = out_dir().join(format!("{name}.json"));
+    std::fs::write(&path, file.to_json().to_string() + "\n").expect("write bench points");
+    println!("wrote {}", path.display());
+    path
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

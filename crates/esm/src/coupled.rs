@@ -287,6 +287,62 @@ pub struct CoupledStats {
     pub metrics_addr: Option<String>,
 }
 
+impl CoupledStats {
+    /// Harvest this run's trajectory metrics (the `perf.sim.*` vocabulary
+    /// shared by `BENCH_*.json` files, run reports and tsdb gauges):
+    /// SYPD (gated, higher-is-better), the per-section wall breakdown
+    /// from the span tree, and — when a report was written — the
+    /// coupler's message/byte traffic and sub-file I/O byte counters
+    /// (informational: they attribute cost, they don't gate).
+    pub fn perf_metrics(&self) -> Vec<(String, ap3esm_obs::perf::Stat)> {
+        use ap3esm_obs::perf::{Direction, Stat};
+        let mut out = vec![
+            (
+                "perf.sim.sypd".to_string(),
+                Stat::single(self.sypd, "sypd", Direction::HigherIsBetter),
+            ),
+            (
+                "perf.sim.wall_s".to_string(),
+                Stat::single(self.wall_seconds, "s", Direction::Informational),
+            ),
+        ];
+        for (name, secs) in &self.per_section_seconds {
+            out.push((
+                format!("perf.sim.section.{name}.wall_s"),
+                Stat::single(*secs, "s", Direction::Informational),
+            ));
+        }
+        if let Some(json) = &self.report_json {
+            if let Ok(report) = ap3esm_obs::json::Json::parse(json) {
+                let comm = report.get("comm");
+                for (field, metric) in [
+                    ("total_bytes", "perf.sim.comm_bytes"),
+                    ("total_messages", "perf.sim.comm_msgs"),
+                ] {
+                    if let Some(v) = comm.and_then(|c| c.get(field)).and_then(|v| v.as_f64()) {
+                        out.push((
+                            metric.to_string(),
+                            Stat::single(v, if field == "total_bytes" { "bytes" } else { "msgs" },
+                                Direction::Informational),
+                        ));
+                    }
+                }
+                if let Some(v) = report
+                    .get("metrics")
+                    .and_then(|m| m.get("io.write.bytes"))
+                    .and_then(|v| v.as_f64())
+                {
+                    out.push((
+                        "perf.sim.io_write_bytes".to_string(),
+                        Stat::single(v, "bytes", Direction::Informational),
+                    ));
+                }
+            }
+        }
+        out
+    }
+}
+
 /// Fit the atmosphere stepping so an integer number of model steps covers
 /// the coupling period (§5.1.1's consistency requirement).
 fn fitted_atm_config(dx_km: f64, period: f64) -> DycoreConfig {
@@ -1492,7 +1548,7 @@ mod tests {
         // Only rank 0 writes; ocean ranks still participated in aggregation.
         assert!(all[1..].iter().all(|s| s.report_json.is_none()));
         let json = root.report_json.as_ref().expect("rank 0 report");
-        assert!(json.starts_with(r#"{"schema":"ap3esm-obs/3","name":"esm-report-test""#));
+        assert!(json.starts_with(r#"{"schema":"ap3esm-obs/4","name":"esm-report-test""#));
 
         // The sink wrote the same bytes to target/obs/.
         let path = root.report_path.as_ref().expect("report written");

@@ -31,6 +31,11 @@
 //!   deviation, rate-of-change) evaluated on the sampled series; firings
 //!   land on stderr, in the chrome trace as instants, and in the run
 //!   report's `"alerts"` array.
+//! * [`perf`] — the performance observatory: the schema-versioned
+//!   `ap3esm-bench/1` BENCH-file format (`BENCH_<n>.json` at the repo
+//!   root, one point per PR), shared build/machine stamping
+//!   ([`perf::BuildInfo`], also embedded in run reports and traces), and
+//!   the trajectory regression gate ([`perf::gate`]).
 //!
 //! Leaf crates instrument hot paths through the free functions below
 //! ([`span()`], [`counter_add()`], …), which act on a **thread-local active
@@ -44,6 +49,7 @@ pub mod alert;
 pub mod json;
 pub mod metrics;
 pub mod openmetrics;
+pub mod perf;
 pub mod rankagg;
 pub mod report;
 pub mod span;
@@ -55,6 +61,7 @@ pub use alert::{
 };
 pub use metrics::{Counter, Gauge, Histogram, Metrics, MetricSnapshot};
 pub use openmetrics::MetricsServer;
+pub use perf::{BenchFile, BuildInfo, Direction, Stat};
 pub use rankagg::{aggregate_sections, gather_span_trees, RankTree, SectionStats};
 pub use report::{alert_event_json, CommSummary, ReportBuilder, RunReport};
 pub use span::{Profiler, SpanGuard, SpanSnapshot};

@@ -1,0 +1,485 @@
+//! Regression gate over the BENCH trajectory.
+//!
+//! Given the historical `BENCH_*.json` points and a freshly measured one,
+//! classify every metric as improved / regressed / within-noise. The
+//! noise band around the historical mean is built from *both* dispersion
+//! sources we have: the spread of the metric across history (run-to-run
+//! variance on this machine) and the within-run sample stddev the suite
+//! recorded (warm-up-trimmed iteration spread), widened by a relative
+//! floor so a single quiet historical point cannot produce a zero-width
+//! band. Only metrics whose [`Direction`](super::Direction) is not
+//! `Informational` can fail the gate.
+
+use super::{BenchFile, Direction, Stat};
+
+/// Gate tuning. Defaults are deliberately conservative: the quick suite
+/// runs on shared, noisy machines and a false "regressed" verdict that
+/// blocks a PR is worse than a missed 10% drift (which the trajectory
+/// still shows, and the next PR's wider history will catch).
+#[derive(Debug, Clone)]
+pub struct GateOptions {
+    /// Multiplier on the combined stddev term of the band half-width.
+    pub sigma: f64,
+    /// Relative floor: the band half-width is at least this fraction of
+    /// the historical mean's magnitude.
+    pub rel_floor: f64,
+    /// Absolute floor on the band half-width (same unit as the metric).
+    pub abs_floor: f64,
+    /// How many most-recent history points to use (0 = all).
+    pub window: usize,
+}
+
+impl Default for GateOptions {
+    fn default() -> Self {
+        GateOptions {
+            sigma: 4.0,
+            rel_floor: 0.35,
+            abs_floor: 0.0,
+            window: 8,
+        }
+    }
+}
+
+/// Per-metric classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Outside the band, in the good direction.
+    Improved,
+    /// Outside the band, in the bad direction — fails the gate.
+    Regressed,
+    WithinNoise,
+    /// No history for this metric (first run, or a newly added metric).
+    New,
+    /// Present in history but missing from the current point — fails the
+    /// gate (a silently dropped measurement hides regressions).
+    Missing,
+    /// `Informational` direction: trajectory context, never gated.
+    Informational,
+}
+
+impl Verdict {
+    pub fn label(&self) -> &'static str {
+        match self {
+            Verdict::Improved => "improved",
+            Verdict::Regressed => "REGRESSED",
+            Verdict::WithinNoise => "within-noise",
+            Verdict::New => "new",
+            Verdict::Missing => "MISSING",
+            Verdict::Informational => "info",
+        }
+    }
+}
+
+/// One metric's gate outcome.
+#[derive(Debug, Clone)]
+pub struct MetricVerdict {
+    pub name: String,
+    pub verdict: Verdict,
+    pub unit: String,
+    /// Current value (NaN for [`Verdict::Missing`]).
+    pub value: f64,
+    /// Historical mean (NaN for [`Verdict::New`]).
+    pub baseline: f64,
+    /// Band half-width around the baseline (NaN for [`Verdict::New`]).
+    pub half_band: f64,
+    /// (value - baseline) / |baseline| (NaN when undefined).
+    pub delta_frac: f64,
+    /// History points behind the baseline.
+    pub history_n: usize,
+}
+
+/// The whole gate outcome.
+#[derive(Debug, Clone)]
+pub struct GateReport {
+    pub verdicts: Vec<MetricVerdict>,
+    /// History points considered (after windowing).
+    pub history_len: usize,
+}
+
+impl GateReport {
+    pub fn count(&self, v: Verdict) -> usize {
+        self.verdicts.iter().filter(|m| m.verdict == v).count()
+    }
+
+    /// The gate passes unless a gated metric regressed or went missing.
+    pub fn passed(&self) -> bool {
+        self.count(Verdict::Regressed) == 0 && self.count(Verdict::Missing) == 0
+    }
+
+    /// Fixed-width table for stdout/CI logs.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "perf gate vs {} history point(s):\n",
+            self.history_len
+        ));
+        out.push_str(&format!(
+            "  {:<44} {:>14} {:>14} {:>12} {:>9}  verdict\n",
+            "metric", "value", "baseline", "band", "delta"
+        ));
+        for m in &self.verdicts {
+            let fmt = |x: f64| {
+                if x.is_nan() {
+                    "-".to_string()
+                } else if x != 0.0 && (x.abs() >= 1e6 || x.abs() < 1e-3) {
+                    format!("{x:.3e}")
+                } else {
+                    format!("{x:.4}")
+                }
+            };
+            let delta = if m.delta_frac.is_nan() {
+                "-".to_string()
+            } else {
+                format!("{:+.1}%", 100.0 * m.delta_frac)
+            };
+            out.push_str(&format!(
+                "  {:<44} {:>14} {:>14} {:>12} {:>9}  {}\n",
+                m.name,
+                fmt(m.value),
+                fmt(m.baseline),
+                if m.half_band.is_nan() {
+                    "-".to_string()
+                } else {
+                    format!("±{}", fmt(m.half_band))
+                },
+                delta,
+                m.verdict.label()
+            ));
+        }
+        out.push_str(&format!(
+            "  => {} improved, {} regressed, {} within-noise, {} new, {} missing, {} info — {}\n",
+            self.count(Verdict::Improved),
+            self.count(Verdict::Regressed),
+            self.count(Verdict::WithinNoise),
+            self.count(Verdict::New),
+            self.count(Verdict::Missing),
+            self.count(Verdict::Informational),
+            if self.passed() { "PASS" } else { "FAIL" }
+        ));
+        out
+    }
+
+    /// JSON form (for the run report's `perf_gate` block and CI artifacts).
+    pub fn to_json(&self) -> crate::json::Json {
+        use crate::json::Json;
+        let mut o = Json::obj();
+        o.set("history_len", self.history_len.into())
+            .set("passed", Json::Bool(self.passed()));
+        let verdicts = self
+            .verdicts
+            .iter()
+            .map(|m| {
+                let mut v = Json::obj();
+                v.set("name", m.name.as_str().into())
+                    .set("verdict", m.verdict.label().into())
+                    .set("unit", m.unit.as_str().into())
+                    .set("value", m.value.into())
+                    .set("baseline", m.baseline.into())
+                    .set("half_band", m.half_band.into())
+                    .set("delta_frac", m.delta_frac.into())
+                    .set("history_n", m.history_n.into());
+                v
+            })
+            .collect();
+        o.set("verdicts", Json::Arr(verdicts));
+        o
+    }
+}
+
+/// Sample mean and (n-1) stddev of a slice.
+fn mean_stddev(xs: &[f64]) -> (f64, f64) {
+    if xs.is_empty() {
+        return (f64::NAN, 0.0);
+    }
+    let n = xs.len() as f64;
+    let mean = xs.iter().sum::<f64>() / n;
+    if xs.len() < 2 {
+        return (mean, 0.0);
+    }
+    let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1.0);
+    (mean, var.sqrt())
+}
+
+/// Classify every metric of `current` against `history`.
+///
+/// Metric membership is the union: metrics new in `current` are `New`
+/// (bootstrap-friendly — the first run of the suite has no history at
+/// all), metrics that disappeared are `Missing`.
+pub fn evaluate(history: &[BenchFile], current: &BenchFile, opts: &GateOptions) -> GateReport {
+    let window: Vec<&BenchFile> = if opts.window == 0 || history.len() <= opts.window {
+        history.iter().collect()
+    } else {
+        history[history.len() - opts.window..].iter().collect()
+    };
+
+    let mut verdicts = Vec::new();
+    for (name, stat) in &current.metrics {
+        verdicts.push(classify(name, stat, &window, opts));
+    }
+    // Metrics every history point agreed on but the current run dropped.
+    let mut seen_missing: Vec<&str> = Vec::new();
+    for h in &window {
+        for (name, stat) in &h.metrics {
+            if current.get(name).is_none() && !seen_missing.contains(&name.as_str()) {
+                seen_missing.push(name);
+                verdicts.push(MetricVerdict {
+                    name: name.clone(),
+                    verdict: if stat.better == Direction::Informational {
+                        Verdict::Informational
+                    } else {
+                        Verdict::Missing
+                    },
+                    unit: stat.unit.clone(),
+                    value: f64::NAN,
+                    baseline: f64::NAN,
+                    half_band: f64::NAN,
+                    delta_frac: f64::NAN,
+                    history_n: window.iter().filter(|h| h.get(name).is_some()).count(),
+                });
+            }
+        }
+    }
+    GateReport {
+        verdicts,
+        history_len: window.len(),
+    }
+}
+
+fn classify(
+    name: &str,
+    stat: &Stat,
+    window: &[&BenchFile],
+    opts: &GateOptions,
+) -> MetricVerdict {
+    let past: Vec<&Stat> = window.iter().filter_map(|h| h.get(name)).collect();
+    if past.is_empty() {
+        return MetricVerdict {
+            name: name.to_string(),
+            verdict: if stat.better == Direction::Informational {
+                Verdict::Informational
+            } else {
+                Verdict::New
+            },
+            unit: stat.unit.clone(),
+            value: stat.value,
+            baseline: f64::NAN,
+            half_band: f64::NAN,
+            delta_frac: f64::NAN,
+            history_n: 0,
+        };
+    }
+
+    let values: Vec<f64> = past.iter().map(|s| s.value).collect();
+    let (baseline, run_to_run) = mean_stddev(&values);
+    // Within-run dispersion: the worst of the history points' and the
+    // current point's recorded sample stddev.
+    let within = past
+        .iter()
+        .map(|s| s.stddev)
+        .chain(std::iter::once(stat.stddev))
+        .fold(0.0f64, f64::max);
+    let combined = run_to_run.max(within);
+    let half_band = (opts.sigma * combined)
+        .max(opts.rel_floor * baseline.abs())
+        .max(opts.abs_floor);
+    let delta = stat.value - baseline;
+    let delta_frac = if baseline != 0.0 {
+        delta / baseline.abs()
+    } else {
+        f64::NAN
+    };
+
+    let verdict = if stat.better == Direction::Informational {
+        Verdict::Informational
+    } else if delta.abs() <= half_band {
+        Verdict::WithinNoise
+    } else {
+        let good = match stat.better {
+            Direction::LowerIsBetter => delta < 0.0,
+            Direction::HigherIsBetter => delta > 0.0,
+            Direction::Informational => unreachable!(),
+        };
+        if good {
+            Verdict::Improved
+        } else {
+            Verdict::Regressed
+        }
+    };
+    MetricVerdict {
+        name: name.to_string(),
+        verdict,
+        unit: stat.unit.clone(),
+        value: stat.value,
+        baseline,
+        half_band,
+        delta_frac,
+        history_n: past.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::perf::BuildInfo;
+
+    fn point(kernel_ns: f64, sypd: f64, bytes: f64) -> BenchFile {
+        let mut f = BenchFile::new("perf_trajectory", BuildInfo::fixed_for_tests());
+        f.push(
+            "perf.kernel.saxpy.serial.ns_per_gp",
+            Stat::sampled(kernel_ns, "ns/gp", 12, kernel_ns * 0.02, Direction::LowerIsBetter),
+        );
+        f.push("perf.sim.sypd", Stat::single(sypd, "sypd", Direction::HigherIsBetter));
+        f.push(
+            "perf.sim.comm_bytes",
+            Stat::single(bytes, "bytes", Direction::Informational),
+        );
+        f
+    }
+
+    fn history() -> Vec<BenchFile> {
+        vec![
+            point(1.00, 40.0, 1e6),
+            point(1.04, 41.0, 1e6),
+            point(0.98, 39.5, 1e6),
+        ]
+    }
+
+    #[test]
+    fn within_noise_passes() {
+        let report = evaluate(&history(), &point(1.02, 40.2, 1e6), &GateOptions::default());
+        assert!(report.passed());
+        assert_eq!(report.count(Verdict::WithinNoise), 2);
+        assert_eq!(report.count(Verdict::Informational), 1);
+        assert_eq!(report.count(Verdict::Regressed), 0);
+    }
+
+    #[test]
+    fn clear_regression_fails_in_each_direction() {
+        // Cost metric doubling (lower-is-better) regresses.
+        let report = evaluate(&history(), &point(2.2, 40.0, 1e6), &GateOptions::default());
+        assert!(!report.passed());
+        let m = report
+            .verdicts
+            .iter()
+            .find(|m| m.name.contains("saxpy"))
+            .unwrap();
+        assert_eq!(m.verdict, Verdict::Regressed);
+        assert!(m.delta_frac > 1.0);
+
+        // SYPD halving (higher-is-better) regresses.
+        let report = evaluate(&history(), &point(1.0, 18.0, 1e6), &GateOptions::default());
+        assert!(!report.passed());
+        assert_eq!(
+            report
+                .verdicts
+                .iter()
+                .find(|m| m.name == "perf.sim.sypd")
+                .unwrap()
+                .verdict,
+            Verdict::Regressed
+        );
+    }
+
+    #[test]
+    fn clear_improvement_is_labelled_and_passes() {
+        let report = evaluate(&history(), &point(0.4, 90.0, 1e6), &GateOptions::default());
+        assert!(report.passed());
+        assert_eq!(report.count(Verdict::Improved), 2);
+    }
+
+    #[test]
+    fn informational_metrics_never_fail() {
+        // Byte traffic exploding 100× is recorded but does not gate.
+        let report = evaluate(&history(), &point(1.0, 40.0, 1e8), &GateOptions::default());
+        assert!(report.passed());
+        assert_eq!(
+            report
+                .verdicts
+                .iter()
+                .find(|m| m.name.ends_with("comm_bytes"))
+                .unwrap()
+                .verdict,
+            Verdict::Informational
+        );
+    }
+
+    #[test]
+    fn bootstrap_with_no_history_passes_as_new() {
+        let report = evaluate(&[], &point(1.0, 40.0, 1e6), &GateOptions::default());
+        assert!(report.passed());
+        assert_eq!(report.count(Verdict::New), 2);
+        assert_eq!(report.count(Verdict::Informational), 1);
+        assert_eq!(report.history_len, 0);
+    }
+
+    #[test]
+    fn single_history_point_gates_on_the_relative_floor() {
+        // n=1 history: run-to-run stddev is 0, the rel floor must keep a
+        // usable band. 20% drift is within the default 35% floor; 60% is
+        // not.
+        let h = vec![point(1.0, 40.0, 1e6)];
+        assert!(evaluate(&h, &point(1.2, 40.0, 1e6), &GateOptions::default()).passed());
+        let r = evaluate(&h, &point(1.6, 40.0, 1e6), &GateOptions::default());
+        assert!(!r.passed());
+    }
+
+    #[test]
+    fn missing_gated_metric_fails_missing_info_metric_does_not() {
+        let mut current = BenchFile::new("perf_trajectory", BuildInfo::fixed_for_tests());
+        current.push("perf.sim.sypd", Stat::single(40.0, "sypd", Direction::HigherIsBetter));
+        let report = evaluate(&history(), &current, &GateOptions::default());
+        assert!(!report.passed());
+        let missing = report
+            .verdicts
+            .iter()
+            .find(|m| m.name.contains("saxpy"))
+            .unwrap();
+        assert_eq!(missing.verdict, Verdict::Missing);
+        // The informational bytes metric dropping out is not a failure.
+        assert_eq!(
+            report
+                .verdicts
+                .iter()
+                .find(|m| m.name.ends_with("comm_bytes"))
+                .unwrap()
+                .verdict,
+            Verdict::Informational
+        );
+    }
+
+    #[test]
+    fn windowing_uses_recent_history_only() {
+        // Old slow era + recent fast era: with a window of 2 the baseline
+        // is the fast era, so returning to the slow value regresses.
+        let mut h = vec![point(4.0, 40.0, 1e6), point(4.1, 40.0, 1e6)];
+        h.push(point(1.0, 40.0, 1e6));
+        h.push(point(1.02, 40.0, 1e6));
+        let opts = GateOptions {
+            window: 2,
+            ..GateOptions::default()
+        };
+        let report = evaluate(&h, &point(4.0, 40.0, 1e6), &opts);
+        assert_eq!(report.history_len, 2);
+        assert!(!report.passed());
+        // With the full history the old points widen run-to-run stddev so
+        // much that 4.0 is tolerated — exactly why the gate windows.
+        let all = GateOptions {
+            window: 0,
+            ..GateOptions::default()
+        };
+        assert!(evaluate(&h, &point(4.0, 40.0, 1e6), &all).passed());
+    }
+
+    #[test]
+    fn report_renders_and_serialises() {
+        let report = evaluate(&history(), &point(2.5, 40.0, 1e6), &GateOptions::default());
+        let text = report.render();
+        assert!(text.contains("REGRESSED"));
+        assert!(text.contains("FAIL"));
+        let json = report.to_json().to_string();
+        assert!(json.contains(r#""passed":false"#));
+        assert!(json.contains(r#""verdict":"REGRESSED""#));
+        let parsed = crate::json::Json::parse(&json).unwrap();
+        assert_eq!(parsed.get("history_len").and_then(|v| v.as_u64()), Some(3));
+    }
+}

@@ -11,6 +11,7 @@ use std::path::{Path, PathBuf};
 use crate::alert::AlertEvent;
 use crate::json::Json;
 use crate::metrics::MetricSnapshot;
+use crate::perf::BuildInfo;
 use crate::rankagg::{RankTree, SectionStats};
 use crate::span::SpanSnapshot;
 
@@ -19,7 +20,10 @@ use crate::span::SpanSnapshot;
 /// imbalance (`world` field on each `rank_sections` entry).
 /// `/3`: SLO/anomaly alert events (`alerts` array between `metrics` and
 /// `comm`).
-pub const SCHEMA: &str = "ap3esm-obs/3";
+/// `/4`: build/machine metadata (`build` object after `name`, shared with
+/// `ap3esm-bench/1` BENCH files so reports and trajectory points are
+/// cross-referencable by git SHA and host).
+pub const SCHEMA: &str = "ap3esm-obs/4";
 
 /// Communication traffic digest (fed from `ap3esm_comm::CommStats`).
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -37,6 +41,7 @@ pub struct CommSummary {
 #[derive(Default)]
 pub struct ReportBuilder {
     name: String,
+    build: Option<BuildInfo>,
     meta: Vec<(String, Json)>,
     spans: Vec<SpanSnapshot>,
     sections: Vec<SectionStats>,
@@ -52,6 +57,13 @@ impl ReportBuilder {
             name: name.to_string(),
             ..Default::default()
         }
+    }
+
+    /// Override the build/machine stamp (defaults to
+    /// [`BuildInfo::current`]; golden tests pin a fixed one).
+    pub fn build_info(mut self, build: BuildInfo) -> Self {
+        self.build = Some(build);
+        self
     }
 
     /// Attach a metadata field (world size, SYPD, config label, …).
@@ -99,6 +111,7 @@ impl ReportBuilder {
     pub fn build(self) -> RunReport {
         RunReport {
             name: self.name,
+            build: self.build.unwrap_or_else(|| BuildInfo::current().clone()),
             meta: self.meta,
             spans: self.spans,
             sections: self.sections,
@@ -113,6 +126,7 @@ impl ReportBuilder {
 /// A finished run report.
 pub struct RunReport {
     name: String,
+    build: BuildInfo,
     meta: Vec<(String, Json)>,
     spans: Vec<SpanSnapshot>,
     sections: Vec<SectionStats>,
@@ -132,6 +146,7 @@ impl RunReport {
         let mut root = Json::obj();
         root.set("schema", SCHEMA.into());
         root.set("name", self.name.as_str().into());
+        root.set("build", self.build.to_json());
 
         let mut meta = Json::obj();
         for (k, v) in &self.meta {
@@ -237,6 +252,10 @@ impl RunReport {
     pub fn render_tree(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!("run report: {}\n", self.name));
+        out.push_str(&format!(
+            "  build: {} on {} ({} threads, {})\n",
+            self.build.git_sha, self.build.host, self.build.threads, self.build.os
+        ));
         for (k, v) in &self.meta {
             out.push_str(&format!("  {k} = {v}\n"));
         }
@@ -344,6 +363,7 @@ mod tests {
 
     fn fixed_report() -> RunReport {
         ReportBuilder::new("golden")
+            .build_info(BuildInfo::fixed_for_tests())
             .meta("world_size", 3usize)
             .meta("sypd", 0.54)
             .spans(vec![
@@ -422,7 +442,9 @@ mod tests {
     fn json_matches_golden_schema() {
         let got = fixed_report().to_json();
         let want = concat!(
-            r#"{"schema":"ap3esm-obs/3","name":"golden","#,
+            r#"{"schema":"ap3esm-obs/4","name":"golden","#,
+            r#""build":{"git_sha":"0123456789ab","rustc":"rustc 1.0.0-test","#,
+            r#""host":"testhost","threads":8,"os":"linux/x86_64"},"#,
             r#""meta":{"world_size":3,"sypd":0.54},"#,
             r#""spans":[{"path":"step","depth":0,"total_s":2.5,"self_s":0.5,"count":4},"#,
             r#"{"path":"step/atm","depth":1,"total_s":2,"self_s":2,"count":8}],"#,

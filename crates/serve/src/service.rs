@@ -125,6 +125,61 @@ pub fn telemetry_derived() -> Vec<ap3esm_obs::Derived> {
     })]
 }
 
+/// Harvest the serving path's trajectory metrics from a service's `Obs`
+/// (the `perf.serve.*` vocabulary shared by `BENCH_*.json` files and run
+/// reports): end-to-end latency p50/p95 and the batched forward's p50 are
+/// gated lower-is-better; shed rate, mean batch size and queue-wait p95
+/// are informational context (their "goodness" depends on offered load).
+/// Histogram percentiles carry a dispersion proxy — the p50→p95 spread —
+/// so the gate's noise band reflects within-run latency scatter.
+pub fn perf_snapshot(obs: &Obs) -> Vec<(String, ap3esm_obs::perf::Stat)> {
+    use ap3esm_obs::perf::{Direction, Stat};
+    let m = &obs.metrics;
+    let latency = m.histogram("serve.latency_us").summary();
+    let forward = m.histogram("serve.forward_us").summary();
+    let queue_wait = m.histogram("serve.queue_wait_us").summary();
+    let batch = m.histogram("serve.batch_size").summary();
+    let submitted = m.counter("serve.submitted").get();
+    let shed = m.counter("serve.shed").get();
+    let spread = (latency.p95.saturating_sub(latency.p50)) as f64;
+    vec![
+        (
+            "perf.serve.latency_p50_us".to_string(),
+            Stat::sampled(latency.p50 as f64, "us", latency.count, spread, Direction::LowerIsBetter),
+        ),
+        (
+            "perf.serve.latency_p95_us".to_string(),
+            Stat::sampled(latency.p95 as f64, "us", latency.count, spread, Direction::LowerIsBetter),
+        ),
+        (
+            "perf.serve.forward_p50_us".to_string(),
+            Stat::sampled(
+                forward.p50 as f64,
+                "us",
+                forward.count,
+                (forward.p95.saturating_sub(forward.p50)) as f64,
+                Direction::LowerIsBetter,
+            ),
+        ),
+        (
+            "perf.serve.queue_wait_p95_us".to_string(),
+            Stat::sampled(queue_wait.p95 as f64, "us", queue_wait.count, 0.0, Direction::Informational),
+        ),
+        (
+            "perf.serve.batch_size_mean".to_string(),
+            Stat::sampled(batch.mean, "reqs", batch.count, 0.0, Direction::Informational),
+        ),
+        (
+            "perf.serve.shed_rate".to_string(),
+            Stat::single(
+                if submitted == 0 { 0.0 } else { shed as f64 / submitted as f64 },
+                "ratio",
+                Direction::Informational,
+            ),
+        ),
+    ]
+}
+
 impl ServeMetrics {
     fn new(obs: &Obs) -> Self {
         let m = &obs.metrics;

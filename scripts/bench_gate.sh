@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Performance regression gate (DESIGN.md §12).
+#
+# Runs the canonical quick suite (`perf_trajectory`), which emits the next
+# `BENCH_<n>.json` trajectory point at the repo root, then judges it
+# against the committed trajectory: noise bands from historical variance,
+# direction-aware verdicts, nonzero exit on any regression.
+#
+#   scripts/bench_gate.sh              # run suite + gate (exit 2 on regression)
+#   scripts/bench_gate.sh --dry-run    # run suite + report only, always exit 0
+#   scripts/bench_gate.sh --gate-only  # judge newest committed point, no run
+#
+# Extra flags are passed through to perf_trajectory (--days, --iters,
+# --serve-requests, --out-dir ...).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release -p ap3esm-bench --bin perf_trajectory
+exec ./target/release/perf_trajectory --gate "$@"

@@ -1,0 +1,182 @@
+//! Tier-1 integration test for the performance observatory (DESIGN.md
+//! §12): `ap3esm-bench/1` trajectory points round-trip through the strict
+//! parser byte-identically, sequencing on disk auto-increments, and the
+//! regression gate reaches the right verdict on synthetic trajectories —
+//! regression, improvement, within-noise, bootstrap, and a gated metric
+//! vanishing.
+
+use ap3esm::obs::perf::{
+    gate, load_trajectory, next_seq, BenchFile, BuildInfo, Direction, Stat, BENCH_SCHEMA,
+};
+
+fn point(seq: u64, sypd: f64, kernel_ns: f64) -> BenchFile {
+    let mut f = BenchFile::new("perf_trajectory", BuildInfo::fixed_for_tests());
+    f.seq = seq;
+    f.created_unix = 1_700_000_000 + seq;
+    f.push(
+        "perf.sim.sypd",
+        Stat::single(sypd, "sypd", Direction::HigherIsBetter),
+    );
+    f.push(
+        "perf.kernel.saxpy.serial.ns_per_gp",
+        Stat::sampled(kernel_ns, "ns/gp", 12, 0.05 * kernel_ns, Direction::LowerIsBetter),
+    );
+    f.push(
+        "perf.sim.comm_bytes",
+        Stat::single(4.0e6, "bytes", Direction::Informational),
+    );
+    f
+}
+
+#[test]
+fn bench_json_roundtrips_byte_identically() {
+    let f = point(3, 950.0, 2.5);
+    let text = f.to_json().to_string();
+    assert!(text.contains(&format!("\"schema\":\"{BENCH_SCHEMA}\"")));
+    let back = BenchFile::parse(&text).expect("strict parse");
+    assert_eq!(back.seq, 3);
+    assert_eq!(back.build.git_sha, "0123456789ab");
+    assert_eq!(back.metrics.len(), 3);
+    let sypd = back.get("perf.sim.sypd").expect("sypd present");
+    assert_eq!(sypd.value, 950.0);
+    assert_eq!(sypd.better, Direction::HigherIsBetter);
+    // Byte-identical re-serialisation: parse(to_json) is the identity.
+    assert_eq!(back.to_json().to_string(), text);
+}
+
+#[test]
+fn parser_rejects_wrong_schema_and_garbage() {
+    assert!(BenchFile::parse("{}").is_err());
+    assert!(BenchFile::parse("not json").is_err());
+    let wrong = point(1, 900.0, 2.0)
+        .to_json()
+        .to_string()
+        .replace(BENCH_SCHEMA, "ap3esm-bench/999");
+    assert!(BenchFile::parse(&wrong).is_err());
+}
+
+#[test]
+fn trajectory_on_disk_sequences_and_loads() {
+    let dir = std::env::temp_dir().join(format!("ap3esm-perf-it-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    assert_eq!(next_seq(&dir), 1, "empty dir starts at seq 1");
+
+    let mut a = point(0, 900.0, 2.6);
+    let path = a.write_next(&dir).expect("write BENCH_1");
+    assert!(path.ends_with("BENCH_1.json"));
+    assert_eq!(a.seq, 1, "write_next assigns the next free seq");
+    let mut b = point(0, 910.0, 2.5);
+    b.write_next(&dir).expect("write BENCH_2");
+    assert_eq!(b.seq, 2);
+
+    let traj = load_trajectory(&dir).expect("load");
+    assert_eq!(traj.len(), 2);
+    assert_eq!((traj[0].seq, traj[1].seq), (1, 2));
+    assert_eq!(traj[1].get("perf.sim.sypd").unwrap().value, 910.0);
+
+    // A corrupt point must fail the whole load, loudly — a silently
+    // dropped trajectory point would quietly widen every noise band.
+    std::fs::write(dir.join("BENCH_3.json"), "{broken").unwrap();
+    assert!(load_trajectory(&dir).is_err());
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn gate_flags_regression_in_both_directions() {
+    let history: Vec<BenchFile> =
+        (1..=4).map(|s| point(s, 900.0 + s as f64, 2.5)).collect();
+    // SYPD halves (higher-is-better ↓) and the kernel triples
+    // (lower-is-better ↑): both must come back Regressed and fail.
+    let bad = point(5, 450.0, 7.5);
+    let report = gate::evaluate(&history, &bad, &gate::GateOptions::default());
+    assert!(!report.passed());
+    let verdict = |name: &str| {
+        report
+            .verdicts
+            .iter()
+            .find(|v| v.name == name)
+            .expect("metric in report")
+            .verdict
+    };
+    assert_eq!(verdict("perf.sim.sypd"), gate::Verdict::Regressed);
+    assert_eq!(
+        verdict("perf.kernel.saxpy.serial.ns_per_gp"),
+        gate::Verdict::Regressed
+    );
+    assert!(report.render().contains("FAIL"));
+}
+
+#[test]
+fn gate_passes_improvement_and_within_noise() {
+    let history: Vec<BenchFile> =
+        (1..=4).map(|s| point(s, 900.0 + s as f64, 2.5)).collect();
+
+    // Small wiggle: inside the noise band.
+    let same = point(5, 905.0, 2.52);
+    let report = gate::evaluate(&history, &same, &gate::GateOptions::default());
+    assert!(report.passed());
+    assert!(report
+        .verdicts
+        .iter()
+        .filter(|v| v.verdict != gate::Verdict::Informational)
+        .all(|v| v.verdict == gate::Verdict::WithinNoise));
+
+    // Big win in the right direction: Improved, still passes.
+    let faster = point(5, 2000.0, 1.0);
+    let report = gate::evaluate(&history, &faster, &gate::GateOptions::default());
+    assert!(report.passed());
+    assert!(report
+        .verdicts
+        .iter()
+        .any(|v| v.verdict == gate::Verdict::Improved));
+}
+
+#[test]
+fn gate_bootstraps_and_catches_vanishing_metrics() {
+    // No history at all: everything is New, gate passes (first point of a
+    // fresh trajectory must not fail CI).
+    let first = point(1, 900.0, 2.5);
+    let report = gate::evaluate(&[], &first, &gate::GateOptions::default());
+    assert!(report.passed());
+    assert!(report
+        .verdicts
+        .iter()
+        .filter(|v| v.verdict != gate::Verdict::Informational)
+        .all(|v| v.verdict == gate::Verdict::New));
+
+    // A gated metric disappearing from the current point is a FAIL — a
+    // deleted benchmark hides a regression as effectively as causing one.
+    let history = vec![point(1, 900.0, 2.5)];
+    let mut partial = BenchFile::new("perf_trajectory", BuildInfo::fixed_for_tests());
+    partial.seq = 2;
+    partial.created_unix = 1_700_000_002;
+    partial.push(
+        "perf.sim.sypd",
+        Stat::single(901.0, "sypd", Direction::HigherIsBetter),
+    );
+    let report = gate::evaluate(&history, &partial, &gate::GateOptions::default());
+    assert!(!report.passed());
+    assert!(report
+        .verdicts
+        .iter()
+        .any(|v| v.name == "perf.kernel.saxpy.serial.ns_per_gp"
+            && v.verdict == gate::Verdict::Missing));
+}
+
+#[test]
+fn gate_report_json_is_valid_and_complete() {
+    let history = vec![point(1, 900.0, 2.5)];
+    let current = point(2, 903.0, 2.49);
+    let report = gate::evaluate(&history, &current, &gate::GateOptions::default());
+    let json = report.to_json().to_string();
+    let parsed = ap3esm::obs::json::Json::parse(&json).expect("gate JSON parses");
+    assert_eq!(
+        parsed.get("passed"),
+        Some(&ap3esm::obs::json::Json::Bool(true))
+    );
+    let verdicts = parsed
+        .get("verdicts")
+        .and_then(|v| v.as_arr())
+        .expect("verdicts array");
+    assert_eq!(verdicts.len(), report.verdicts.len());
+}
