@@ -67,6 +67,10 @@ pub enum FaultEvent {
     /// Rank `rank` loses its state at driver step `at_step` (the driver
     /// defines the step unit; the coupled driver counts ocean couplings).
     KillRank { rank: usize, at_step: u64 },
+    /// Rank `rank` dies *permanently* at driver step `at_step`: the thread
+    /// stops participating entirely (vs. [`FaultEvent::KillRank`], which
+    /// only loses state and stays reachable). Survivors must shrink.
+    DieRank { rank: usize, at_step: u64 },
     /// After checkpoint `ckpt` is written, XOR-flip the byte at `byte`
     /// (modulo file length) of sub-file `subfile` of field `field`.
     CorruptCheckpoint {
@@ -78,10 +82,23 @@ pub enum FaultEvent {
 }
 
 /// A seeded, ordered fault plan.
-#[derive(Debug, Clone, Default, PartialEq)]
+///
+/// Equality compares `(seed, events)` only — the source line numbers kept
+/// for diagnostics do not make two otherwise-identical plans different.
+#[derive(Debug, Clone, Default)]
 pub struct FaultPlan {
     pub seed: u64,
     pub events: Vec<FaultEvent>,
+    /// 1-based source line of each event (parallel to `events`; empty for
+    /// programmatically built plans). Lets [`FaultPlan::validate`] point at
+    /// the offending line instead of silently ignoring unmatched rules.
+    pub event_lines: Vec<usize>,
+}
+
+impl PartialEq for FaultPlan {
+    fn eq(&self, other: &Self) -> bool {
+        self.seed == other.seed && self.events == other.events
+    }
 }
 
 /// Parse failure for the fault-plan text format.
@@ -135,8 +152,13 @@ impl FaultPlan {
     /// delay src=* dst=3 tag=* nth=1 ms=50
     /// dup src=1 dst=0 tag=22 nth=1
     /// kill rank=2 step=3
+    /// die rank=2 step=3
     /// corrupt ckpt=1 field=atm_theta subfile=0 byte=100
     /// ```
+    ///
+    /// Exact duplicate events are rejected at parse time (the second entry
+    /// would silently re-arm a one-shot fault — always a plan bug), with
+    /// the line number of both occurrences in the error.
     pub fn parse(text: &str) -> Result<Self, PlanParseError> {
         let mut plan = FaultPlan::default();
         for (i, raw) in text.lines().enumerate() {
@@ -145,6 +167,7 @@ impl FaultPlan {
             if line.is_empty() {
                 continue;
             }
+            let mut event: Option<FaultEvent> = None;
             let mut toks = line.split_whitespace();
             let verb = toks.next().expect("non-empty line has a first token");
             match verb {
@@ -190,9 +213,9 @@ impl FaultPlan {
                         "delay" => MsgFault::Delay { ms },
                         _ => MsgFault::Duplicate,
                     };
-                    plan.events.push(FaultEvent::Message { sel, fault });
+                    event = Some(FaultEvent::Message { sel, fault });
                 }
-                "kill" => {
+                "kill" | "die" => {
                     let (mut rank, mut step) = (None, None);
                     for tok in toks {
                         let (k, v) = parse_kv(tok, lineno)?;
@@ -202,19 +225,22 @@ impl FaultPlan {
                             _ => {
                                 return Err(PlanParseError {
                                     line: lineno,
-                                    message: format!("unknown key {k:?} for kill"),
+                                    message: format!("unknown key {k:?} for {verb}"),
                                 })
                             }
                         }
                     }
                     match (rank, step) {
+                        (Some(rank), Some(at_step)) if verb == "kill" => {
+                            event = Some(FaultEvent::KillRank { rank, at_step })
+                        }
                         (Some(rank), Some(at_step)) => {
-                            plan.events.push(FaultEvent::KillRank { rank, at_step })
+                            event = Some(FaultEvent::DieRank { rank, at_step })
                         }
                         _ => {
                             return Err(PlanParseError {
                                 line: lineno,
-                                message: "kill needs rank= and step=".into(),
+                                message: format!("{verb} needs rank= and step="),
                             })
                         }
                     }
@@ -237,12 +263,14 @@ impl FaultPlan {
                         }
                     }
                     match (ckpt, field) {
-                        (Some(ckpt), Some(field)) => plan.events.push(FaultEvent::CorruptCheckpoint {
-                            ckpt,
-                            field,
-                            subfile,
-                            byte,
-                        }),
+                        (Some(ckpt), Some(field)) => {
+                            event = Some(FaultEvent::CorruptCheckpoint {
+                                ckpt,
+                                field,
+                                subfile,
+                                byte,
+                            })
+                        }
                         _ => {
                             return Err(PlanParseError {
                                 line: lineno,
@@ -258,8 +286,65 @@ impl FaultPlan {
                     })
                 }
             }
+            if let Some(ev) = event {
+                if let Some(prev) = plan.events.iter().position(|e| *e == ev) {
+                    return Err(PlanParseError {
+                        line: lineno,
+                        message: format!(
+                            "duplicate of line {}: an identical event can never fire as planned",
+                            plan.event_lines.get(prev).copied().unwrap_or(0)
+                        ),
+                    });
+                }
+                plan.events.push(ev);
+                plan.event_lines.push(lineno);
+            }
         }
         Ok(plan)
+    }
+
+    /// Check the plan against a concrete world: kills/dies targeting
+    /// out-of-range ranks and message selectors naming ranks the world does
+    /// not have are rejected with the offending source line, instead of
+    /// silently never matching at run time. `die rank=0` is rejected too —
+    /// rank 0 coordinates the membership agreement, so its permanent loss
+    /// cannot be survived.
+    pub fn validate(&self, world_size: usize) -> Result<(), PlanParseError> {
+        let line_of = |i: usize| self.event_lines.get(i).copied().unwrap_or(0);
+        for (i, e) in self.events.iter().enumerate() {
+            let bad_rank = |what: &str, rank: usize| PlanParseError {
+                line: line_of(i),
+                message: format!(
+                    "{what} targets rank {rank} but the world has ranks 0..{world_size}"
+                ),
+            };
+            match e {
+                FaultEvent::KillRank { rank, .. } if *rank >= world_size => {
+                    return Err(bad_rank("kill", *rank));
+                }
+                FaultEvent::DieRank { rank, .. } if *rank >= world_size => {
+                    return Err(bad_rank("die", *rank));
+                }
+                FaultEvent::DieRank { rank: 0, .. } => {
+                    return Err(PlanParseError {
+                        line: line_of(i),
+                        message: "die cannot target rank 0: it coordinates the \
+                                  membership agreement"
+                            .into(),
+                    });
+                }
+                FaultEvent::Message { sel, .. } => {
+                    if let Some(src) = sel.src.filter(|&s| s >= world_size) {
+                        return Err(bad_rank("message src", src));
+                    }
+                    if let Some(dst) = sel.dst.filter(|&d| d >= world_size) {
+                        return Err(bad_rank("message dst", dst));
+                    }
+                }
+                _ => {}
+            }
+        }
+        Ok(())
     }
 
     /// Kill events as `(rank, at_step)` pairs.
@@ -268,6 +353,17 @@ impl FaultPlan {
             .iter()
             .filter_map(|e| match e {
                 FaultEvent::KillRank { rank, at_step } => Some((*rank, *at_step)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Permanent-death events as `(rank, at_step)` pairs.
+    pub fn dies(&self) -> Vec<(usize, u64)> {
+        self.events
+            .iter()
+            .filter_map(|e| match e {
+                FaultEvent::DieRank { rank, at_step } => Some((*rank, *at_step)),
                 _ => None,
             })
             .collect()
@@ -330,6 +426,9 @@ impl fmt::Display for FaultPlan {
                 FaultEvent::KillRank { rank, at_step } => {
                     writeln!(f, "kill rank={rank} step={at_step}")?;
                 }
+                FaultEvent::DieRank { rank, at_step } => {
+                    writeln!(f, "die rank={rank} step={at_step}")?;
+                }
                 FaultEvent::CorruptCheckpoint {
                     ckpt,
                     field,
@@ -339,6 +438,222 @@ impl fmt::Display for FaultPlan {
                     writeln!(f, "corrupt ckpt={ckpt} field={field} subfile={subfile} byte={byte}")?;
                 }
             }
+        }
+        Ok(())
+    }
+}
+
+/// What a chaos scenario is expected to do to the run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScenarioExpectation {
+    /// Faults are absent or transient: the run must finish healthy.
+    Healthy,
+    /// A rank is permanently lost: the run must finish in degraded mode on
+    /// the survivors, matching a fresh reference run on the smaller world.
+    Degraded,
+    /// Recovery cannot succeed: the run must end with a structured
+    /// `RecoveryFailure` — never a hang, panic, or silent wrong answer.
+    Failure,
+}
+
+impl ScenarioExpectation {
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            ScenarioExpectation::Healthy => "healthy",
+            ScenarioExpectation::Degraded => "degraded",
+            ScenarioExpectation::Failure => "failure",
+        }
+    }
+
+    fn parse(v: &str, line: usize) -> Result<Self, PlanParseError> {
+        match v {
+            "healthy" => Ok(ScenarioExpectation::Healthy),
+            "degraded" => Ok(ScenarioExpectation::Degraded),
+            "failure" => Ok(ScenarioExpectation::Failure),
+            other => Err(PlanParseError {
+                line,
+                message: format!(
+                    "expect must be healthy, degraded, or failure; got {other:?}"
+                ),
+            }),
+        }
+    }
+}
+
+/// One named scenario of a chaos [`Campaign`]: a seeded fault plan plus the
+/// outcome the campaign runner must observe.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosScenario {
+    pub name: String,
+    pub expect: ScenarioExpectation,
+    pub plan: FaultPlan,
+}
+
+/// A deterministic chaos campaign: an ordered list of named scenarios, each
+/// with its own fault plan and expected outcome. Text format:
+///
+/// ```text
+/// seed 42                      # campaign seed (before the first scenario)
+/// scenario baseline expect=healthy
+/// scenario lose-ocean expect=degraded
+/// die rank=2 step=3
+/// scenario lose-coupler expect=failure
+/// die rank=1 step=2
+/// kill rank=1 step=4
+/// ```
+///
+/// Lines after a `scenario` header belong to that scenario's plan until the
+/// next header. Scenarios that do not set their own `seed` get one derived
+/// deterministically from the campaign seed and their position, so every
+/// scenario is reproducible in isolation but decorrelated from its
+/// neighbours. Plan parse errors report line numbers of the *campaign*
+/// file, not scenario-relative offsets.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Campaign {
+    pub seed: u64,
+    pub scenarios: Vec<ChaosScenario>,
+}
+
+/// splitmix64 of the campaign seed and scenario index: reproducible but
+/// decorrelated per-scenario seeds.
+fn scenario_seed(campaign_seed: u64, index: usize) -> u64 {
+    let mut z = campaign_seed
+        .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(index as u64 + 1));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl Campaign {
+    pub fn new(seed: u64) -> Self {
+        Campaign {
+            seed,
+            scenarios: Vec::new(),
+        }
+    }
+
+    /// Append a scenario built from inline plan text. A plan without its
+    /// own `seed` line gets the derived per-scenario seed.
+    pub fn add(
+        &mut self,
+        name: &str,
+        expect: ScenarioExpectation,
+        plan_text: &str,
+    ) -> Result<&mut Self, PlanParseError> {
+        let mut plan = FaultPlan::parse(plan_text)?;
+        if plan.seed == 0 {
+            plan.seed = scenario_seed(self.seed, self.scenarios.len());
+        }
+        self.scenarios.push(ChaosScenario {
+            name: name.to_string(),
+            expect,
+            plan,
+        });
+        Ok(self)
+    }
+
+    /// Parse the campaign text format (see the type docs).
+    pub fn parse(text: &str) -> Result<Self, PlanParseError> {
+        let all: Vec<&str> = text.lines().collect();
+        let mut campaign = Campaign::default();
+        // (name, expect, index of the first body line)
+        let mut open: Option<(String, ScenarioExpectation, usize)> = None;
+        for (i, raw) in all.iter().enumerate() {
+            let lineno = i + 1;
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let mut toks = line.split_whitespace();
+            let verb = toks.next().expect("non-empty line has a first token");
+            if verb == "scenario" {
+                if let Some((name, expect, start)) = open.take() {
+                    campaign.finish_scenario(&all, name, expect, start, i)?;
+                }
+                let name = toks
+                    .next()
+                    .ok_or_else(|| PlanParseError {
+                        line: lineno,
+                        message: "scenario needs a name".into(),
+                    })?
+                    .to_string();
+                let mut expect = None;
+                for tok in toks {
+                    let (k, v) = parse_kv(tok, lineno)?;
+                    match k {
+                        "expect" => expect = Some(ScenarioExpectation::parse(v, lineno)?),
+                        _ => {
+                            return Err(PlanParseError {
+                                line: lineno,
+                                message: format!("unknown key {k:?} for scenario"),
+                            })
+                        }
+                    }
+                }
+                let expect = expect.ok_or_else(|| PlanParseError {
+                    line: lineno,
+                    message: "scenario needs expect=healthy|degraded|failure".into(),
+                })?;
+                open = Some((name, expect, i + 1));
+            } else if open.is_none() {
+                if verb == "seed" {
+                    let v = toks.next().ok_or_else(|| PlanParseError {
+                        line: lineno,
+                        message: "seed needs a value".into(),
+                    })?;
+                    campaign.seed = parse_num("seed", v, lineno)?;
+                } else {
+                    return Err(PlanParseError {
+                        line: lineno,
+                        message: format!(
+                            "expected a scenario header before {verb:?} (only \
+                             `seed` may precede the first scenario)"
+                        ),
+                    });
+                }
+            }
+            // Body lines of an open scenario are consumed by finish_scenario.
+        }
+        if let Some((name, expect, start)) = open.take() {
+            campaign.finish_scenario(&all, name, expect, start, all.len())?;
+        }
+        Ok(campaign)
+    }
+
+    fn finish_scenario(
+        &mut self,
+        all: &[&str],
+        name: String,
+        expect: ScenarioExpectation,
+        start: usize,
+        end: usize,
+    ) -> Result<(), PlanParseError> {
+        // Pad with blank lines so plan errors carry campaign-file line
+        // numbers instead of scenario-relative offsets.
+        let mut padded = "\n".repeat(start);
+        padded.push_str(&all[start..end].join("\n"));
+        let mut plan = FaultPlan::parse(&padded)?;
+        if plan.seed == 0 {
+            plan.seed = scenario_seed(self.seed, self.scenarios.len());
+        }
+        if self.scenarios.iter().any(|s| s.name == name) {
+            return Err(PlanParseError {
+                line: start, // header line (1-based) = body start index
+                message: format!("duplicate scenario name {name:?}"),
+            });
+        }
+        self.scenarios.push(ChaosScenario { name, expect, plan });
+        Ok(())
+    }
+
+    /// Validate every scenario's plan against a concrete world size,
+    /// naming the offending scenario.
+    pub fn validate(&self, world_size: usize) -> Result<(), PlanParseError> {
+        for sc in &self.scenarios {
+            sc.plan.validate(world_size).map_err(|e| PlanParseError {
+                line: e.line,
+                message: format!("scenario {:?}: {}", sc.name, e.message),
+            })?;
         }
         Ok(())
     }
@@ -365,6 +680,7 @@ pub struct FaultInjector {
     plan: FaultPlan,
     rules: Vec<MessageRule>,
     kill_fired: Vec<(usize, u64, AtomicBool)>,
+    die_fired: Vec<(usize, u64, AtomicBool)>,
     fired: Mutex<Vec<FiredFault>>,
 }
 
@@ -387,10 +703,16 @@ impl FaultInjector {
             .into_iter()
             .map(|(r, s)| (r, s, AtomicBool::new(false)))
             .collect();
+        let die_fired = plan
+            .dies()
+            .into_iter()
+            .map(|(r, s)| (r, s, AtomicBool::new(false)))
+            .collect();
         FaultInjector {
             plan,
             rules,
             kill_fired,
+            die_fired,
             fired: Mutex::new(Vec::new()),
         }
     }
@@ -435,6 +757,24 @@ impl FaultInjector {
                     .is_ok()
             {
                 self.record(format!("rank {rank} killed at step {step}"));
+                return true;
+            }
+        }
+        false
+    }
+
+    /// One-shot check: does `rank` die *permanently* at `step`? Returns true
+    /// exactly once per matching die event — unlike a kill, the fired flag
+    /// never re-arms across rollback/replay, because a dead rank stays dead.
+    pub fn take_die(&self, rank: usize, step: u64) -> bool {
+        for (r, s, done) in &self.die_fired {
+            if *r == rank
+                && *s == step
+                && done
+                    .compare_exchange(false, true, Ordering::SeqCst, Ordering::SeqCst)
+                    .is_ok()
+            {
+                self.record(format!("rank {rank} died permanently at step {step}"));
                 return true;
             }
         }
@@ -530,5 +870,114 @@ corrupt ckpt=1 field=atm_theta subfile=0 byte=100
         assert!(!inj.take_kill(1, 3));
         assert!(inj.take_kill(2, 3));
         assert!(!inj.take_kill(2, 3), "kill must fire exactly once");
+    }
+
+    #[test]
+    fn die_parses_roundtrips_and_is_one_shot() {
+        let plan = FaultPlan::parse("die rank=2 step=3\nkill rank=2 step=3").unwrap();
+        assert_eq!(plan.dies(), vec![(2, 3)]);
+        assert_eq!(plan.kills(), vec![(2, 3)]);
+        let again = FaultPlan::parse(&plan.to_string()).unwrap();
+        assert_eq!(plan, again);
+        let inj = FaultInjector::new(plan);
+        assert!(!inj.take_die(2, 2));
+        assert!(!inj.take_die(1, 3));
+        assert!(inj.take_die(2, 3));
+        assert!(!inj.take_die(2, 3), "die must fire exactly once");
+    }
+
+    #[test]
+    fn duplicate_events_are_rejected_with_both_lines() {
+        let err = FaultPlan::parse(
+            "kill rank=2 step=3\n# comment\nkill rank=2 step=3",
+        )
+        .unwrap_err();
+        assert_eq!(err.line, 3);
+        assert!(err.message.contains("line 1"), "{}", err.message);
+        // Same rank at a different step is two distinct events, not a dup.
+        assert!(FaultPlan::parse("kill rank=2 step=3\nkill rank=2 step=5").is_ok());
+    }
+
+    #[test]
+    fn validate_points_at_the_offending_line() {
+        let plan = FaultPlan::parse(
+            "drop src=0 dst=1 tag=7 nth=1\nkill rank=2 step=3\ndie rank=3 step=4",
+        )
+        .unwrap();
+        assert!(plan.validate(4).is_ok());
+        // die rank=3 is out of range in a 3-rank world → line 3.
+        let err = plan.validate(3).unwrap_err();
+        assert_eq!(err.line, 3);
+        assert!(err.message.contains("rank 3"), "{}", err.message);
+        // kill rank=2 is out of range in a 2-rank world → line 2.
+        assert_eq!(plan.validate(2).unwrap_err().line, 2);
+        // Selector naming rank 1 is out of range in a 1-rank world → line 1.
+        assert_eq!(plan.validate(1).unwrap_err().line, 1);
+        // Dying rank 0 is never survivable.
+        let p0 = FaultPlan::parse("die rank=0 step=1").unwrap();
+        let err = p0.validate(4).unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(err.message.contains("rank 0"), "{}", err.message);
+    }
+
+    #[test]
+    fn campaign_parses_named_scenarios_with_campaign_line_numbers() {
+        let text = "\
+seed 7
+scenario baseline expect=healthy
+
+scenario lose-ocean expect=degraded
+die rank=2 step=3
+scenario doomed expect=failure
+die rank=1 step=2
+kill rank=1 step=4
+";
+        let c = Campaign::parse(text).unwrap();
+        assert_eq!(c.seed, 7);
+        assert_eq!(c.scenarios.len(), 3);
+        assert_eq!(c.scenarios[0].name, "baseline");
+        assert_eq!(c.scenarios[0].expect, ScenarioExpectation::Healthy);
+        assert!(c.scenarios[0].plan.events.is_empty());
+        assert_eq!(c.scenarios[1].plan.dies(), vec![(2, 3)]);
+        assert_eq!(c.scenarios[2].plan.dies(), vec![(1, 2)]);
+        assert_eq!(c.scenarios[2].plan.kills(), vec![(1, 4)]);
+        // Derived seeds: deterministic, nonzero, decorrelated.
+        assert_ne!(c.scenarios[0].plan.seed, c.scenarios[1].plan.seed);
+        assert_eq!(Campaign::parse(text).unwrap(), c);
+        // Validation names the scenario; die rank=2 is on campaign line 5.
+        let err = c.validate(2).unwrap_err();
+        assert_eq!(err.line, 5);
+        assert!(err.message.contains("lose-ocean"), "{}", err.message);
+        // A plan error inside scenario 3's body carries the campaign line.
+        let bad = text.replace("kill rank=1 step=4", "kill rank=1");
+        assert_eq!(Campaign::parse(&bad).unwrap_err().line, 8);
+        // Events before any scenario header are rejected.
+        let err = Campaign::parse("drop src=0 dst=1 tag=1 nth=1").unwrap_err();
+        assert_eq!(err.line, 1);
+        // Duplicate scenario names are rejected.
+        let err = Campaign::parse(
+            "scenario a expect=healthy\nscenario a expect=failure",
+        )
+        .unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn campaign_builder_derives_scenario_seeds() {
+        let mut c = Campaign::new(42);
+        c.add("quiet", ScenarioExpectation::Healthy, "").unwrap();
+        c.add("loss", ScenarioExpectation::Degraded, "die rank=2 step=3")
+            .unwrap();
+        c.add("pinned", ScenarioExpectation::Healthy, "seed 9").unwrap();
+        assert_ne!(c.scenarios[0].plan.seed, 0);
+        assert_ne!(c.scenarios[0].plan.seed, c.scenarios[1].plan.seed);
+        assert_eq!(c.scenarios[2].plan.seed, 9, "explicit seed wins");
+        // Builder and text parse derive identical seeds per position.
+        let parsed = Campaign::parse(
+            "seed 42\nscenario quiet expect=healthy\nscenario loss expect=degraded\ndie rank=2 step=3",
+        )
+        .unwrap();
+        assert_eq!(parsed.scenarios[0].plan.seed, c.scenarios[0].plan.seed);
+        assert_eq!(parsed.scenarios[1].plan.seed, c.scenarios[1].plan.seed);
     }
 }

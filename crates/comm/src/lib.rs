@@ -26,10 +26,13 @@ pub mod stats;
 pub mod world;
 
 pub use events::{trace_epoch, trace_now_us, CommEvent, CommEventKind, CommEventLog};
-pub use faultplan::{FaultEvent, FaultInjector, FaultPlan, MsgFault, MsgSelector};
+pub use faultplan::{
+    Campaign, ChaosScenario, FaultEvent, FaultInjector, FaultPlan, MsgFault, MsgSelector,
+    PlanParseError, ScenarioExpectation,
+};
 pub use halo::{HaloExchange, HaloSpec};
 pub use stats::CommStats;
-pub use world::{Rank, RecvHandle, SubComm, World};
+pub use world::{Membership, MembershipVerdict, Rank, RecvHandle, SubComm, World};
 
 /// Errors surfaced by the communication layer.
 #[derive(Debug, Clone, PartialEq, Eq)]

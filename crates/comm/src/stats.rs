@@ -33,6 +33,9 @@ struct ShardMaps {
 pub struct CommStats {
     messages: AtomicU64,
     bytes: AtomicU64,
+    /// Messages rejected on receive because they carried an older world
+    /// generation than the receiver's (pre-shrink traffic filtered out).
+    stale: AtomicU64,
     shards: Vec<Mutex<ShardMaps>>,
 }
 
@@ -41,6 +44,7 @@ impl Default for CommStats {
         CommStats {
             messages: AtomicU64::new(0),
             bytes: AtomicU64::new(0),
+            stale: AtomicU64::new(0),
             shards: (0..N_SHARDS).map(|_| Mutex::new(ShardMaps::default())).collect(),
         }
     }
@@ -55,6 +59,16 @@ impl CommStats {
         let t = shard.tags.entry(tag).or_insert((0, 0));
         t.0 += 1;
         t.1 += bytes as u64;
+    }
+
+    /// Count one stale-generation message rejected at receive time.
+    pub fn record_stale(&self) {
+        self.stale.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Messages rejected for carrying an out-of-date world generation.
+    pub fn stale_messages(&self) -> u64 {
+        self.stale.load(Ordering::Relaxed)
     }
 
     /// Total messages sent in the world so far.

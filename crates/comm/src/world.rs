@@ -1,10 +1,20 @@
 //! The rank world: thread-backed ranks, mailboxes, and communicators.
+//!
+//! Besides the MPI-like surface, the world supports **elastic shrink**: when
+//! a rank dies permanently, the survivors agree on a successor membership
+//! ([`Rank::membership_vote`]) and install a generation-stamped view
+//! ([`Rank::install_membership`]). From then on every rank addresses peers by
+//! *virtual* rank (`0..M` over the survivors), every message carries the
+//! sender's generation on the wire, and receives reject stale-generation
+//! traffic instead of misdelivering it. With the identity view (no shrink —
+//! the common case) the translation is two relaxed atomic loads per message.
 
 use std::any::Any;
 use std::collections::HashMap;
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use parking_lot::{Condvar, Mutex};
 
@@ -30,8 +40,52 @@ fn env_recv_timeout() -> Duration {
 }
 
 struct Message {
+    /// World generation the sender was in. Receivers in a newer generation
+    /// discard the message (stale); receivers in an older generation leave
+    /// it queued until they catch up.
+    generation: u64,
     payload: Box<dyn Any + Send>,
 }
+
+/// An agreed membership of the world after one or more permanent rank
+/// losses: the `generation` number stamped on every message sent under this
+/// view, and the surviving *physical* world ranks in ascending order.
+/// Virtual rank `i` of the shrunk world is `members[i]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Membership {
+    pub generation: u64,
+    pub members: Vec<usize>,
+}
+
+impl Membership {
+    /// Is physical rank `world_rank` part of this membership?
+    pub fn contains(&self, world_rank: usize) -> bool {
+        self.members.contains(&world_rank)
+    }
+
+    /// Virtual rank of physical `world_rank`, if a member.
+    pub fn virtual_of(&self, world_rank: usize) -> Option<usize> {
+        self.members.iter().position(|&m| m == world_rank)
+    }
+}
+
+/// Outcome of a [`Rank::membership_vote`]: either every current member is
+/// still alive (the failure was transient — fall back to rollback), or a
+/// shrunk successor membership has been agreed and installed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MembershipVerdict {
+    /// Every member answered the liveness poll: no permanent loss.
+    AllAlive,
+    /// The listed membership (already installed on this rank) succeeds the
+    /// current world; the dead ranks did not answer the poll.
+    Shrink(Membership),
+}
+
+/// Tag namespaces of the membership machinery (distinct from collectives'
+/// `0xC0_..` base and `SubComm`'s `(color+1)<<32` scope).
+const TAG_VIEW_BARRIER: u64 = 0xD7_0000_0000;
+const TAG_VOTE: u64 = 0xD7_0100_0000;
+const TAG_VERDICT: u64 = 0xD7_0200_0000;
 
 #[derive(Default)]
 struct MailboxInner {
@@ -146,6 +200,11 @@ impl World {
                     let rank = Rank {
                         id,
                         shared: Arc::clone(shared),
+                        gen: AtomicU64::new(0),
+                        vid: AtomicUsize::new(id),
+                        shrunk: AtomicBool::new(false),
+                        members: Mutex::new(None),
+                        barrier_seq: AtomicU64::new(0),
                     };
                     *slot = Some(f(&rank));
                 }));
@@ -160,9 +219,26 @@ impl World {
 }
 
 /// A handle to one rank inside a [`World::run`] closure.
+///
+/// After a shrink ([`Rank::install_membership`]) the handle speaks *virtual*
+/// ranks: [`Rank::id`] / [`Rank::size`] and every peer argument of
+/// send/recv refer to the shrunk world, while [`Rank::world_id`] keeps
+/// naming the physical thread. The view state lives on the handle (one per
+/// thread), so installing a view never races with another rank's traffic.
 pub struct Rank {
     id: usize,
     shared: Arc<WorldShared>,
+    /// Current world generation (0 until the first shrink).
+    gen: AtomicU64,
+    /// Virtual rank under the current view (= `id` for the identity view).
+    vid: AtomicUsize,
+    /// Fast-path discriminant: `false` means identity view, no translation.
+    shrunk: AtomicBool,
+    /// Physical ranks of the current membership (None for identity).
+    members: Mutex<Option<Arc<Vec<usize>>>>,
+    /// Sequence number of dissemination barriers under a shrunk view, so
+    /// back-to-back barriers never alias each other's round messages.
+    barrier_seq: AtomicU64,
 }
 
 /// Handle returned by [`Rank::irecv`]; `wait` blocks until the message lands.
@@ -186,14 +262,91 @@ impl<T: Send + 'static> RecvHandle<'_, T> {
 }
 
 impl Rank {
-    /// This rank's id in `0..size`.
+    /// This rank's id in `0..size` — the *virtual* rank under the current
+    /// membership view (equal to [`Rank::world_id`] until a shrink).
     pub fn id(&self) -> usize {
+        if self.shrunk.load(Ordering::Relaxed) {
+            self.vid.load(Ordering::Relaxed)
+        } else {
+            self.id
+        }
+    }
+
+    /// World size under the current membership view.
+    pub fn size(&self) -> usize {
+        if self.shrunk.load(Ordering::Relaxed) {
+            self.members
+                .lock()
+                .as_ref()
+                .map(|m| m.len())
+                .unwrap_or(self.shared.n)
+        } else {
+            self.shared.n
+        }
+    }
+
+    /// The physical rank of this thread (stable across shrinks).
+    pub fn world_id(&self) -> usize {
         self.id
     }
 
-    /// World size.
-    pub fn size(&self) -> usize {
+    /// Number of ranks the world was launched with (stable across shrinks).
+    pub fn world_size(&self) -> usize {
         self.shared.n
+    }
+
+    /// Current world generation: 0 until the first shrink.
+    pub fn generation(&self) -> u64 {
+        self.gen.load(Ordering::Relaxed)
+    }
+
+    /// The current membership, if a shrunk view is installed.
+    pub fn membership(&self) -> Option<Membership> {
+        let members = self.members.lock().as_ref().map(Arc::clone)?;
+        Some(Membership {
+            generation: self.generation(),
+            members: (*members).clone(),
+        })
+    }
+
+    /// Physical rank behind virtual rank `r` under the current view.
+    fn phys(&self, r: usize) -> usize {
+        if self.shrunk.load(Ordering::Relaxed) {
+            let guard = self.members.lock();
+            match guard.as_ref() {
+                Some(m) => m[r],
+                None => r,
+            }
+        } else {
+            r
+        }
+    }
+
+    /// Install an agreed successor membership on this rank. The generation
+    /// must advance and this physical rank must be a member — both are
+    /// invariants the [`Rank::membership_vote`] protocol guarantees, so a
+    /// violation is a protocol bug, not a runtime condition.
+    pub fn install_membership(&self, m: &Membership) {
+        assert!(
+            m.generation > self.generation(),
+            "membership generation must advance ({} -> {})",
+            self.generation(),
+            m.generation
+        );
+        let vid = m
+            .virtual_of(self.id)
+            .expect("install_membership on an evicted rank");
+        *self.members.lock() = Some(Arc::new(m.members.clone()));
+        self.vid.store(vid, Ordering::Relaxed);
+        self.gen.store(m.generation, Ordering::Relaxed);
+        self.shrunk.store(true, Ordering::Relaxed);
+    }
+
+    /// The world's per-receive timeout. Recovery layers size their
+    /// agreement windows as multiples of this, so a slow-but-alive peer
+    /// that just burned a data-plane timeout is not misdeclared dead.
+    pub fn recv_timeout(&self) -> Duration {
+        self.shared.recv_timeout
     }
 
     /// Traffic statistics shared by the world.
@@ -214,12 +367,17 @@ impl Rank {
         &self.shared.events
     }
 
-    /// Send `data` to `dst` under `tag`. Non-blocking in the MPI "buffered"
-    /// sense: the payload is moved into the destination mailbox immediately.
+    /// Send `data` to (virtual) rank `dst` under `tag`. Non-blocking in the
+    /// MPI "buffered" sense: the payload is moved into the destination
+    /// mailbox immediately, stamped with the sender's world generation.
     pub fn send<T: Send + Clone + 'static>(&self, dst: usize, tag: u64, data: Vec<T>) {
-        assert!(dst < self.shared.n, "send to invalid rank {dst}");
+        assert!(dst < self.size(), "send to invalid rank {dst}");
+        let dst = self.phys(dst);
+        let generation = self.gen.load(Ordering::Relaxed);
         let mut copies = 1usize;
         if let Some(injector) = &self.shared.injector {
+            // Fault plans target physical ranks — injection is a statement
+            // about the machine, not about the current logical layout.
             match injector.on_send(self.id, dst, tag) {
                 Some(MsgFault::Drop) => copies = 0,
                 Some(MsgFault::Delay { ms }) => std::thread::sleep(Duration::from_millis(ms)),
@@ -254,6 +412,7 @@ impl Rank {
                     .entry((self.id, tag))
                     .or_default()
                     .push_back(Message {
+                        generation,
                         payload: Box::new(data.clone()),
                     });
             }
@@ -262,6 +421,7 @@ impl Rank {
                 .entry((self.id, tag))
                 .or_default()
                 .push_back(Message {
+                    generation,
                     payload: Box::new(data),
                 });
         }
@@ -274,25 +434,60 @@ impl Rank {
         self.send(dst, tag, data);
     }
 
-    /// Blocking receive of a `Vec<T>` from `src` under `tag`.
+    /// Blocking receive of a `Vec<T>` from (virtual) rank `src` under `tag`.
     pub fn recv<T: Send + 'static>(&self, src: usize, tag: u64) -> Result<Vec<T>, CommError> {
-        assert!(src < self.shared.n, "recv from invalid rank {src}");
+        self.recv_impl(src, tag, self.shared.recv_timeout)
+    }
+
+    /// Blocking receive with an explicit overall deadline instead of the
+    /// world's `recv_timeout`. The membership-agreement control plane uses
+    /// this to give slow-but-alive peers a wider window than data traffic.
+    pub fn recv_within<T: Send + 'static>(
+        &self,
+        src: usize,
+        tag: u64,
+        deadline: Duration,
+    ) -> Result<Vec<T>, CommError> {
+        self.recv_impl(src, tag, deadline)
+    }
+
+    fn recv_impl<T: Send + 'static>(
+        &self,
+        src: usize,
+        tag: u64,
+        deadline: Duration,
+    ) -> Result<Vec<T>, CommError> {
+        assert!(src < self.size(), "recv from invalid rank {src}");
+        let src = self.phys(src);
+        let my_gen = self.gen.load(Ordering::Relaxed);
         // Timeline start: the blocking window (including condvar waits) is
         // the coupler stall time the trace makes visible.
         let t_rec = self.shared.events.is_enabled().then(trace_now_us);
+        let t0 = Instant::now();
         let mailbox = &self.shared.mailboxes[self.id];
         let msg = {
             let mut inner = mailbox.inner.lock();
             'wait: loop {
                 if let Some(queue) = inner.queues.get_mut(&(src, tag)) {
-                    if let Some(msg) = queue.pop_front() {
-                        break 'wait msg;
+                    // Discard stale-generation messages instead of
+                    // misdelivering pre-shrink traffic into the new world; a
+                    // future-generation message stays queued until this rank
+                    // catches up (it will, via the same vote the sender took).
+                    while let Some(front) = queue.front() {
+                        if front.generation < my_gen {
+                            queue.pop_front();
+                            self.shared.stats.record_stale();
+                        } else {
+                            break;
+                        }
+                    }
+                    if queue.front().is_some_and(|m| m.generation == my_gen) {
+                        break 'wait queue.pop_front().expect("non-empty queue");
                     }
                 }
-                if mailbox
-                    .notify
-                    .wait_for(&mut inner, self.shared.recv_timeout)
-                    .timed_out()
+                let remaining = deadline.saturating_sub(t0.elapsed());
+                if remaining.is_zero()
+                    || mailbox.notify.wait_for(&mut inner, remaining).timed_out()
                 {
                     if let Some(ts) = t_rec {
                         // The timed-out wait is itself a timeline event: a
@@ -357,15 +552,47 @@ impl Rank {
         n
     }
 
+    /// Discard only messages from generations older than this rank's —
+    /// post-shrink hygiene that must *not* touch new-generation traffic a
+    /// faster survivor may already have sent. Returns the number dropped.
+    pub fn drain_stale(&self) -> usize {
+        let my_gen = self.gen.load(Ordering::Relaxed);
+        let mailbox = &self.shared.mailboxes[self.id];
+        let mut inner = mailbox.inner.lock();
+        let mut dropped = 0usize;
+        for queue in inner.queues.values_mut() {
+            let before = queue.len();
+            queue.retain(|m| m.generation >= my_gen);
+            dropped += before - queue.len();
+        }
+        for _ in 0..dropped {
+            self.shared.stats.record_stale();
+        }
+        dropped
+    }
+
     /// Non-blocking receive returning `None` when no message is queued yet.
     pub fn try_recv<T: Send + 'static>(
         &self,
         src: usize,
         tag: u64,
     ) -> Option<Result<Vec<T>, CommError>> {
+        let src = self.phys(src);
+        let my_gen = self.gen.load(Ordering::Relaxed);
         let mailbox = &self.shared.mailboxes[self.id];
         let mut inner = mailbox.inner.lock();
         let queue = inner.queues.get_mut(&(src, tag))?;
+        while let Some(front) = queue.front() {
+            if front.generation < my_gen {
+                queue.pop_front();
+                self.shared.stats.record_stale();
+            } else {
+                break;
+            }
+        }
+        if queue.front().is_none_or(|m| m.generation != my_gen) {
+            return None;
+        }
         let msg = queue.pop_front()?;
         Some(msg.payload.downcast::<Vec<T>>().map(|b| *b).map_err(|_| {
             CommError::TypeMismatch {
@@ -388,8 +615,16 @@ impl Rank {
         }
     }
 
-    /// Global synchronisation across every rank of the world.
+    /// Global synchronisation across every rank of the current membership.
+    /// With the identity view this is the shared counting barrier (blocks
+    /// indefinitely, exactly the pre-shrink behaviour); under a shrunk view
+    /// it disseminates over the survivors and panics on timeout — recovery
+    /// code that must survive a peer death uses [`Rank::try_barrier`].
     pub fn barrier(&self) {
+        if self.shrunk.load(Ordering::Relaxed) {
+            self.dissemination_barrier().expect("barrier on shrunk world");
+            return;
+        }
         let shared = &self.shared;
         let mut state = shared.barrier.lock();
         let gen = state.generation;
@@ -401,6 +636,167 @@ impl Rank {
         } else {
             while state.generation == gen {
                 shared.barrier_cv.wait(&mut state);
+            }
+        }
+    }
+
+    /// Timeout-aware barrier: like [`Rank::barrier`] but a member that never
+    /// arrives surfaces as `CommError::Deadlock` instead of a hang. On
+    /// timeout this rank withdraws its arrival, so a later barrier does not
+    /// observe a phantom participant.
+    pub fn try_barrier(&self) -> Result<(), CommError> {
+        if self.shrunk.load(Ordering::Relaxed) {
+            return self.dissemination_barrier();
+        }
+        let shared = &self.shared;
+        let mut state = shared.barrier.lock();
+        let gen = state.generation;
+        state.arrived += 1;
+        if state.arrived == shared.n {
+            state.arrived = 0;
+            state.generation += 1;
+            shared.barrier_cv.notify_all();
+            return Ok(());
+        }
+        let t0 = Instant::now();
+        while state.generation == gen {
+            let remaining = shared.recv_timeout.saturating_sub(t0.elapsed());
+            let timed_out = remaining.is_zero()
+                || shared.barrier_cv.wait_for(&mut state, remaining).timed_out();
+            if timed_out && state.generation == gen {
+                state.arrived -= 1;
+                return Err(CommError::Deadlock {
+                    rank: self.id,
+                    waiting: vec![],
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Dissemination barrier over the current (shrunk) membership: log₂(M)
+    /// point-to-point rounds, each with the world's recv deadline, under a
+    /// per-call tag sequence so back-to-back barriers never alias.
+    fn dissemination_barrier(&self) -> Result<(), CommError> {
+        let n = self.size();
+        let me = self.id();
+        let seq = self.barrier_seq.fetch_add(1, Ordering::Relaxed);
+        let mut round = 1usize;
+        let mut round_ix = 0u64;
+        while round < n {
+            let dst = (me + round) % n;
+            let src = (me + n - round % n) % n;
+            let tag = TAG_VIEW_BARRIER + seq * 64 + round_ix;
+            self.send::<u8>(dst, tag, vec![]);
+            self.recv_within::<u8>(src, tag, self.shared.recv_timeout)?;
+            round <<= 1;
+            round_ix += 1;
+        }
+        Ok(())
+    }
+
+    /// Agree on who is still alive after a failed collective, and — if
+    /// anyone is permanently gone — on the successor membership.
+    ///
+    /// Every *current* member must call this (it is itself a collective).
+    /// Virtual rank 0 coordinates: each other member sends a vote naming the
+    /// rank it blames (or `None`), and the vote doubles as a liveness poll —
+    /// a member that does not answer within the window is declared dead.
+    /// If everyone answers, the failure was transient and the verdict is
+    /// [`MembershipVerdict::AllAlive`]; otherwise the survivors' new
+    /// membership (generation + 1) is distributed and installed on this rank
+    /// before returning [`MembershipVerdict::Shrink`].
+    ///
+    /// An evicted-but-alive rank (one the coordinator timed out on) never
+    /// receives a verdict and gets `Err(Deadlock)` — a structured outcome
+    /// the caller turns into a clean failure, never a hang.
+    ///
+    /// The window is sized in units of the world's `recv_timeout`: peers
+    /// enter the vote after suffering up to a few timed-out collective legs
+    /// themselves, so the poll must out-wait that skew.
+    pub fn membership_vote(
+        &self,
+        blamed: Option<usize>,
+    ) -> Result<MembershipVerdict, CommError> {
+        let n = self.size();
+        let me = self.id();
+        let window = self.shared.recv_timeout * 4;
+        if n == 1 {
+            return Ok(MembershipVerdict::AllAlive);
+        }
+        if me == 0 {
+            let mut dead_virtual: Vec<usize> = Vec::new();
+            let mut blames: Vec<(usize, i64)> = Vec::new();
+            for m in 1..n {
+                match self.recv_within::<i64>(m, TAG_VOTE, window) {
+                    Ok(vote) => {
+                        if let Some(&b) = vote.first().filter(|&&b| b >= 0) {
+                            blames.push((m, b));
+                        }
+                    }
+                    Err(_) => dead_virtual.push(m),
+                }
+            }
+            if let Some(b) = blamed {
+                blames.push((0, b as i64));
+            }
+            if dead_virtual.is_empty() {
+                for m in 1..n {
+                    self.send::<i64>(m, TAG_VERDICT, vec![0]);
+                }
+                return Ok(MembershipVerdict::AllAlive);
+            }
+            let members: Vec<usize> = (0..n)
+                .filter(|v| !dead_virtual.contains(v))
+                .map(|v| self.phys(v))
+                .collect();
+            let dead_world: Vec<usize> =
+                dead_virtual.iter().map(|&v| self.phys(v)).collect();
+            eprintln!(
+                "[comm] membership vote: rank(s) {dead_world:?} unresponsive \
+                 (blamed: {blames:?}); shrinking to {members:?}"
+            );
+            let membership = Membership {
+                generation: self.generation() + 1,
+                members,
+            };
+            let mut verdict: Vec<i64> = vec![1, membership.generation as i64];
+            verdict.extend(membership.members.iter().map(|&m| m as i64));
+            // Send verdicts before installing: they must carry the *old*
+            // generation stamp so survivors still in the old world accept
+            // them. Dead ranks get nothing.
+            for m in 1..n {
+                if !dead_virtual.contains(&m) {
+                    self.send::<i64>(m, TAG_VERDICT, verdict.clone());
+                }
+            }
+            self.install_membership(&membership);
+            Ok(MembershipVerdict::Shrink(membership))
+        } else {
+            let vote = vec![blamed.map(|b| b as i64).unwrap_or(-1)];
+            self.send::<i64>(0, TAG_VOTE, vote);
+            // The coordinator polls up to n-1 members sequentially, each
+            // with its own window — wait out the worst case plus slack.
+            let verdict_window = window * (n as u32 + 1);
+            let verdict = self.recv_within::<i64>(0, TAG_VERDICT, verdict_window)?;
+            match verdict.first() {
+                Some(0) => Ok(MembershipVerdict::AllAlive),
+                Some(1) => {
+                    let generation = verdict[1] as u64;
+                    let members: Vec<usize> =
+                        verdict[2..].iter().map(|&m| m as usize).collect();
+                    let membership = Membership {
+                        generation,
+                        members,
+                    };
+                    self.install_membership(&membership);
+                    Ok(MembershipVerdict::Shrink(membership))
+                }
+                _ => Err(CommError::TypeMismatch {
+                    rank: self.id,
+                    src: 0,
+                    tag: TAG_VERDICT,
+                }),
             }
         }
     }
@@ -739,6 +1135,186 @@ mod tests {
         });
         assert!(world.comm_events().is_empty(0));
         assert!(world.comm_events().is_empty(1));
+    }
+
+    #[test]
+    fn shrunk_view_translates_ranks_and_rejects_stale() {
+        let world = World::new(3);
+        let stale_seen = world.run(|rank| {
+            let m = Membership {
+                generation: 1,
+                members: vec![0, 1],
+            };
+            match rank.world_id() {
+                0 => {
+                    // Pre-shrink message that must never be delivered into
+                    // the new generation.
+                    rank.send(1, 5, vec![111u32]);
+                    rank.barrier();
+                    rank.install_membership(&m);
+                    assert_eq!((rank.id(), rank.size()), (0, 2));
+                    rank.send(1, 5, vec![222u32]);
+                    0
+                }
+                1 => {
+                    rank.barrier();
+                    rank.install_membership(&m);
+                    assert_eq!((rank.id(), rank.size()), (1, 2));
+                    assert_eq!(rank.world_id(), 1);
+                    assert_eq!(rank.generation(), 1);
+                    // The gen-0 [111] at the queue head is discarded, the
+                    // gen-1 [222] behind it is delivered.
+                    assert_eq!(rank.recv::<u32>(0, 5).unwrap(), vec![222]);
+                    rank.stats().stale_messages()
+                }
+                _ => {
+                    // The "dead" rank: participates in the last gen-0
+                    // barrier, then exits.
+                    rank.barrier();
+                    0
+                }
+            }
+        });
+        assert_eq!(stale_seen[1], 1);
+    }
+
+    #[test]
+    fn shrunk_view_maps_non_contiguous_survivors() {
+        // Kill the middle rank: virtual 1 must become physical 2.
+        let world = World::new(3);
+        world.run(|rank| {
+            let m = Membership {
+                generation: 1,
+                members: vec![0, 2],
+            };
+            match rank.world_id() {
+                0 => {
+                    rank.barrier();
+                    rank.install_membership(&m);
+                    rank.send(1, 9, vec![7u8]); // virtual 1 → physical 2
+                    assert_eq!(rank.recv::<u8>(1, 10).unwrap(), vec![8]);
+                }
+                2 => {
+                    rank.barrier();
+                    rank.install_membership(&m);
+                    assert_eq!((rank.id(), rank.size(), rank.world_id()), (1, 2, 2));
+                    assert_eq!(rank.recv::<u8>(0, 9).unwrap(), vec![7]);
+                    rank.send(0, 10, vec![8u8]);
+                    // The dissemination barrier works over the virtual world.
+                    rank.try_barrier().unwrap();
+                }
+                _ => {
+                    rank.barrier();
+                }
+            }
+            if rank.world_id() == 0 {
+                rank.try_barrier().unwrap();
+            }
+        });
+    }
+
+    #[test]
+    fn future_generation_messages_stay_queued_until_catchup() {
+        let world = World::new(2);
+        world.run(|rank| {
+            let m = Membership {
+                generation: 1,
+                members: vec![0, 1],
+            };
+            if rank.world_id() == 0 {
+                rank.send(1, 5, vec![111u32]);
+                rank.install_membership(&m);
+                rank.send(1, 5, vec![222u32]);
+            } else {
+                // Still at gen 0: the gen-0 message is deliverable...
+                let first = loop {
+                    if let Some(got) = rank.try_recv::<u32>(0, 5) {
+                        break got.unwrap();
+                    }
+                    std::thread::sleep(Duration::from_millis(1));
+                };
+                assert_eq!(first, vec![111]);
+                // ...but the gen-1 message is not (left queued, not dropped).
+                std::thread::sleep(Duration::from_millis(20));
+                assert!(rank.try_recv::<u32>(0, 5).is_none());
+                rank.install_membership(&m);
+                assert_eq!(rank.recv::<u32>(0, 5).unwrap(), vec![222]);
+                assert_eq!(rank.stats().stale_messages(), 0);
+            }
+        });
+    }
+
+    #[test]
+    fn try_barrier_times_out_and_withdraws_arrival() {
+        let world = World::new(2).with_recv_timeout(Duration::from_millis(40));
+        world.run(|rank| {
+            if rank.world_id() == 0 {
+                // Partner is late: first attempt must fail, not hang.
+                let err = rank.try_barrier().unwrap_err();
+                assert!(matches!(err, CommError::Deadlock { rank: 0, .. }));
+                // The withdrawn arrival lets a later barrier pair up cleanly.
+                rank.try_barrier().unwrap();
+            } else {
+                std::thread::sleep(Duration::from_millis(80));
+                rank.try_barrier().unwrap();
+            }
+        });
+    }
+
+    #[test]
+    fn recv_within_enforces_its_own_deadline() {
+        let world = World::new(2); // default (long) recv_timeout
+        world.run(|rank| {
+            if rank.world_id() == 1 {
+                let t0 = std::time::Instant::now();
+                let err = rank
+                    .recv_within::<u8>(0, 3, Duration::from_millis(30))
+                    .unwrap_err();
+                assert!(matches!(err, CommError::Deadlock { .. }));
+                assert!(t0.elapsed() < Duration::from_secs(5));
+            }
+        });
+    }
+
+    #[test]
+    fn membership_vote_all_alive_when_everyone_answers() {
+        let world = World::new(3).with_recv_timeout(Duration::from_millis(100));
+        let verdicts = world.run(|rank| {
+            let v = rank
+                .membership_vote(if rank.world_id() == 1 { Some(2) } else { None })
+                .unwrap();
+            assert_eq!(rank.generation(), 0); // no shrink installed
+            v
+        });
+        assert!(verdicts.iter().all(|v| *v == MembershipVerdict::AllAlive));
+    }
+
+    #[test]
+    fn membership_vote_shrinks_around_a_dead_rank() {
+        let world = World::new(4).with_recv_timeout(Duration::from_millis(60));
+        let out = world.run(|rank| {
+            if rank.world_id() == 2 {
+                return None; // permanently dead: never votes
+            }
+            let verdict = rank.membership_vote(Some(2)).unwrap();
+            let MembershipVerdict::Shrink(m) = verdict else {
+                panic!("expected shrink, got {verdict:?}");
+            };
+            assert_eq!(m.members, vec![0, 1, 3]);
+            assert_eq!(m.generation, 1);
+            assert_eq!(rank.generation(), 1);
+            // The shrunk world is immediately usable: ring exchange over
+            // virtual ranks.
+            rank.drain_stale();
+            rank.try_barrier().unwrap();
+            let n = rank.size();
+            let me = rank.id();
+            rank.send((me + 1) % n, 77, vec![me as u64]);
+            let got = rank.recv::<u64>((me + n - 1) % n, 77).unwrap();
+            assert_eq!(got, vec![((me + n - 1) % n) as u64]);
+            Some(rank.world_id())
+        });
+        assert_eq!(out, vec![Some(0), Some(1), None, Some(3)]);
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! The global segment map (MCT `GlobalSegMap` analogue): which rank owns
 //! which contiguous runs of the global index space.
 
+use ap3esm_grid::decomp::BlockDecomp2d;
 use serde::{Deserialize, Serialize};
 
 /// One contiguous run of global indices owned by a rank.
@@ -91,6 +92,28 @@ impl GSMap {
         };
         map.validate().expect("owners produced invalid map");
         map
+    }
+
+    /// Build the map of a 2-D block decomposition laid j-major over
+    /// `0..nlon*nlat`, with block `r` owned by rank `rank_offset + r`
+    /// (the two-task-domain layout puts the coupler on rank 0 and ocean
+    /// block `r` on rank `1 + r`).
+    ///
+    /// This is the single code path for ocean ownership: the initial
+    /// layout and the shrink-to-fit re-decomposition after permanent rank
+    /// loss both call it, so a degraded M-rank world and a fresh M-rank
+    /// run get bit-identical segment tables.
+    pub fn from_block2d(decomp: &BlockDecomp2d, nranks: usize, rank_offset: usize) -> Self {
+        let mut owners = vec![0usize; decomp.nlon * decomp.nlat];
+        for r in 0..decomp.nranks() {
+            let b = decomp.block(r);
+            for j in b.j0..b.j1 {
+                for i in b.i0..b.i1 {
+                    owners[j * decomp.nlon + i] = rank_offset + r;
+                }
+            }
+        }
+        Self::from_owners(&owners, nranks)
     }
 
     /// Check the invariant: sorted, disjoint, complete coverage.
@@ -241,6 +264,37 @@ mod tests {
         assert_eq!(m.local_indices(0), vec![0, 1, 5]);
         assert_eq!(m.local_indices(1), vec![2, 3, 4]);
         assert_eq!(m.local_indices(2), vec![6, 7]);
+    }
+
+    #[test]
+    fn block2d_map_matches_block_rectangles() {
+        let decomp = BlockDecomp2d::new(8, 6, 2, 2);
+        let m = GSMap::from_block2d(&decomp, 5, 1);
+        m.validate().unwrap();
+        assert_eq!(m.nglobal, 48);
+        assert_eq!(m.local_size(0), 0, "rank 0 is the coupler, owns nothing");
+        for r in 0..decomp.nranks() {
+            let b = decomp.block(r);
+            assert_eq!(m.local_size(1 + r), b.ncols());
+            for j in b.j0..b.j1 {
+                for i in b.i0..b.i1 {
+                    assert_eq!(m.owner_of(j * 8 + i), 1 + r);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn block2d_redecomposition_shrinks_cleanly() {
+        // Same grid, fewer ranks: still valid, still covers everything —
+        // the shrink path after permanent rank loss relies on this.
+        let m4 = GSMap::from_block2d(&BlockDecomp2d::auto(36, 24, 4), 5, 1);
+        let m3 = GSMap::from_block2d(&BlockDecomp2d::auto(36, 24, 3), 4, 1);
+        m4.validate().unwrap();
+        m3.validate().unwrap();
+        assert_eq!(m4.nglobal, m3.nglobal);
+        assert_eq!((1..5).map(|r| m4.local_size(r)).sum::<usize>(), 36 * 24);
+        assert_eq!((1..4).map(|r| m3.local_size(r)).sum::<usize>(), 36 * 24);
     }
 
     #[test]

@@ -76,9 +76,17 @@ impl Rearranger {
     /// collective, then point-to-point), for per-phase byte attribution via
     /// [`ap3esm_comm::CommStats::tag_traffic`].
     pub fn wire_tags(&self) -> [u64; 2] {
+        Self::wire_tags_for(self.tag)
+    }
+
+    /// [`Rearranger::wire_tags`] from the user tag alone — the wire tags
+    /// depend only on the tag, not the layout, so traffic attribution
+    /// stays possible after the rearranger itself is gone (e.g. a report
+    /// built after a shrink rebuilt the coupler's rearrangers).
+    pub fn wire_tags_for(tag: u64) -> [u64; 2] {
         [
-            ap3esm_comm::collectives::alltoall_wire_tag(self.tag),
-            P2P_TAG_BASE + self.tag,
+            ap3esm_comm::collectives::alltoall_wire_tag(tag),
+            P2P_TAG_BASE + tag,
         ]
     }
 

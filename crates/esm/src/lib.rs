@@ -33,7 +33,7 @@ pub use config::{CoupledConfig, Resolution};
 pub use coupled::{run_coupled, CoupledOptions, CoupledStats};
 pub use forecast::{run_forecast, run_forecast_with, ForecastResult};
 pub use resilience::{
-    AtmGuard, CheckpointStore, GuardConfig, HealthVerdict, OcnGuard, RecoveryConfig,
-    RecoveryFailure,
+    retry_delay, AtmGuard, CheckpointStore, GuardConfig, HealthVerdict, OcnGuard,
+    RecoveryConfig, RecoveryFailure,
 };
 pub use timing::{get_timing, Timers};

@@ -297,9 +297,16 @@ pub struct RecoveryConfig {
     pub keep_checkpoints: usize,
     /// Rollbacks allowed before the run fails with [`RecoveryFailure`].
     pub max_recoveries: usize,
+    /// Shrink-to-fit world reconstructions allowed after permanent rank
+    /// loss before the run fails with [`RecoveryFailure`] (each shrink
+    /// loses resolution of the process mesh; at some point continuing
+    /// degrades the science more than stopping does).
+    pub max_shrinks: usize,
     /// Retries for transient checkpoint-I/O / comm operations.
     pub retries: u32,
-    /// Base backoff between retries (grows linearly with the attempt).
+    /// Base backoff between retries (grows exponentially with the
+    /// attempt, capped, with deterministic seeded jitter — see
+    /// [`retry_delay`]).
     pub backoff: Duration,
 }
 
@@ -309,6 +316,7 @@ impl Default for RecoveryConfig {
             checkpoint_interval: 2,
             keep_checkpoints: 2,
             max_recoveries: 3,
+            max_shrinks: 1,
             retries: 3,
             backoff: Duration::from_millis(20),
         }
@@ -338,14 +346,56 @@ impl fmt::Display for RecoveryFailure {
 
 impl std::error::Error for RecoveryFailure {}
 
-/// Retry `f` up to `retries` extra times with linearly growing backoff.
-/// Each retry is recorded on the `resilience.retries` counter.
+/// Exponential growth cap: backoff never exceeds `base × 2^RETRY_CAP_DOUBLINGS`.
+const RETRY_CAP_DOUBLINGS: u32 = 4;
+
+/// splitmix64: a tiny, statistically solid mixer — the standard trick for
+/// turning a seed into decorrelated per-draw values without carrying RNG
+/// state around.
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// FNV-1a of the retry label: a stable (cross-version, cross-run) seed so
+/// jitter is reproducible for a given label without changing the
+/// [`with_retry`] signature.
+fn label_seed(label: &str) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for b in label.bytes() {
+        h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Backoff before retry `attempt` (1-based): capped exponential
+/// `base × 2^(attempt−1)` (cap at `2^RETRY_CAP_DOUBLINGS` doublings) plus
+/// deterministic jitter of up to half that span, drawn from
+/// `splitmix64(seed, attempt)`. Distinct seeds (labels, ranks) spread
+/// retry storms apart — thundering-herd safe — while the same seed
+/// reproduces the exact schedule in tests.
+pub fn retry_delay(base: Duration, attempt: u32, seed: u64) -> Duration {
+    let doublings = attempt.saturating_sub(1).min(RETRY_CAP_DOUBLINGS);
+    let exp = base * (1u32 << doublings);
+    let frac = (splitmix64(seed.wrapping_add(attempt as u64)) >> 11) as f64
+        / (1u64 << 53) as f64;
+    exp + Duration::from_secs_f64(exp.as_secs_f64() * 0.5 * frac)
+}
+
+/// Retry `f` up to `retries` extra times with capped exponential backoff
+/// and deterministic label-seeded jitter ([`retry_delay`]). Each retry is
+/// recorded on the `resilience.retries` counter. Callers retrying the
+/// same operation on many ranks should put the rank in the label so their
+/// jitter decorrelates.
 pub fn with_retry<T, E: fmt::Display>(
     label: &str,
     retries: u32,
     backoff: Duration,
     mut f: impl FnMut() -> Result<T, E>,
 ) -> Result<T, E> {
+    let seed = label_seed(label);
     let mut attempt = 0u32;
     loop {
         match f() {
@@ -354,7 +404,7 @@ pub fn with_retry<T, E: fmt::Display>(
                 attempt += 1;
                 ap3esm_obs::counter_add("resilience.retries", 1);
                 eprintln!("[resilience] retry {attempt}/{retries} of {label}: {e}");
-                std::thread::sleep(backoff * attempt);
+                std::thread::sleep(retry_delay(backoff, attempt, seed));
             }
             Err(e) => return Err(e),
         }
@@ -649,5 +699,31 @@ mod tests {
         let out: Result<(), _> =
             with_retry("always-fails", 2, Duration::from_millis(1), || Err("nope"));
         assert_eq!(out, Err("nope"));
+    }
+
+    #[test]
+    fn retry_delay_is_capped_exponential_with_deterministic_jitter() {
+        let base = Duration::from_millis(20);
+        // Reproducible: the same (base, attempt, seed) gives the same delay.
+        assert_eq!(retry_delay(base, 1, 7), retry_delay(base, 1, 7));
+        // Exponential envelope with ≤ 50% jitter on top.
+        for attempt in 1..=8u32 {
+            let d = retry_delay(base, attempt, 7);
+            let doublings = (attempt - 1).min(RETRY_CAP_DOUBLINGS);
+            let exp = base * (1 << doublings);
+            assert!(d >= exp, "attempt {attempt}: {d:?} < envelope {exp:?}");
+            assert!(
+                d <= exp + exp / 2 + Duration::from_nanos(1),
+                "attempt {attempt}: {d:?} beyond jitter span"
+            );
+        }
+        // The cap holds: far attempts stop doubling.
+        assert!(retry_delay(base, 30, 7) <= base * (1 << RETRY_CAP_DOUBLINGS) * 3 / 2);
+        // Thundering-herd safety: different seeds give different jitter.
+        assert_ne!(retry_delay(base, 2, 1), retry_delay(base, 2, 2));
+        // And attempts draw fresh jitter, not a repeated offset.
+        let j1 = retry_delay(base, 1, 9) - base;
+        let j2 = retry_delay(base, 2, 9) - base * 2;
+        assert_ne!(j1 * 2, j2);
     }
 }

@@ -8,6 +8,8 @@
 use std::path::Path;
 
 use ap3esm_atm::state::AtmState;
+use ap3esm_grid::decomp::BlockDecomp2d;
+use ap3esm_grid::tripolar::TripolarGrid;
 use ap3esm_io::subfile::{SubfileReader, SubfileWriter};
 use ap3esm_io::IoError;
 use ap3esm_ocn::state::OcnState;
@@ -112,6 +114,113 @@ pub fn read_ocn_restart(dir: &Path, state: &mut OcnState, rank: usize) -> Result
         state.s[k] = read_checked(dir, &tag(&format!("s{k}")), &[slab])?;
         state.u[k] = read_checked(dir, &tag(&format!("u{k}")), &[slab])?;
         state.v[k] = read_checked(dir, &tag(&format!("v{k}")), &[slab])?;
+    }
+    Ok(())
+}
+
+/// Reassemble a global `nlat × nlon` field (j-major) from the old
+/// decomposition's per-rank slabs of a checkpoint directory.
+fn assemble_global(
+    src: &Path,
+    grid: &TripolarGrid,
+    old_decomp: &BlockDecomp2d,
+    name: &str,
+) -> Result<Vec<f64>, IoError> {
+    let mut global = vec![0.0f64; grid.nlon * grid.nlat];
+    for r in 0..old_decomp.nranks() {
+        let b = old_decomp.block(r);
+        let stride = b.ni() + 2;
+        let slab = (b.nj() + 2) * stride;
+        let data = read_checked(src, &format!("ocn_r{r}_{name}"), &[slab])?;
+        for j in 0..b.nj() {
+            for i in 0..b.ni() {
+                global[(b.j0 + j) * grid.nlon + (b.i0 + i)] = data[(j + 1) * stride + (i + 1)];
+            }
+        }
+    }
+    Ok(global)
+}
+
+/// Redistribute an ocean restart written under `old_decomp` (N ocean
+/// ranks) into `dst` under `new_decomp` (M < N ocean ranks) — the
+/// shrink-to-fit step after permanent rank loss. Interior cells are
+/// reassembled globally from the old per-rank slabs and re-sliced along
+/// the new block boundaries; ghost cells are refilled with the same
+/// periodic/clamped mapping a halo exchange would produce, so the new
+/// slabs are self-consistent without a warm-up exchange.
+///
+/// Every non-ocean file of the checkpoint (atmosphere fields, coupler
+/// metadata) is copied verbatim, so `dst` is a complete, self-contained
+/// checkpoint: the degraded continuation and a fresh M-rank reference run
+/// both restart from these exact bytes — which is what makes their
+/// trajectories comparable bitwise.
+pub fn redistribute_ocn_restart(
+    src: &Path,
+    dst: &Path,
+    grid: &TripolarGrid,
+    old_decomp: &BlockDecomp2d,
+    new_decomp: &BlockDecomp2d,
+) -> Result<(), IoError> {
+    std::fs::create_dir_all(dst)?;
+
+    // Copy everything that is not a per-rank ocean slab verbatim.
+    for entry in std::fs::read_dir(src)? {
+        let entry = entry?;
+        let fname = entry.file_name();
+        let fname = fname.to_string_lossy();
+        if entry.file_type()?.is_file() && !fname.starts_with("ocn_r") {
+            std::fs::copy(entry.path(), dst.join(fname.as_ref()))?;
+        }
+    }
+
+    // Field names: barotropic slabs plus per-level baroclinic slabs.
+    let mut names = vec!["eta".to_string(), "ubar".to_string(), "vbar".to_string()];
+    for k in 0..grid.nlev {
+        for f in ["t", "s", "u", "v"] {
+            names.push(format!("{f}{k}"));
+        }
+    }
+
+    // Assemble each field once, then write every new rank's re-sliced
+    // slab. The base state supplies ghost rows outside the global domain
+    // (solid walls a halo exchange never writes).
+    let bases: Vec<OcnState> = (0..new_decomp.nranks())
+        .map(|r| OcnState::new(grid, new_decomp, r))
+        .collect();
+    for name in &names {
+        let global = assemble_global(src, grid, old_decomp, name)?;
+        for (r, base) in bases.iter().enumerate() {
+            let b = base.block;
+            let stride = base.stride;
+            let mut slab = match name.as_str() {
+                "eta" => base.eta.clone(),
+                "ubar" => base.ubar.clone(),
+                "vbar" => base.vbar.clone(),
+                _ => {
+                    let (f, k) = name.split_at(1);
+                    let k: usize = k.parse().expect("level suffix");
+                    match f {
+                        "t" => base.t[k].clone(),
+                        "s" => base.s[k].clone(),
+                        "u" => base.u[k].clone(),
+                        _ => base.v[k].clone(),
+                    }
+                }
+            };
+            for jj in 0..base.nj + 2 {
+                let outside = (jj == 0 && b.j0 == 0) || (jj == base.nj + 1 && b.j1 == grid.nlat);
+                if outside {
+                    continue;
+                }
+                let gj = (b.j0 + jj).saturating_sub(1).min(grid.nlat - 1);
+                for ii in 0..base.ni + 2 {
+                    let gi = (b.i0 + grid.nlon + ii - 1) % grid.nlon;
+                    slab[jj * stride + ii] = global[gj * grid.nlon + gi];
+                }
+            }
+            SubfileWriter::new(dst, &format!("ocn_r{r}_{name}"), &[slab.len()], RESTART_SUBFILES)
+                .write_all(&slab)?;
+        }
     }
     Ok(())
 }
@@ -268,6 +377,73 @@ mod tests {
             Err(IoError::Inconsistent(_))
         ));
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn redistribution_preserves_global_fields_bitwise() {
+        // 4 ocean ranks (2×2) shrink to 3 (3×1): every interior cell must
+        // land bit-exact, ghosts must follow the periodic halo mapping,
+        // and non-ocean checkpoint files must ride along verbatim.
+        let grid = TripolarGrid::new(36, 24, 3, MaskGenerator::default());
+        let old = BlockDecomp2d::new(36, 24, 2, 2);
+        let new = BlockDecomp2d::new(36, 24, 3, 1);
+        let src = tmpdir("redist-src");
+        let dst = tmpdir("redist-dst");
+        let gfun = |gi: usize, gj: usize, f: usize| (gi * 1000 + gj * 16 + f) as f64 * 0.125 + 0.5;
+        for r in 0..old.nranks() {
+            let mut st = OcnState::new(&grid, &old, r);
+            for j in 0..st.nj {
+                for i in 0..st.ni {
+                    let (gi, gj) = (st.block.i0 + i, st.block.j0 + j);
+                    let idx = st.at(i, j);
+                    st.eta[idx] = gfun(gi, gj, 0);
+                    st.ubar[idx] = gfun(gi, gj, 1);
+                    st.vbar[idx] = gfun(gi, gj, 2);
+                    for k in 0..grid.nlev {
+                        st.t[k][idx] = gfun(gi, gj, 3 + 4 * k);
+                        st.s[k][idx] = gfun(gi, gj, 4 + 4 * k);
+                        st.u[k][idx] = gfun(gi, gj, 5 + 4 * k);
+                        st.v[k][idx] = gfun(gi, gj, 6 + 4 * k);
+                    }
+                }
+            }
+            write_ocn_restart(&src, &st, r).unwrap();
+        }
+        std::fs::write(src.join("cpl_meta.00000.a3f"), b"meta-bytes").unwrap();
+        redistribute_ocn_restart(&src, &dst, &grid, &old, &new).unwrap();
+        assert_eq!(
+            std::fs::read(dst.join("cpl_meta.00000.a3f")).unwrap(),
+            b"meta-bytes",
+            "non-ocean checkpoint files must be copied verbatim"
+        );
+        for r in 0..new.nranks() {
+            let mut st = OcnState::new(&grid, &new, r);
+            read_ocn_restart(&dst, &mut st, r).unwrap();
+            for j in 0..st.nj {
+                for i in 0..st.ni {
+                    let (gi, gj) = (st.block.i0 + i, st.block.j0 + j);
+                    let idx = st.at(i, j);
+                    assert_eq!(st.eta[idx].to_bits(), gfun(gi, gj, 0).to_bits());
+                    assert_eq!(st.vbar[idx].to_bits(), gfun(gi, gj, 2).to_bits());
+                    for k in 0..grid.nlev {
+                        assert_eq!(st.t[k][idx].to_bits(), gfun(gi, gj, 3 + 4 * k).to_bits());
+                        assert_eq!(st.v[k][idx].to_bits(), gfun(gi, gj, 6 + 4 * k).to_bits());
+                    }
+                }
+            }
+            // West ghost column carries the zonally periodic neighbour.
+            let gi_w = (st.block.i0 + grid.nlon - 1) % grid.nlon;
+            for jj in 1..=st.nj {
+                let gj = st.block.j0 + jj - 1;
+                assert_eq!(
+                    st.eta[jj * st.stride].to_bits(),
+                    gfun(gi_w, gj, 0).to_bits(),
+                    "ghost fill must match the halo-exchange mapping"
+                );
+            }
+        }
+        std::fs::remove_dir_all(&src).unwrap();
+        std::fs::remove_dir_all(&dst).unwrap();
     }
 
     #[test]

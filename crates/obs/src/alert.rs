@@ -180,12 +180,15 @@ pub fn parse_rules(text: &str) -> Result<Vec<Rule>, String> {
 }
 
 /// Built-in simulation SLO rules (SYPD collapse, imbalance drift,
-/// health-guard Degraded streak).
+/// health-guard Degraded streak, degraded-mode entry after permanent rank
+/// loss — `sim.degraded_ranks` goes positive the moment the world shrinks,
+/// so one sample is enough to page on).
 pub fn sim_rules() -> Vec<Rule> {
     parse_rules(
         "sypd-collapse: sim.sypd deviates_below 0.5 over 8 for 2\n\
          imbalance-drift: sim.imbalance deviates_above 1.4 over 16 for 3\n\
-         degraded-streak: resilience.guard_degraded.rate above 0 for 3\n",
+         degraded-streak: resilience.guard_degraded.rate above 0 for 3\n\
+         degraded-mode: sim.degraded_ranks above 0 for 1\n",
     )
     .expect("built-in sim rules")
 }
@@ -604,7 +607,9 @@ mod tests {
 
     #[test]
     fn builtin_rule_sets_parse() {
-        assert_eq!(sim_rules().len(), 3);
+        let sim = sim_rules();
+        assert_eq!(sim.len(), 4);
+        assert_eq!(sim[3].series, "sim.degraded_ranks");
         let serve = serve_rules(2.0e6, 0.05);
         assert_eq!(serve.len(), 2);
         assert_eq!(serve[0].series, "serve.latency_us.p95");

@@ -25,6 +25,10 @@ pub enum ServeError {
     BadRequest(String),
     /// A background forecast job failed.
     JobFailed(String),
+    /// The model forward panicked mid-batch. The worker caught the unwind
+    /// and restarted; every request in the affected batch resolves to this
+    /// instead of hanging on a dead worker.
+    WorkerCrashed { detail: String },
 }
 
 impl fmt::Display for ServeError {
@@ -39,6 +43,9 @@ impl fmt::Display for ServeError {
             ServeError::Dropped => write!(f, "request dropped without resolution (bug)"),
             ServeError::BadRequest(msg) => write!(f, "bad request: {msg}"),
             ServeError::JobFailed(msg) => write!(f, "forecast job failed: {msg}"),
+            ServeError::WorkerCrashed { detail } => {
+                write!(f, "worker crashed during model forward: {detail}")
+            }
         }
     }
 }

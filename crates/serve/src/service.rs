@@ -14,6 +14,7 @@
 //! | `serve.rate_limited` | counter | rejected `RateLimited` |
 //! | `serve.rejected_draining` | counter | rejected `Draining` |
 //! | `serve.batches` | counter | forwards run |
+//! | `serve.worker_restarts` | counter | panicking forwards caught and worker restarted |
 //! | `serve.queue_depth` | gauge | depth after last accepted submit |
 //! | `serve.batch_size` | histogram | requests per forward |
 //! | `serve.queue_wait_us` | histogram | enqueue → batch pickup |
@@ -104,6 +105,7 @@ struct ServeMetrics {
     rate_limited: Arc<Counter>,
     rejected_draining: Arc<Counter>,
     batches: Arc<Counter>,
+    worker_restarts: Arc<Counter>,
     queue_depth: Arc<Gauge>,
     batch_size: Arc<Histogram>,
     queue_wait_us: Arc<Histogram>,
@@ -190,6 +192,7 @@ impl ServeMetrics {
             rate_limited: m.counter("serve.rate_limited"),
             rejected_draining: m.counter("serve.rejected_draining"),
             batches: m.counter("serve.batches"),
+            worker_restarts: m.counter("serve.worker_restarts"),
             queue_depth: m.gauge("serve.queue_depth"),
             batch_size: m.histogram("serve.batch_size"),
             queue_wait_us: m.histogram("serve.queue_wait_us"),
@@ -228,10 +231,32 @@ impl Inner {
             let model = self.registry.current();
             let columns: Vec<ColumnState> = batch.iter().map(|p| p.input.clone()).collect();
             let t0 = Instant::now();
-            let outputs = model.tendency.predict_batch(&columns);
+            // The batch stays out here: if the forward panics, the tickets
+            // must still be failed with a structured error, not dropped.
+            let outputs = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                model.tendency.predict_batch(&columns)
+            }));
             self.metrics
                 .forward_us
                 .record(t0.elapsed().as_micros() as u64);
+            let outputs = match outputs {
+                Ok(outputs) => outputs,
+                Err(payload) => {
+                    let detail = panic_detail(&*payload);
+                    self.metrics.worker_restarts.add(1);
+                    eprintln!(
+                        "[serve] model forward panicked ({detail}); failing {} ticket(s) \
+                         and restarting the worker",
+                        batch.len()
+                    );
+                    for p in batch {
+                        let _ = p.tx.send(Err(ServeError::WorkerCrashed {
+                            detail: detail.clone(),
+                        }));
+                    }
+                    continue;
+                }
+            };
             for (p, out) in batch.into_iter().zip(outputs) {
                 let latency = p.enqueued.elapsed();
                 self.metrics.latency_us.record(latency.as_micros() as u64);
@@ -240,6 +265,17 @@ impl Inner {
                 let _ = p.tx.send(Ok(out));
             }
         }
+    }
+}
+
+/// Best-effort panic message extraction for [`ServeError::WorkerCrashed`].
+fn panic_detail(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 
@@ -424,6 +460,27 @@ mod tests {
         let svc = Service::start_warm(ServeConfig::default(), 8, 4, 44);
         let err = svc.submit("t", column(5, 0.0)).unwrap_err();
         assert!(matches!(err, ServeError::BadRequest(_)));
+        svc.drain();
+    }
+
+    #[test]
+    fn worker_survives_a_panicking_forward() {
+        let svc = Service::start_warm(ServeConfig::default(), 8, 4, 46);
+        // A ragged column passes the nlev admission check (u-based) but
+        // panics inside the model forward — the natural in-batch crash.
+        let mut ragged = column(8, 0.0);
+        ragged.v.pop();
+        let t = svc.submit("t", ragged).unwrap();
+        match t.wait() {
+            Err(ServeError::WorkerCrashed { detail }) => {
+                assert!(detail.contains("ragged"), "unexpected detail: {detail}")
+            }
+            other => panic!("expected WorkerCrashed, got {other:?}"),
+        }
+        assert_eq!(svc.obs().metrics.counter("serve.worker_restarts").get(), 1);
+        // The worker restarted: the service still serves.
+        let out = svc.submit("t", column(8, 1.0)).unwrap().wait().unwrap();
+        assert_eq!(out.du.len(), 8);
         svc.drain();
     }
 
