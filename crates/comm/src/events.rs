@@ -40,6 +40,28 @@ pub enum CommEventKind {
     /// A blocking receive; `dur_us` is the time spent waiting, so deadlock
     /// timeouts and rearrangement stalls are visible on the timeline.
     Recv,
+    /// A blocking receive that exhausted its deadline and surfaced a
+    /// `Deadlock`; `peer`/`tag` name the stream the rank was waiting on and
+    /// `dur_us` is the full timed-out window. The postmortem analyzer keys
+    /// its first-stalled-rank search on these.
+    Timeout,
+    /// Stale-generation messages discarded at receive or by
+    /// [`drain_stale`](crate::world::Rank::drain_stale); `peer` is the
+    /// source rank of the discarded traffic and `bytes` carries the number
+    /// of messages dropped (not bytes).
+    Stale,
+}
+
+impl CommEventKind {
+    /// Stable lower-case label (used by the flight-recorder journal).
+    pub fn label(&self) -> &'static str {
+        match self {
+            CommEventKind::Send => "send",
+            CommEventKind::Recv => "recv",
+            CommEventKind::Timeout => "timeout",
+            CommEventKind::Stale => "stale",
+        }
+    }
 }
 
 /// One timestamped point-to-point event on a rank's timeline.
@@ -119,6 +141,17 @@ impl CommEventLog {
         (
             events.into(),
             self.dropped[rank].swap(0, Ordering::Relaxed),
+        )
+    }
+
+    /// Clone `rank`'s retained events without draining the ring — the
+    /// diagnostics-bundle path uses this so a postmortem snapshot does not
+    /// steal the events a later trace export still needs.
+    pub fn snapshot(&self, rank: usize) -> (Vec<CommEvent>, u64) {
+        let ring = self.rings[rank].lock();
+        (
+            ring.iter().cloned().collect(),
+            self.dropped[rank].load(Ordering::Relaxed),
         )
     }
 

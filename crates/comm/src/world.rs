@@ -13,7 +13,7 @@ use std::any::Any;
 use std::collections::HashMap;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
 use parking_lot::{Condvar, Mutex};
@@ -117,6 +117,13 @@ struct WorldShared {
     /// Per-rank timestamped send/recv timeline; disabled by default (one
     /// relaxed load per message when off).
     events: CommEventLog,
+    /// World-shared diagnostic attachment slot. The comm layer never looks
+    /// inside it: higher layers (the flight recorder in `ap3esm-obs`) use it
+    /// to share one per-world object across all rank threads without
+    /// exchanging messages — so installing it perturbs no fault-plan
+    /// message counts. First `get_or_init` wins; every rank sees the same
+    /// `Arc`.
+    blackbox: OnceLock<Arc<dyn Any + Send + Sync>>,
 }
 
 /// A communication world of `n` ranks, each running on its own OS thread.
@@ -144,6 +151,7 @@ impl World {
                 recv_timeout: env_recv_timeout(),
                 injector: None,
                 events: CommEventLog::new(n, crate::events::DEFAULT_COMM_EVENT_CAPACITY),
+                blackbox: OnceLock::new(),
             }),
         }
     }
@@ -185,6 +193,14 @@ impl World {
     /// [`CommEventLog::set_enabled`] is called).
     pub fn comm_events(&self) -> &CommEventLog {
         &self.shared.events
+    }
+
+    /// World-shared diagnostic attachment slot. The comm layer never looks
+    /// inside it; higher layers (the obs flight recorder) use it to share
+    /// one recorder across every rank thread without sending messages —
+    /// installing it perturbs no fault-plan message counts.
+    pub fn blackbox(&self) -> &OnceLock<Arc<dyn Any + Send + Sync>> {
+        &self.shared.blackbox
     }
 
     /// Run `f` on every rank concurrently; returns per-rank results in rank
@@ -367,6 +383,12 @@ impl Rank {
         &self.shared.events
     }
 
+    /// World-shared diagnostic attachment slot (see [`World::blackbox`]).
+    /// The first `get_or_init` wins; every rank observes the same `Arc`.
+    pub fn blackbox(&self) -> &OnceLock<Arc<dyn Any + Send + Sync>> {
+        &self.shared.blackbox
+    }
+
     /// Send `data` to (virtual) rank `dst` under `tag`. Non-blocking in the
     /// MPI "buffered" sense: the payload is moved into the destination
     /// mailbox immediately, stamped with the sender's world generation.
@@ -477,6 +499,19 @@ impl Rank {
                         if front.generation < my_gen {
                             queue.pop_front();
                             self.shared.stats.record_stale();
+                            if self.shared.events.is_enabled() {
+                                self.shared.events.record(
+                                    self.id,
+                                    CommEvent {
+                                        kind: CommEventKind::Stale,
+                                        ts_us: trace_now_us(),
+                                        dur_us: 0,
+                                        peer: src,
+                                        tag,
+                                        bytes: 1,
+                                    },
+                                );
+                            }
                         } else {
                             break;
                         }
@@ -495,7 +530,7 @@ impl Rank {
                         self.shared.events.record(
                             self.id,
                             CommEvent {
-                                kind: CommEventKind::Recv,
+                                kind: CommEventKind::Timeout,
                                 ts_us: ts,
                                 dur_us: trace_now_us().saturating_sub(ts),
                                 peer: src,
@@ -554,21 +589,45 @@ impl Rank {
 
     /// Discard only messages from generations older than this rank's —
     /// post-shrink hygiene that must *not* touch new-generation traffic a
-    /// faster survivor may already have sent. Returns the number dropped.
-    pub fn drain_stale(&self) -> usize {
+    /// faster survivor may already have sent. Returns the drop counts per
+    /// *source rank* (sorted by source, sources with zero drops omitted),
+    /// so the recovery log and the flight-recorder journal can attribute
+    /// the discarded traffic instead of reporting a flat total.
+    pub fn drain_stale(&self) -> Vec<(usize, usize)> {
         let my_gen = self.gen.load(Ordering::Relaxed);
         let mailbox = &self.shared.mailboxes[self.id];
-        let mut inner = mailbox.inner.lock();
-        let mut dropped = 0usize;
-        for queue in inner.queues.values_mut() {
-            let before = queue.len();
-            queue.retain(|m| m.generation >= my_gen);
-            dropped += before - queue.len();
+        let mut per_src: std::collections::BTreeMap<usize, usize> = std::collections::BTreeMap::new();
+        {
+            let mut inner = mailbox.inner.lock();
+            for (&(src, _tag), queue) in inner.queues.iter_mut() {
+                let before = queue.len();
+                queue.retain(|m| m.generation >= my_gen);
+                let dropped = before - queue.len();
+                if dropped > 0 {
+                    *per_src.entry(src).or_insert(0) += dropped;
+                }
+            }
         }
-        for _ in 0..dropped {
-            self.shared.stats.record_stale();
+        let events_on = self.shared.events.is_enabled();
+        for (&src, &count) in &per_src {
+            for _ in 0..count {
+                self.shared.stats.record_stale();
+            }
+            if events_on {
+                self.shared.events.record(
+                    self.id,
+                    CommEvent {
+                        kind: CommEventKind::Stale,
+                        ts_us: trace_now_us(),
+                        dur_us: 0,
+                        peer: src,
+                        tag: 0,
+                        bytes: count as u64,
+                    },
+                );
+            }
         }
-        dropped
+        per_src.into_iter().collect()
     }
 
     /// Non-blocking receive returning `None` when no message is queued yet.
@@ -586,6 +645,19 @@ impl Rank {
             if front.generation < my_gen {
                 queue.pop_front();
                 self.shared.stats.record_stale();
+                if self.shared.events.is_enabled() {
+                    self.shared.events.record(
+                        self.id,
+                        CommEvent {
+                            kind: CommEventKind::Stale,
+                            ts_us: trace_now_us(),
+                            dur_us: 0,
+                            peer: src,
+                            tag,
+                            bytes: 1,
+                        },
+                    );
+                }
             } else {
                 break;
             }

@@ -186,6 +186,20 @@ pub struct CoupledOptions {
     /// runs no sampler thread and exchanges no telemetry messages, so
     /// fault plans that count messages see an unchanged stream.
     pub telemetry: Option<TelemetryOptions>,
+    /// Black-box flight recorder (default **on**): every rank journals
+    /// structured resilience events (health transitions, rollbacks,
+    /// shrinks, checkpoint begin/commit, fault firings) into a bounded
+    /// per-rank ring shared through the world's blackbox slot, and the
+    /// comm-event timeline records always. When the run ends in trouble
+    /// (structured failure, shrink, rollback, or any fault event), rank 0
+    /// dumps a self-contained diagnostics bundle to
+    /// `target/obs/bundle-<name>/` for `ap3esm_obs::flightrec::analyze`.
+    /// Steady-state cost is one relaxed load per journal call plus the
+    /// bounded comm-event rings.
+    pub flightrec: bool,
+    /// Bundle directory name (`bundle-<name>`). Defaults to `report_name`,
+    /// then to `pid<process id>`.
+    pub bundle_name: Option<String>,
 }
 
 impl Default for CoupledOptions {
@@ -201,6 +215,8 @@ impl Default for CoupledOptions {
             recovery: RecoveryConfig::default(),
             resume_from: None,
             telemetry: None,
+            flightrec: true,
+            bundle_name: None,
         }
     }
 }
@@ -302,6 +318,9 @@ pub struct CoupledStats {
     /// The OpenMetrics endpoint actually bound — resolves port 0 to the
     /// ephemeral port (rank 0, when telemetry set `metrics_addr`).
     pub metrics_addr: Option<String>,
+    /// Where the flight-recorder diagnostics bundle was written (rank 0,
+    /// when the recorder was on and the run ended in trouble).
+    pub bundle_path: Option<std::path::PathBuf>,
 }
 
 impl CoupledStats {
@@ -514,6 +533,18 @@ fn agree_severity(rank: &Rank, sev: f64) -> Result<f64, ap3esm_comm::CommError> 
     }
 }
 
+/// Record on the world-shared flight recorder, if one is installed in the
+/// world's blackbox slot. Journals are keyed by *physical* rank id, so
+/// entries stay attributable across shrinks. One relaxed load plus a
+/// `OnceLock` read when no recorder is installed.
+fn fr_record(rank: &Rank, kind: ap3esm_obs::FrKind, a: u64, b: u64, detail: &str) {
+    if let Some(slot) = rank.blackbox().get() {
+        if let Some(rec) = slot.downcast_ref::<ap3esm_obs::FlightRecorder>() {
+            rec.record(rank.world_id(), kind, a, b, detail);
+        }
+    }
+}
+
 /// What the membership escalation decided after a failed health agreement.
 enum SurvivorOutcome {
     /// Everyone answered the liveness poll: the failure was transient
@@ -549,19 +580,42 @@ fn agree_survivors(
         .fault_events
         .push(format!("health agreement failed: {err}"));
     ap3esm_obs::instant("health.agreement_lost");
+    fr_record(
+        rank,
+        ap3esm_obs::FrKind::Health,
+        2,
+        blamed.map(|b| b as u64).unwrap_or(u64::MAX),
+        &format!("health agreement failed: {err}"),
+    );
     match rank.membership_vote(blamed) {
         Ok(ap3esm_comm::MembershipVerdict::AllAlive) => SurvivorOutcome::Transient,
         Ok(ap3esm_comm::MembershipVerdict::Shrink(m)) => {
             *shrinks += 1;
             stats.shrinks = *shrinks;
             let dropped = rank.drain_stale();
-            if dropped > 0 {
-                ap3esm_obs::counter_add("resilience.drained_messages", dropped as u64);
+            let total: usize = dropped.iter().map(|&(_, n)| n).sum();
+            if total > 0 {
+                ap3esm_obs::counter_add("resilience.drained_messages", total as u64);
+                stats.fault_events.push(format!(
+                    "stale traffic discarded post-shrink: {}",
+                    dropped
+                        .iter()
+                        .map(|&(src, n)| format!("{n} from rank {src}"))
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ));
             }
             stats.fault_events.push(format!(
                 "membership shrunk to {:?} (generation {})",
                 m.members, m.generation
             ));
+            fr_record(
+                rank,
+                ap3esm_obs::FrKind::Shrink,
+                m.generation,
+                m.members.len() as u64,
+                &format!("survivors {:?}", m.members),
+            );
             if *shrinks > max_shrinks {
                 return SurvivorOutcome::Failed(format!(
                     "shrink budget exhausted: {} permanent rank losses exceed max_shrinks {}",
@@ -601,6 +655,13 @@ fn begin_rollback(rank: &Rank, resil: &mut Resilience, reason: &str) -> Option<R
     resil.recoveries += 1;
     ap3esm_obs::counter_add("resilience.rollbacks", 1);
     ap3esm_obs::instant("rollback");
+    fr_record(
+        rank,
+        ap3esm_obs::FrKind::Recovery,
+        resil.recoveries as u64,
+        0,
+        reason,
+    );
     if resil.recoveries > resil.cfg.max_recoveries {
         return Some(RecoveryFailure {
             recoveries_attempted: resil.recoveries - 1,
@@ -628,6 +689,7 @@ fn commit_checkpoint(rank: &Rank, resil: &mut Resilience, id: u64) {
     .expect("checkpoint commit");
     ap3esm_obs::counter_add("resilience.checkpoints", 1);
     ap3esm_obs::instant("checkpoint.commit");
+    fr_record(rank, ap3esm_obs::FrKind::CkptCommit, id, 0, "");
     if let Some(inj) = rank.fault_injector() {
         let corruptions: Vec<(String, u32, u64)> = inj
             .plan()
@@ -695,6 +757,21 @@ pub fn run_coupled(rank: &Rank, config: &CoupledConfig, opts: &CoupledOptions) -
         rank.comm_events().set_enabled(true);
         sink
     });
+    // Black-box flight recorder (always-on by default): one recorder for
+    // the whole world, shared through the blackbox slot — the first rank
+    // to arrive installs it, no messages exchanged. The comm-event rings
+    // start recording too, so a postmortem bundle has both journal halves.
+    let flightrec_on = opts.flightrec;
+    if flightrec_on {
+        rank.blackbox().get_or_init(|| {
+            std::sync::Arc::new(ap3esm_obs::FlightRecorder::new(
+                rank.world_size(),
+                ap3esm_obs::DEFAULT_FLIGHT_CAPACITY,
+            )) as std::sync::Arc<dyn std::any::Any + Send + Sync>
+        });
+        rank.comm_events().set_enabled(true);
+        fr_record(rank, ap3esm_obs::FrKind::Mark, rank.generation(), 0, "run start");
+    }
     let t_start = std::time::Instant::now();
     let total_seconds = (opts.days * 86_400.0).round();
     let mut stats = CoupledStats::default();
@@ -1212,6 +1289,13 @@ pub fn run_coupled(rank: &Rank, config: &CoupledConfig, opts: &CoupledOptions) -
                                 }
                                 ap3esm_obs::counter_add("resilience.faults", 1);
                                 ap3esm_obs::instant("fault.kill");
+                                fr_record(
+                                    rank,
+                                    ap3esm_obs::FrKind::Fault,
+                                    ocn_idx,
+                                    0,
+                                    "killed (state corrupted, injected)",
+                                );
                             }
                         }
                         let mut verdict = atm_guard.check(&atm);
@@ -1357,6 +1441,7 @@ pub fn run_coupled(rank: &Rank, config: &CoupledConfig, opts: &CoupledOptions) -
                         {
                             let id = ocn_idx;
                             ap3esm_obs::instant("checkpoint.begin");
+                            fr_record(rank, ap3esm_obs::FrKind::CkptBegin, id, 0, "");
                             with_retry(
                                 "checkpoint begin",
                                 resil.cfg.retries,
@@ -1593,6 +1678,13 @@ pub fn run_coupled(rank: &Rank, config: &CoupledConfig, opts: &CoupledOptions) -
                                 ));
                                 ap3esm_obs::counter_add("resilience.faults", 1);
                                 ap3esm_obs::instant("fault.die");
+                                fr_record(
+                                    rank,
+                                    ap3esm_obs::FrKind::Fault,
+                                    ocn_idx,
+                                    0,
+                                    "died permanently (injected)",
+                                );
                                 eprintln!(
                                 "[resilience] rank {} dying permanently at ocn coupling {ocn_idx}",
                                 rank.world_id()
@@ -1605,6 +1697,13 @@ pub fn run_coupled(rank: &Rank, config: &CoupledConfig, opts: &CoupledOptions) -
                                 }
                                 ap3esm_obs::counter_add("resilience.faults", 1);
                                 ap3esm_obs::instant("fault.kill");
+                                fr_record(
+                                    rank,
+                                    ap3esm_obs::FrKind::Fault,
+                                    ocn_idx,
+                                    0,
+                                    "killed (state corrupted, injected)",
+                                );
                             }
                         }
                         let mut verdict = ocn_guard.check(&ocn.state);
@@ -1692,6 +1791,7 @@ pub fn run_coupled(rank: &Rank, config: &CoupledConfig, opts: &CoupledOptions) -
                         {
                             let id = ocn_idx;
                             ap3esm_obs::instant("checkpoint.begin");
+                            fr_record(rank, ap3esm_obs::FrKind::CkptBegin, id, 0, "");
                             rank.barrier(); // rank 0 clears the checkpoint dir
                             let dir = resil.store.dir(id);
                             with_retry(
@@ -1749,6 +1849,7 @@ pub fn run_coupled(rank: &Rank, config: &CoupledConfig, opts: &CoupledOptions) -
     // series snapshot include the run's last state. The scrape endpoint
     // stays up until the snapshot is on disk.
     let mut alert_events: Vec<ap3esm_obs::AlertEvent> = Vec::new();
+    let mut bundle_series: Option<String> = None;
     if let Some((store, engine, sampler, server)) = telemetry.take() {
         sampler.shutdown();
         alert_events = engine.events();
@@ -1758,8 +1859,86 @@ pub fn run_coupled(rank: &Rank, config: &CoupledConfig, opts: &CoupledOptions) -
                 stats.series_path = store.write_snapshot(name).ok();
             }
         }
+        // Keep the final tsdb state for the diagnostics bundle (the store
+        // itself is consumed here).
+        if flightrec_on {
+            bundle_series = Some(store.snapshot_json());
+        }
         if let Some(server) = server {
             server.stop();
+        }
+    }
+
+    // --- Flight-recorder bundle: when the run ended in trouble, rank 0
+    //     dumps a self-contained diagnostics bundle before the (collective)
+    //     report path, using non-draining snapshots so the later trace
+    //     export still sees every comm event. Non-collective by design:
+    //     dead ranks cannot be waited on. ---
+    if flightrec_on {
+        if let Some(f) = &stats.failure {
+            fr_record(
+                rank,
+                ap3esm_obs::FrKind::Fault,
+                0,
+                0,
+                &format!("structured failure: {f}"),
+            );
+        }
+        for a in &alert_events {
+            fr_record(rank, ap3esm_obs::FrKind::Alert, 0, 0, &a.message);
+        }
+        let troubled = stats.failure.is_some()
+            || stats.shrinks > 0
+            || stats.recoveries > 0
+            || !stats.fault_events.is_empty();
+        if is_root && troubled {
+            let name = opts
+                .bundle_name
+                .clone()
+                .or_else(|| opts.report_name.clone())
+                .unwrap_or_else(|| format!("pid{}", std::process::id()));
+            let reason = if let Some(f) = &stats.failure {
+                format!("recovery-failure: {f}")
+            } else if stats.shrinks > 0 {
+                "shrink".to_string()
+            } else if stats
+                .fault_events
+                .iter()
+                .any(|e| e.contains("deadlock"))
+            {
+                "deadlock".to_string()
+            } else {
+                "fault".to_string()
+            };
+            // A comm-only Chrome trace so the bundle opens in Perfetto even
+            // when full span tracing was off.
+            let mut ct = ap3esm_obs::ChromeTrace::new();
+            for r in 0..rank.world_size() {
+                ct.add_process(r, &format!("rank {r}"));
+                let (comm_events, _) = rank.comm_events().snapshot(r);
+                ct.add_comm_events(r, &comm_events);
+            }
+            let recorder = rank
+                .blackbox()
+                .get()
+                .and_then(|s| s.downcast_ref::<ap3esm_obs::FlightRecorder>());
+            let spec = ap3esm_obs::BundleSpec {
+                reason: &reason,
+                recorder,
+                comm_events: Some(rank.comm_events()),
+                series_json: bundle_series.take(),
+                alerts: &alert_events,
+                fault_plan: rank.fault_injector().map(|i| i.plan().to_string()),
+                scenario: None,
+                trace_json: Some(ct.to_json()),
+            };
+            match ap3esm_obs::dump_bundle(&name, &spec) {
+                Ok(dir) => {
+                    eprintln!("[flightrec] diagnostics bundle: {}", dir.display());
+                    stats.bundle_path = Some(dir);
+                }
+                Err(e) => eprintln!("[flightrec] bundle dump failed: {e}"),
+            }
         }
     }
 

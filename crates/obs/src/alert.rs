@@ -617,6 +617,55 @@ mod tests {
     }
 
     #[test]
+    fn replay_blames_degraded_mode_from_snapshots() {
+        // The shape a shrink leaves behind in the telemetry store — and in
+        // a diagnostics bundle's series.json: sim.degraded_ranks sits at 0
+        // until the loss, then steps to 1 for the rest of the run.
+        let store = SeriesStore::new(256);
+        for i in 0..6 {
+            store.record_at("sim.degraded_ranks", i as f64, 0.0);
+        }
+        for i in 6..12 {
+            store.record_at("sim.degraded_ranks", i as f64, 1.0);
+        }
+        let engine = replay(sim_rules(), &store.snapshot());
+        let events = engine.events();
+        let fired: Vec<_> = events.iter().filter(|e| e.rule == "degraded-mode").collect();
+        assert!(
+            !fired.is_empty(),
+            "degraded-mode rule must fire on a post-shrink snapshot"
+        );
+        assert_eq!(fired[0].series, "sim.degraded_ranks");
+        assert!(fired[0].value > 0.0);
+        assert!(
+            fired[0].t_s >= 6.0,
+            "must fire at the step, not before: t_s={}",
+            fired[0].t_s
+        );
+        // No other sim rule has cause to fire on this store.
+        assert!(events.iter().all(|e| e.rule == "degraded-mode"));
+    }
+
+    #[test]
+    fn replay_of_healthy_run_fires_nothing() {
+        // A healthy run's snapshot — steady throughput, mild imbalance,
+        // zero degraded ranks — must replay to an empty firing list.
+        let store = SeriesStore::new(256);
+        for i in 0..16 {
+            let t = i as f64;
+            store.record_at("sim.degraded_ranks", t, 0.0);
+            store.record_at("sim.sypd", t, 5.0 + 0.02 * (i % 3) as f64);
+            store.record_at("sim.imbalance", t, 1.05);
+        }
+        let engine = replay(sim_rules(), &store.snapshot());
+        assert!(
+            engine.events().is_empty(),
+            "healthy replay fired: {:?}",
+            engine.events()
+        );
+    }
+
+    #[test]
     fn firing_reaches_trace_sink_and_counter() {
         let obs = Obs::new();
         let sink = std::sync::Arc::new(crate::trace::TraceSink::new(64));

@@ -1,0 +1,885 @@
+//! Black-box flight recorder and cross-rank postmortem analyzer.
+//!
+//! The paper's year-scale runs live or die by diagnosing rare failures at
+//! scale: after a multi-hour run collapses, the question is *which rank
+//! stalled first and why*. This module is the forensic layer:
+//!
+//! * [`FlightRecorder`] — an always-on, bounded, last-writer-wins journal:
+//!   one ring of structured [`FrEvent`]s per rank (health transitions,
+//!   alert firings, recovery/shrink actions, checkpoint begin/commit,
+//!   serve ticket lifecycle), timestamped on the same
+//!   [`trace_epoch`](ap3esm_comm::events::trace_epoch) the comm-event
+//!   timeline uses. Recording when disabled costs one relaxed atomic
+//!   load; when the ring is full the oldest events are evicted, so what
+//!   survives a crash is the tail — the part a postmortem needs.
+//! * [`dump_bundle`] — on panic, `Deadlock`, shrink, `RecoveryFailure`,
+//!   or chaos-scenario violation, the driver writes a self-contained
+//!   diagnostics bundle to `target/obs/bundle-<name>/`: every rank's
+//!   journal tail merged with the comm timeline (`journal.json`), the
+//!   current tsdb snapshot, fired alerts, `BuildInfo`, the active fault
+//!   plan/scenario, and the Chrome trace.
+//! * [`analyze`] — the postmortem: merges the journals on the shared
+//!   trace clock into a causally-ordered cross-rank timeline, finds the
+//!   first-stalled rank (the rank whose activity ends earliest — the
+//!   silence the rest of the world then times out against), matches
+//!   unpaired sends to missing receives per FIFO channel, and renders a
+//!   blame report as JSON ([`Postmortem::to_json`]) and a human table
+//!   ([`Postmortem::render_table`]).
+//!
+//! The recorder deliberately does **not** own the comm half of the
+//! journal: `comm` cannot depend on `obs`, so send/recv/timeout/stale
+//! events live in [`CommEventLog`](ap3esm_comm::events::CommEventLog) and
+//! the two halves are merged at dump time, where both sides' shared
+//! trace clock makes the interleave causally meaningful.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use ap3esm_comm::events::{trace_now_us, CommEvent, CommEventLog};
+
+use crate::alert::AlertEvent;
+use crate::json::Json;
+use crate::perf::BuildInfo;
+use crate::report::alert_event_json;
+
+/// What a flight-recorder event records. Comm-level kinds (send, recv,
+/// timeout, stale) are *not* duplicated here — they come from the
+/// [`CommEventLog`] half of the journal at dump time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrKind {
+    /// A health-agreement verdict (`a` = severity code: 0 healthy,
+    /// 1 degraded, 2 fatal).
+    Health,
+    /// An alert rule fired (detail names the rule).
+    Alert,
+    /// A recovery action: rollback begun (`a` = rollback count so far).
+    Recovery,
+    /// The world shrank (`a` = new generation, `b` = surviving rank count).
+    Shrink,
+    /// Checkpoint write begun (`a` = checkpoint id).
+    CkptBegin,
+    /// Checkpoint committed and agreed (`a` = checkpoint id).
+    CkptCommit,
+    /// An injected or detected fault (detail carries the record).
+    Fault,
+    /// Serve: a ticket entered the system (`a` = ticket/job id).
+    ServeSubmit,
+    /// Serve: a ticket completed (`a` = ticket/job id).
+    ServeDone,
+    /// Serve: a ticket was shed by admission control (`a` = ticket id).
+    ServeShed,
+    /// Free-form milestone marker (run start, scenario boundary, …).
+    Mark,
+}
+
+impl FrKind {
+    /// Stable lower-case label used in `journal.json`.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FrKind::Health => "health",
+            FrKind::Alert => "alert",
+            FrKind::Recovery => "recovery",
+            FrKind::Shrink => "shrink",
+            FrKind::CkptBegin => "ckpt.begin",
+            FrKind::CkptCommit => "ckpt.commit",
+            FrKind::Fault => "fault",
+            FrKind::ServeSubmit => "serve.submit",
+            FrKind::ServeDone => "serve.done",
+            FrKind::ServeShed => "serve.shed",
+            FrKind::Mark => "mark",
+        }
+    }
+}
+
+/// One journal entry on a rank's flight-recorder ring.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrEvent {
+    /// Microseconds since the shared trace epoch.
+    pub ts_us: u64,
+    pub kind: FrKind,
+    /// Kind-specific payload (see [`FrKind`] variants).
+    pub a: u64,
+    pub b: u64,
+    /// Short human-readable context (empty when the kind says it all).
+    pub detail: String,
+}
+
+/// Default per-rank journal capacity (events). Small enough that an
+/// always-on recorder is memory-trivial, large enough that the failure
+/// window of interest survives eviction.
+pub const DEFAULT_FLIGHT_CAPACITY: usize = 4_096;
+
+/// Always-on bounded per-rank journal of structured [`FrEvent`]s.
+///
+/// Mirrors the comm layer's [`CommEventLog`] discipline: an `AtomicBool`
+/// gate read with one relaxed load on every record call, per-rank rings
+/// under independent mutexes (ranks are threads; each writes its own
+/// ring, so contention is nil in steady state), oldest-evicted when full
+/// with per-rank eviction counters.
+pub struct FlightRecorder {
+    enabled: AtomicBool,
+    capacity: usize,
+    rings: Vec<Mutex<VecDeque<FrEvent>>>,
+    dropped: Vec<AtomicU64>,
+}
+
+impl FlightRecorder {
+    /// A recorder for `n_ranks` journals, enabled from birth (the whole
+    /// point is to already be on when the failure happens).
+    pub fn new(n_ranks: usize, capacity: usize) -> Self {
+        FlightRecorder {
+            enabled: AtomicBool::new(true),
+            capacity: capacity.max(1),
+            rings: (0..n_ranks).map(|_| Mutex::new(VecDeque::new())).collect(),
+            dropped: (0..n_ranks).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// The hot-path gate: one relaxed load.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    pub fn n_ranks(&self) -> usize {
+        self.rings.len()
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Record an event on `rank`'s journal, stamped with the shared trace
+    /// clock. A no-op (one relaxed load) when the recorder is disabled.
+    pub fn record(&self, rank: usize, kind: FrKind, a: u64, b: u64, detail: &str) {
+        if !self.is_enabled() {
+            return;
+        }
+        let event = FrEvent {
+            ts_us: trace_now_us(),
+            kind,
+            a,
+            b,
+            detail: detail.to_string(),
+        };
+        let mut ring = lock(&self.rings[rank]);
+        if ring.len() >= self.capacity {
+            ring.pop_front();
+            self.dropped[rank].fetch_add(1, Ordering::Relaxed);
+        }
+        ring.push_back(event);
+    }
+
+    /// Clone `rank`'s retained journal tail (oldest first) plus the
+    /// eviction count, without draining — a bundle dump must not steal
+    /// events from a later dump of the same run.
+    pub fn snapshot(&self, rank: usize) -> (Vec<FrEvent>, u64) {
+        let ring = lock(&self.rings[rank]);
+        (
+            ring.iter().cloned().collect(),
+            self.dropped[rank].load(Ordering::Relaxed),
+        )
+    }
+
+    /// Events currently journaled for `rank` (test/diagnostic helper).
+    pub fn len(&self, rank: usize) -> usize {
+        lock(&self.rings[rank]).len()
+    }
+
+    pub fn is_empty(&self, rank: usize) -> bool {
+        self.len(rank) == 0
+    }
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+// --- diagnostics bundle -------------------------------------------------
+
+/// Everything a bundle dump can attach. All fields are optional except
+/// the name and reason: a postmortem of a half-dead world must be able to
+/// dump whatever rank 0 can still reach.
+#[derive(Default)]
+pub struct BundleSpec<'a> {
+    /// Human reason the bundle exists ("deadlock", "shrink",
+    /// "recovery-failure", "panic", "scenario-violation", …).
+    pub reason: &'a str,
+    /// The obs half of the journal.
+    pub recorder: Option<&'a FlightRecorder>,
+    /// The comm half of the journal (snapshot, not drained).
+    pub comm_events: Option<&'a CommEventLog>,
+    /// Current tsdb snapshot (`ap3esm-tsdb/1` JSON text).
+    pub series_json: Option<String>,
+    /// Alerts fired so far.
+    pub alerts: &'a [AlertEvent],
+    /// The active fault plan, rendered (`FaultPlan` Display).
+    pub fault_plan: Option<String>,
+    /// The active campaign scenario (name / expectation / plan).
+    pub scenario: Option<String>,
+    /// A rendered Chrome trace JSON document.
+    pub trace_json: Option<String>,
+}
+
+/// Write a self-contained diagnostics bundle to `dir/bundle-<name>/`.
+/// Returns the bundle directory. Existing files are overwritten —
+/// last-writer-wins, like the recorder itself.
+pub fn dump_bundle_to(
+    dir: impl AsRef<Path>,
+    name: &str,
+    spec: &BundleSpec,
+) -> std::io::Result<PathBuf> {
+    let bundle = dir.as_ref().join(format!("bundle-{name}"));
+    std::fs::create_dir_all(&bundle)?;
+    // Normalise `crates/obs/../../target`-style default paths so reports
+    // and CI logs carry a clean, clickable bundle location.
+    let bundle = bundle.canonicalize().unwrap_or(bundle);
+
+    let journal = merge_journal(spec.recorder, spec.comm_events);
+    let n_ranks = spec
+        .recorder
+        .map(|r| r.n_ranks())
+        .or(spec.comm_events.map(|c| c.n_ranks()))
+        .unwrap_or(0);
+
+    let mut files: Vec<&str> = vec!["manifest.json", "journal.json", "alerts.json"];
+
+    // journal.json — the merged cross-rank timeline, sorted on the shared
+    // trace clock so the interleave is causally ordered.
+    let mut jdoc = Json::obj();
+    jdoc.set("schema", "ap3esm-journal/1".into())
+        .set("ranks", n_ranks.into())
+        .set(
+            "events",
+            Json::Arr(journal.iter().map(journal_row_json).collect()),
+        );
+    std::fs::write(bundle.join("journal.json"), jdoc.to_string() + "\n")?;
+
+    // alerts.json — always written (an empty array is itself a finding).
+    let alerts = Json::Arr(spec.alerts.iter().map(alert_event_json).collect());
+    std::fs::write(bundle.join("alerts.json"), alerts.to_string() + "\n")?;
+
+    if let Some(series) = &spec.series_json {
+        std::fs::write(bundle.join("series.json"), series)?;
+        files.push("series.json");
+    }
+    if let Some(plan) = &spec.fault_plan {
+        std::fs::write(bundle.join("faultplan.txt"), plan)?;
+        files.push("faultplan.txt");
+    }
+    if let Some(scenario) = &spec.scenario {
+        std::fs::write(bundle.join("scenario.txt"), scenario)?;
+        files.push("scenario.txt");
+    }
+    if let Some(trace) = &spec.trace_json {
+        std::fs::write(bundle.join("trace.json"), trace)?;
+        files.push("trace.json");
+    }
+
+    // manifest.json last: it indexes what was actually written.
+    let mut manifest = Json::obj();
+    manifest
+        .set("schema", "ap3esm-bundle/1".into())
+        .set("name", name.into())
+        .set("reason", spec.reason.into())
+        .set("ranks", n_ranks.into())
+        .set("events", journal.len().into())
+        .set("build", BuildInfo::current().to_json())
+        .set(
+            "files",
+            Json::Arr(files.iter().map(|f| Json::Str(f.to_string())).collect()),
+        );
+    std::fs::write(bundle.join("manifest.json"), manifest.to_string() + "\n")?;
+    Ok(bundle)
+}
+
+/// [`dump_bundle_to`] into the workspace default sink, `target/obs/`.
+pub fn dump_bundle(name: &str, spec: &BundleSpec) -> std::io::Result<PathBuf> {
+    dump_bundle_to(crate::report::default_dir(), name, spec)
+}
+
+/// One merged journal row: either half of the journal normalised to a
+/// single shape so the analyzer (and a human with `jq`) reads one stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JournalRow {
+    pub rank: usize,
+    pub ts_us: u64,
+    pub dur_us: u64,
+    /// Kind label: `send`/`recv`/`timeout`/`stale` from the comm half,
+    /// [`FrKind::label`] values from the recorder half.
+    pub kind: String,
+    /// Peer rank for comm rows; kind-specific `a` for recorder rows.
+    pub peer: u64,
+    /// Message tag for comm rows; kind-specific `b` for recorder rows.
+    pub tag: u64,
+    /// Payload bytes (sends/recvs), dropped-message count (stale), 0 else.
+    pub n: u64,
+    pub detail: String,
+}
+
+fn merge_journal(
+    recorder: Option<&FlightRecorder>,
+    comm: Option<&CommEventLog>,
+) -> Vec<JournalRow> {
+    let mut rows = Vec::new();
+    if let Some(rec) = recorder {
+        for rank in 0..rec.n_ranks() {
+            let (events, _) = rec.snapshot(rank);
+            for e in events {
+                rows.push(JournalRow {
+                    rank,
+                    ts_us: e.ts_us,
+                    dur_us: 0,
+                    kind: e.kind.label().to_string(),
+                    peer: e.a,
+                    tag: e.b,
+                    n: 0,
+                    detail: e.detail,
+                });
+            }
+        }
+    }
+    if let Some(log) = comm {
+        for rank in 0..log.n_ranks() {
+            let (events, _) = log.snapshot(rank);
+            for e in events {
+                rows.push(comm_row(rank, &e));
+            }
+        }
+    }
+    // Stable sort: equal timestamps keep rank-major insertion order.
+    rows.sort_by_key(|r| r.ts_us);
+    rows
+}
+
+fn comm_row(rank: usize, e: &CommEvent) -> JournalRow {
+    JournalRow {
+        rank,
+        ts_us: e.ts_us,
+        dur_us: e.dur_us,
+        kind: e.kind.label().to_string(),
+        peer: e.peer as u64,
+        tag: e.tag,
+        n: e.bytes,
+        detail: String::new(),
+    }
+}
+
+fn journal_row_json(r: &JournalRow) -> Json {
+    let mut o = Json::obj();
+    o.set("rank", r.rank.into())
+        .set("ts_us", r.ts_us.into())
+        .set("dur_us", r.dur_us.into())
+        .set("kind", r.kind.as_str().into())
+        .set("peer", r.peer.into())
+        .set("tag", r.tag.into())
+        .set("n", r.n.into())
+        .set("detail", r.detail.as_str().into());
+    o
+}
+
+// --- postmortem analyzer ------------------------------------------------
+
+/// Per-rank activity envelope on the merged timeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RankActivity {
+    pub rank: usize,
+    pub events: usize,
+    pub first_us: u64,
+    /// End of the rank's last activity (`ts + dur` of its final event);
+    /// 0 when the rank journaled nothing at all.
+    pub last_us: u64,
+    /// The rank's final journal row, for the blame table.
+    pub last_event: Option<JournalRow>,
+}
+
+/// A send with no matching receive on its FIFO channel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UnpairedSend {
+    pub src: usize,
+    pub dst: usize,
+    pub tag: u64,
+    pub ts_us: u64,
+}
+
+/// A blocking receive that timed out into a `Deadlock`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimeoutRecord {
+    pub rank: usize,
+    pub peer: usize,
+    pub tag: u64,
+    pub ts_us: u64,
+    pub dur_us: u64,
+}
+
+/// The analyzer's verdict over one diagnostics bundle.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Postmortem {
+    pub bundle: PathBuf,
+    pub reason: String,
+    pub n_ranks: usize,
+    pub total_events: usize,
+    /// Ranks sorted by rank id.
+    pub ranks: Vec<RankActivity>,
+    /// The first-stalled rank: the rank whose activity ends earliest
+    /// (including never-started). `None` only for an empty journal.
+    pub blamed: Option<usize>,
+    /// How long the rest of the world kept going after the blamed rank
+    /// went silent — the gap the deadlock timeouts then measure.
+    pub silence_gap_us: u64,
+    /// Sends that never met a receive, missing-receiver side first.
+    pub unpaired_sends: Vec<UnpairedSend>,
+    pub timeouts: Vec<TimeoutRecord>,
+}
+
+/// Analyze a bundle directory written by [`dump_bundle_to`]: parse
+/// `journal.json` (and `manifest.json` for the reason), merge the
+/// timeline, and derive blame.
+pub fn analyze(bundle_dir: impl AsRef<Path>) -> Result<Postmortem, String> {
+    let bundle = bundle_dir.as_ref();
+    let journal_text = std::fs::read_to_string(bundle.join("journal.json"))
+        .map_err(|e| format!("read {}/journal.json: {e}", bundle.display()))?;
+    let jdoc = Json::parse(&journal_text)?;
+    let schema = jdoc.get("schema").and_then(Json::as_str).unwrap_or("");
+    if schema != "ap3esm-journal/1" {
+        return Err(format!("unsupported journal schema {schema:?}"));
+    }
+    let n_ranks = jdoc
+        .get("ranks")
+        .and_then(Json::as_u64)
+        .ok_or("journal missing ranks")? as usize;
+    let rows: Vec<JournalRow> = jdoc
+        .get("events")
+        .and_then(Json::as_arr)
+        .ok_or("journal missing events")?
+        .iter()
+        .map(parse_row)
+        .collect::<Result<_, _>>()?;
+
+    let reason = std::fs::read_to_string(bundle.join("manifest.json"))
+        .ok()
+        .and_then(|t| Json::parse(&t).ok())
+        .and_then(|m| m.get("reason").and_then(Json::as_str).map(str::to_string))
+        .unwrap_or_default();
+
+    Ok(analyze_rows(bundle.to_path_buf(), reason, n_ranks, rows))
+}
+
+fn parse_row(v: &Json) -> Result<JournalRow, String> {
+    let u = |k: &str| v.get(k).and_then(Json::as_u64).ok_or(format!("row missing {k}"));
+    Ok(JournalRow {
+        rank: u("rank")? as usize,
+        ts_us: u("ts_us")?,
+        dur_us: u("dur_us")?,
+        kind: v
+            .get("kind")
+            .and_then(Json::as_str)
+            .ok_or("row missing kind")?
+            .to_string(),
+        peer: u("peer")?,
+        tag: u("tag")?,
+        n: u("n")?,
+        detail: v
+            .get("detail")
+            .and_then(Json::as_str)
+            .unwrap_or_default()
+            .to_string(),
+    })
+}
+
+/// The pure core of [`analyze`], separated so tests and in-process
+/// callers can run it on rows they already hold.
+pub fn analyze_rows(
+    bundle: PathBuf,
+    reason: String,
+    n_ranks: usize,
+    rows: Vec<JournalRow>,
+) -> Postmortem {
+    // Per-rank envelopes. A rank with no events keeps last_us = 0: total
+    // silence sorts first, which is exactly the right blame order.
+    let mut ranks: Vec<RankActivity> = (0..n_ranks)
+        .map(|rank| RankActivity {
+            rank,
+            events: 0,
+            first_us: 0,
+            last_us: 0,
+            last_event: None,
+        })
+        .collect();
+    for row in &rows {
+        if row.rank >= ranks.len() {
+            ranks.resize_with(row.rank + 1, || RankActivity {
+                rank: 0,
+                events: 0,
+                first_us: 0,
+                last_us: 0,
+                last_event: None,
+            });
+            for (i, r) in ranks.iter_mut().enumerate() {
+                r.rank = i;
+            }
+        }
+        let r = &mut ranks[row.rank];
+        let end = row.ts_us + row.dur_us;
+        if r.events == 0 {
+            r.first_us = row.ts_us;
+        }
+        r.events += 1;
+        if end >= r.last_us {
+            r.last_us = end;
+            r.last_event = Some(row.clone());
+        }
+    }
+
+    // Blame: the rank that went silent first. Ties keep the lowest rank.
+    let blamed = ranks.iter().min_by_key(|r| r.last_us).map(|r| r.rank);
+    let global_last = ranks.iter().map(|r| r.last_us).max().unwrap_or(0);
+    let silence_gap_us = blamed
+        .map(|b| global_last.saturating_sub(ranks[b].last_us))
+        .unwrap_or(0);
+
+    // FIFO channel pairing: the k-th send on (src, dst, tag) matches the
+    // k-th recv on the same channel; the excess tail of sends is unpaired.
+    let mut sends: BTreeMap<(usize, usize, u64), Vec<u64>> = BTreeMap::new();
+    let mut recv_counts: BTreeMap<(usize, usize, u64), usize> = BTreeMap::new();
+    let mut timeouts = Vec::new();
+    for row in &rows {
+        match row.kind.as_str() {
+            "send" => sends
+                .entry((row.rank, row.peer as usize, row.tag))
+                .or_default()
+                .push(row.ts_us),
+            "recv" => {
+                *recv_counts
+                    .entry((row.peer as usize, row.rank, row.tag))
+                    .or_default() += 1;
+            }
+            "timeout" => timeouts.push(TimeoutRecord {
+                rank: row.rank,
+                peer: row.peer as usize,
+                tag: row.tag,
+                ts_us: row.ts_us,
+                dur_us: row.dur_us,
+            }),
+            _ => {}
+        }
+    }
+    let mut unpaired_sends = Vec::new();
+    for ((src, dst, tag), times) in &sends {
+        let received = recv_counts.get(&(*src, *dst, *tag)).copied().unwrap_or(0);
+        for &ts_us in times.iter().skip(received) {
+            unpaired_sends.push(UnpairedSend {
+                src: *src,
+                dst: *dst,
+                tag: *tag,
+                ts_us,
+            });
+        }
+    }
+    // Sends into (or out of) the blamed rank first — those are the
+    // messages the silence orphaned — then chronological.
+    unpaired_sends.sort_by_key(|u| {
+        let involves_blamed = Some(u.dst) == blamed || Some(u.src) == blamed;
+        (!involves_blamed, u.ts_us)
+    });
+
+    Postmortem {
+        bundle,
+        reason,
+        n_ranks: ranks.len(),
+        total_events: rows.len(),
+        ranks,
+        blamed,
+        silence_gap_us,
+        unpaired_sends,
+        timeouts,
+    }
+}
+
+impl Postmortem {
+    /// Machine-readable blame report (`ap3esm-postmortem/1`).
+    pub fn to_json(&self) -> Json {
+        let mut o = Json::obj();
+        o.set("schema", "ap3esm-postmortem/1".into())
+            .set("bundle", self.bundle.display().to_string().as_str().into())
+            .set("reason", self.reason.as_str().into())
+            .set("ranks", self.n_ranks.into())
+            .set("events", self.total_events.into());
+        match self.blamed {
+            Some(b) => o.set("blamed_rank", b.into()),
+            None => o.set("blamed_rank", Json::Null),
+        };
+        o.set("silence_gap_us", self.silence_gap_us.into());
+        o.set(
+            "rank_activity",
+            Json::Arr(
+                self.ranks
+                    .iter()
+                    .map(|r| {
+                        let mut ro = Json::obj();
+                        ro.set("rank", r.rank.into())
+                            .set("events", r.events.into())
+                            .set("first_us", r.first_us.into())
+                            .set("last_us", r.last_us.into());
+                        match &r.last_event {
+                            Some(e) => ro.set("last_event", journal_row_json(e)),
+                            None => ro.set("last_event", Json::Null),
+                        };
+                        ro
+                    })
+                    .collect(),
+            ),
+        );
+        o.set(
+            "unpaired_sends",
+            Json::Arr(
+                self.unpaired_sends
+                    .iter()
+                    .map(|u| {
+                        let mut uo = Json::obj();
+                        uo.set("src", u.src.into())
+                            .set("dst", u.dst.into())
+                            .set("tag", u.tag.into())
+                            .set("ts_us", u.ts_us.into());
+                        uo
+                    })
+                    .collect(),
+            ),
+        );
+        o.set(
+            "timeouts",
+            Json::Arr(
+                self.timeouts
+                    .iter()
+                    .map(|t| {
+                        let mut to = Json::obj();
+                        to.set("rank", t.rank.into())
+                            .set("peer", t.peer.into())
+                            .set("tag", t.tag.into())
+                            .set("ts_us", t.ts_us.into())
+                            .set("dur_us", t.dur_us.into());
+                        to
+                    })
+                    .collect(),
+            ),
+        );
+        o
+    }
+
+    /// Human-readable blame table.
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "postmortem: {}\nreason: {}\n",
+            self.bundle.display(),
+            if self.reason.is_empty() { "(unknown)" } else { &self.reason }
+        ));
+        match self.blamed {
+            Some(b) => out.push_str(&format!(
+                "blamed rank: {b} (first stalled; world ran {:.1} ms past its last event)\n",
+                self.silence_gap_us as f64 / 1_000.0
+            )),
+            None => out.push_str("blamed rank: none (empty journal)\n"),
+        }
+        out.push_str("\nrank  events  first_us    last_us     last event\n");
+        for r in &self.ranks {
+            let last = match &r.last_event {
+                Some(e) => {
+                    let mut s = format!("{} peer={} tag={:#x}", e.kind, e.peer, e.tag);
+                    if !e.detail.is_empty() {
+                        s.push_str(&format!(" — {}", e.detail));
+                    }
+                    s
+                }
+                None => "(silent — no events journaled)".to_string(),
+            };
+            let mark = if Some(r.rank) == self.blamed { "*" } else { " " };
+            out.push_str(&format!(
+                "{mark}{:<4} {:>7} {:>10} {:>10}  {last}\n",
+                r.rank, r.events, r.first_us, r.last_us
+            ));
+        }
+        if !self.unpaired_sends.is_empty() {
+            out.push_str(&format!(
+                "\nunpaired sends ({} total; never received):\n",
+                self.unpaired_sends.len()
+            ));
+            for u in self.unpaired_sends.iter().take(16) {
+                out.push_str(&format!(
+                    "  rank {} -> rank {}  tag {:#x}  at {} us\n",
+                    u.src, u.dst, u.tag, u.ts_us
+                ));
+            }
+            if self.unpaired_sends.len() > 16 {
+                out.push_str(&format!(
+                    "  … and {} more\n",
+                    self.unpaired_sends.len() - 16
+                ));
+            }
+        }
+        if !self.timeouts.is_empty() {
+            out.push_str(&format!("\nreceive timeouts ({}):\n", self.timeouts.len()));
+            for t in self.timeouts.iter().take(16) {
+                out.push_str(&format!(
+                    "  rank {} waited {:.1} ms on rank {} tag {:#x}\n",
+                    t.rank,
+                    t.dur_us as f64 / 1_000.0,
+                    t.peer,
+                    t.tag
+                ));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ap3esm_comm::events::{CommEvent, CommEventKind};
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "ap3esm-flightrec-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn recorder_is_bounded_and_counts_evictions() {
+        let rec = FlightRecorder::new(1, 3);
+        for i in 0..5u64 {
+            rec.record(0, FrKind::Mark, i, 0, "");
+        }
+        let (events, dropped) = rec.snapshot(0);
+        assert_eq!(events.len(), 3);
+        assert_eq!(dropped, 2);
+        let ids: Vec<u64> = events.iter().map(|e| e.a).collect();
+        assert_eq!(ids, vec![2, 3, 4], "oldest evicted, tail kept");
+        // Snapshot does not drain.
+        assert_eq!(rec.len(0), 3);
+    }
+
+    #[test]
+    fn disabled_recorder_records_nothing() {
+        let rec = FlightRecorder::new(2, 8);
+        rec.set_enabled(false);
+        rec.record(0, FrKind::Health, 2, 0, "fatal");
+        rec.record(1, FrKind::Alert, 0, 0, "sypd-collapse");
+        assert!(rec.is_empty(0));
+        assert!(rec.is_empty(1));
+    }
+
+    #[test]
+    fn blame_names_the_first_silent_rank_and_unpaired_sends() {
+        // Rank 1 stops at t=100; ranks 0 and 2 keep going to t=900. Rank 0
+        // sent rank 1 two messages of which one was never received, and
+        // timed out waiting on rank 1.
+        let rows = vec![
+            JournalRow { rank: 0, ts_us: 10, dur_us: 0, kind: "send".into(), peer: 1, tag: 7, n: 64, detail: String::new() },
+            JournalRow { rank: 1, ts_us: 20, dur_us: 30, kind: "recv".into(), peer: 0, tag: 7, n: 64, detail: String::new() },
+            JournalRow { rank: 1, ts_us: 100, dur_us: 0, kind: "ckpt.begin".into(), peer: 1, tag: 0, n: 0, detail: String::new() },
+            JournalRow { rank: 0, ts_us: 200, dur_us: 0, kind: "send".into(), peer: 1, tag: 7, n: 64, detail: String::new() },
+            JournalRow { rank: 2, ts_us: 300, dur_us: 50, kind: "recv".into(), peer: 0, tag: 9, n: 8, detail: String::new() },
+            JournalRow { rank: 0, ts_us: 250, dur_us: 0, kind: "send".into(), peer: 2, tag: 9, n: 8, detail: String::new() },
+            JournalRow { rank: 0, ts_us: 400, dur_us: 500, kind: "timeout".into(), peer: 1, tag: 7, n: 0, detail: String::new() },
+            JournalRow { rank: 2, ts_us: 880, dur_us: 20, kind: "mark".into(), peer: 0, tag: 0, n: 0, detail: "tail".into() },
+        ];
+        let pm = analyze_rows(PathBuf::from("x"), "test".into(), 3, rows);
+        assert_eq!(pm.blamed, Some(1));
+        assert_eq!(pm.ranks[1].last_us, 100);
+        assert_eq!(pm.silence_gap_us, 900 - 100);
+        assert_eq!(pm.unpaired_sends.len(), 1);
+        assert_eq!(pm.unpaired_sends[0].src, 0);
+        assert_eq!(pm.unpaired_sends[0].dst, 1);
+        assert_eq!(pm.unpaired_sends[0].tag, 7);
+        assert_eq!(pm.timeouts.len(), 1);
+        assert_eq!(pm.timeouts[0].peer, 1);
+    }
+
+    #[test]
+    fn silent_rank_outranks_slow_rank_in_blame() {
+        // Rank 1 never journaled anything: maximal suspicion.
+        let rows = vec![
+            JournalRow { rank: 0, ts_us: 10, dur_us: 0, kind: "mark".into(), peer: 0, tag: 0, n: 0, detail: String::new() },
+            JournalRow { rank: 2, ts_us: 15, dur_us: 0, kind: "mark".into(), peer: 0, tag: 0, n: 0, detail: String::new() },
+        ];
+        let pm = analyze_rows(PathBuf::from("x"), String::new(), 3, rows);
+        assert_eq!(pm.blamed, Some(1));
+        assert!(pm.ranks[1].last_event.is_none());
+    }
+
+    #[test]
+    fn bundle_roundtrips_through_the_analyzer() {
+        let dir = tmpdir("roundtrip");
+        let rec = FlightRecorder::new(3, 64);
+        let comm = CommEventLog::new(3, 64);
+        comm.set_enabled(true);
+
+        // Synthetic history on the real trace clock: rank 1 dies after one
+        // recv; ranks 0/2 continue and rank 0 times out on rank 1.
+        let t0 = trace_now_us();
+        comm.record(0, CommEvent { kind: CommEventKind::Send, ts_us: t0 + 1, dur_us: 0, peer: 1, tag: 42, bytes: 800 });
+        comm.record(1, CommEvent { kind: CommEventKind::Recv, ts_us: t0 + 2, dur_us: 1, peer: 0, tag: 42, bytes: 800 });
+        rec.record(1, FrKind::CkptBegin, 1, 0, "");
+        comm.record(0, CommEvent { kind: CommEventKind::Send, ts_us: t0 + 500, dur_us: 0, peer: 1, tag: 42, bytes: 800 });
+        comm.record(0, CommEvent { kind: CommEventKind::Timeout, ts_us: t0 + 600, dur_us: 900, peer: 1, tag: 42, bytes: 0 });
+        rec.record(0, FrKind::Recovery, 1, 0, "rollback 1");
+        rec.record(2, FrKind::Mark, 0, 0, "still alive");
+        comm.record(2, CommEvent { kind: CommEventKind::Recv, ts_us: t0 + 2_000, dur_us: 10, peer: 0, tag: 9, bytes: 8 });
+        comm.record(0, CommEvent { kind: CommEventKind::Send, ts_us: t0 + 1_990, dur_us: 0, peer: 2, tag: 9, bytes: 8 });
+
+        let spec = BundleSpec {
+            reason: "deadlock",
+            recorder: Some(&rec),
+            comm_events: Some(&comm),
+            series_json: Some("{\"schema\":\"ap3esm-tsdb/1\",\"series\":[]}".to_string()),
+            fault_plan: Some("die rank=1 step=1\n".to_string()),
+            ..Default::default()
+        };
+        let bundle = dump_bundle_to(&dir, "unit", &spec).unwrap();
+        assert!(bundle.ends_with("bundle-unit"));
+        for f in ["manifest.json", "journal.json", "alerts.json", "series.json", "faultplan.txt"] {
+            assert!(bundle.join(f).is_file(), "bundle missing {f}");
+        }
+
+        let pm = analyze(&bundle).unwrap();
+        assert_eq!(pm.reason, "deadlock");
+        assert_eq!(pm.n_ranks, 3);
+        assert_eq!(pm.blamed, Some(1), "rank 1 stalled first: {}", pm.render_table());
+        assert_eq!(pm.unpaired_sends.len(), 1);
+        assert_eq!((pm.unpaired_sends[0].src, pm.unpaired_sends[0].dst), (0, 1));
+        assert_eq!(pm.timeouts.len(), 1);
+
+        // JSON form round-trips through the parser with the right schema.
+        let text = pm.to_json().to_string();
+        let doc = Json::parse(&text).unwrap();
+        assert_eq!(doc.get("schema").and_then(Json::as_str), Some("ap3esm-postmortem/1"));
+        assert_eq!(doc.get("blamed_rank").and_then(Json::as_u64), Some(1));
+        // The table names the blamed rank and the orphaned channel.
+        let table = pm.render_table();
+        assert!(table.contains("blamed rank: 1"));
+        assert!(table.contains("rank 0 -> rank 1"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn dump_tolerates_a_minimal_spec() {
+        // A panic handler may have almost nothing: name + reason only.
+        let dir = tmpdir("minimal");
+        let spec = BundleSpec { reason: "panic", ..Default::default() };
+        let bundle = dump_bundle_to(&dir, "bare", &spec).unwrap();
+        let pm = analyze(&bundle).unwrap();
+        assert_eq!(pm.blamed, None);
+        assert_eq!(pm.total_events, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -46,6 +46,7 @@
 //! on — timing is observed, never consulted.
 
 pub mod alert;
+pub mod flightrec;
 pub mod json;
 pub mod metrics;
 pub mod openmetrics;
@@ -58,6 +59,10 @@ pub mod tsdb;
 
 pub use alert::{
     parse_rules, serve_rules, sim_rules, AlertEngine, AlertEvent, Rule, RuleKind, RuleStatus,
+};
+pub use flightrec::{
+    analyze, dump_bundle, dump_bundle_to, BundleSpec, FlightRecorder, FrEvent, FrKind,
+    Postmortem, DEFAULT_FLIGHT_CAPACITY,
 };
 pub use metrics::{Counter, Gauge, Histogram, Metrics, MetricSnapshot};
 pub use openmetrics::MetricsServer;

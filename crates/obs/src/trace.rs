@@ -260,6 +260,10 @@ impl ChromeTrace {
             let name = match e.kind {
                 CommEventKind::Send => format!("send→{} tag {:#x}", e.peer, e.tag),
                 CommEventKind::Recv => format!("recv←{} tag {:#x}", e.peer, e.tag),
+                CommEventKind::Timeout => {
+                    format!("timeout←{} tag {:#x}", e.peer, e.tag)
+                }
+                CommEventKind::Stale => format!("stale⊘{} ×{}", e.peer, e.bytes),
             };
             self.rows.push(Row {
                 pid: pid as u64,
@@ -292,6 +296,9 @@ impl ChromeTrace {
                     .entry((e.peer as u64, *pid as usize, e.tag))
                     .or_default()
                     .push((e.ts_us, e.dur_us)),
+                // Timed-out waits never consumed a message and stale
+                // discards never delivered one — neither joins a flow.
+                CommEventKind::Timeout | CommEventKind::Stale => {}
             }
         }
         let mut flow_id = 1u64;

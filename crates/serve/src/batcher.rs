@@ -23,6 +23,9 @@ use crate::error::ServeError;
 /// One queued request: the input column, its response channel, and when it
 /// entered the queue (for queue-wait metrics and the batch deadline).
 pub(crate) struct Pending {
+    /// Ticket id assigned at submit, journaled by the flight recorder so
+    /// a postmortem can pair submit/done/shed for one request.
+    pub id: u64,
     pub input: ColumnState,
     pub enqueued: Instant,
     pub tx: mpsc::Sender<Result<ColumnTendency, ServeError>>,
@@ -133,6 +136,7 @@ mod tests {
         let (tx, rx) = mpsc::channel();
         (
             Pending {
+                id: 0,
                 input: ColumnState {
                     u: vec![0.0; nlev],
                     v: vec![0.0; nlev],

@@ -211,6 +211,13 @@ struct Inner {
     queue: BatchQueue,
     obs: Arc<Obs>,
     metrics: ServeMetrics,
+    /// Black-box ticket-lifecycle journal (single ring: the service is one
+    /// process). submit/done/shed events cost one relaxed load plus a
+    /// bounded ring push; on a worker crash the tail is dumped as a
+    /// diagnostics bundle.
+    flight: ap3esm_obs::FlightRecorder,
+    /// Monotonic ticket id source for the journal.
+    ticket_seq: std::sync::atomic::AtomicU64,
 }
 
 impl Inner {
@@ -249,10 +256,40 @@ impl Inner {
                          and restarting the worker",
                         batch.len()
                     );
+                    self.flight.record(
+                        0,
+                        ap3esm_obs::FrKind::Fault,
+                        batch.len() as u64,
+                        0,
+                        &format!("worker crashed: {detail}"),
+                    );
                     for p in batch {
+                        self.flight.record(
+                            0,
+                            ap3esm_obs::FrKind::ServeShed,
+                            p.id,
+                            0,
+                            "failed by worker crash",
+                        );
                         let _ = p.tx.send(Err(ServeError::WorkerCrashed {
                             detail: detail.clone(),
                         }));
+                    }
+                    // The bundle is the crash's black box: the ticket tail
+                    // leading up to the panicking forward, plus the panic
+                    // text, ready for `flightrec::analyze`/diagnose.sh.
+                    let spec = ap3esm_obs::BundleSpec {
+                        reason: "serve-worker-crash",
+                        recorder: Some(&self.flight),
+                        ..Default::default()
+                    };
+                    let name = format!("serve-crash-pid{}", std::process::id());
+                    match ap3esm_obs::dump_bundle(&name, &spec) {
+                        Ok(dir) => eprintln!(
+                            "[serve] diagnostics bundle: {}",
+                            dir.display()
+                        ),
+                        Err(e) => eprintln!("[serve] bundle dump failed: {e}"),
                     }
                     continue;
                 }
@@ -261,6 +298,13 @@ impl Inner {
                 let latency = p.enqueued.elapsed();
                 self.metrics.latency_us.record(latency.as_micros() as u64);
                 self.metrics.served.add(1);
+                self.flight.record(
+                    0,
+                    ap3esm_obs::FrKind::ServeDone,
+                    p.id,
+                    latency.as_micros() as u64,
+                    "",
+                );
                 // A client that gave up (dropped its Ticket) is fine.
                 let _ = p.tx.send(Ok(out));
             }
@@ -298,6 +342,8 @@ impl Service {
             queue: BatchQueue::new(cfg.queue_capacity, cfg.max_batch, cfg.max_wait),
             registry,
             obs,
+            flight: ap3esm_obs::FlightRecorder::new(1, ap3esm_obs::DEFAULT_FLIGHT_CAPACITY),
+            ticket_seq: std::sync::atomic::AtomicU64::new(1),
         });
 
         // The supervisor owns the pp::Threads pool. `for_each(workers, ..)`
@@ -350,6 +396,12 @@ impl Service {
         self.inner.queue.depth()
     }
 
+    /// The service's black-box ticket journal (submit/done/shed events;
+    /// dumped as a diagnostics bundle when a worker crashes).
+    pub fn flight_recorder(&self) -> &ap3esm_obs::FlightRecorder {
+        &self.inner.flight
+    }
+
     /// Override one tenant's rate limit.
     pub fn set_tenant_limit(&self, tenant: &str, rate: f64, burst: f64) {
         self.admission.set_tenant_limit(tenant, rate, burst);
@@ -374,7 +426,15 @@ impl Service {
             });
         }
         let (tx, rx) = mpsc::channel();
+        let id = self
+            .inner
+            .ticket_seq
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        self.inner
+            .flight
+            .record(0, ap3esm_obs::FrKind::ServeSubmit, id, 0, tenant);
         let pending = Pending {
+            id,
             input: column,
             enqueued: Instant::now(),
             tx,
@@ -390,6 +450,13 @@ impl Service {
                     ServeError::Draining => m.rejected_draining.add(1),
                     _ => {}
                 }
+                self.inner.flight.record(
+                    0,
+                    ap3esm_obs::FrKind::ServeShed,
+                    id,
+                    0,
+                    &format!("{e}"),
+                );
                 Err(e)
             }
         }

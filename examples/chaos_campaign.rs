@@ -25,6 +25,7 @@
 
 use ap3esm::comm::{Campaign, FaultInjector, ScenarioExpectation};
 use ap3esm::esm::RecoveryConfig;
+use ap3esm::obs::flightrec::{dump_bundle, BundleSpec, FlightRecorder};
 use ap3esm::obs::json::Json;
 use ap3esm::prelude::*;
 use std::path::PathBuf;
@@ -129,6 +130,10 @@ struct Verdict {
     shrinks: usize,
     degraded_ranks: usize,
     wall_s: f64,
+    /// Diagnostics bundle for this scenario: the driver's dump when the
+    /// run ended in trouble, or the campaign's own fallback dump on a
+    /// hang/panic (taken from the still-reachable shared world).
+    bundle: Option<PathBuf>,
 }
 
 fn tmpdir(tag: &str) -> PathBuf {
@@ -177,6 +182,7 @@ fn check_degraded_reference(
     let ref_ckpt = tmpdir("reference");
     let mut ref_opts = campaign_options(ref_ckpt.clone());
     ref_opts.resume_from = Some(shrunk);
+    ref_opts.bundle_name = Some("chaos-reference".to_string());
     let ref_world = World::new(ref_config.world_size()).with_recv_timeout(RECV_TIMEOUT);
     let ref_all = ref_world.run(|rank| run_coupled(rank, &ref_config, &ref_opts));
     let ref_root = &ref_all[0];
@@ -299,15 +305,22 @@ fn main() {
         let ckpt = tmpdir(&sc.name);
         let (tx, rx) = mpsc::channel();
         let (run_config, run_ckpt, plan) = (config.clone(), ckpt.clone(), sc.plan.clone());
-        // The worker owns the world; the main thread only watches the
+        // The world is shared with the watchdog side: if the scenario
+        // hangs or panics, the main thread can still read its flight
+        // recorder and comm journals for the fallback diagnostics bundle.
+        let world = Arc::new(
+            World::new(run_config.world_size())
+                .with_recv_timeout(RECV_TIMEOUT)
+                .with_fault_injector(Arc::new(FaultInjector::new(plan))),
+        );
+        let (run_world, run_name) = (Arc::clone(&world), sc.name.clone());
+        // The worker drives the world; the main thread only watches the
         // clock, so a deadlocked scenario cannot take the campaign down.
         std::thread::spawn(move || {
             let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                let opts = campaign_options(run_ckpt);
-                let world = World::new(run_config.world_size())
-                    .with_recv_timeout(RECV_TIMEOUT)
-                    .with_fault_injector(Arc::new(FaultInjector::new(plan)));
-                world.run(|rank| run_coupled(rank, &run_config, &opts))
+                let mut opts = campaign_options(run_ckpt);
+                opts.bundle_name = Some(format!("chaos-{run_name}"));
+                run_world.run(|rank| run_coupled(rank, &run_config, &opts))
             }));
             let _ = tx.send(result);
         });
@@ -335,6 +348,37 @@ fn main() {
         };
         let _ = std::fs::remove_dir_all(&ckpt);
         let s = stats.unwrap_or_default();
+
+        // Resolve the scenario's diagnostics bundle: prefer the driver's
+        // own dump; on a hang or panic the driver never got there, so
+        // dump a fallback bundle from the shared (possibly wedged) world.
+        let scenario_text = format!(
+            "scenario {}\nexpect {}\nseed {seed}\nplan:\n{}",
+            sc.name,
+            sc.expect.as_str(),
+            sc.plan
+        );
+        let mut bundle = s.bundle_path.clone();
+        if bundle.is_none() && matches!(observed, Observed::Panic | Observed::Hang) {
+            let slot = world.blackbox().get().cloned();
+            let spec = BundleSpec {
+                reason: if observed == Observed::Panic { "panic" } else { "hang" },
+                recorder: slot.as_ref().and_then(|s| s.downcast_ref::<FlightRecorder>()),
+                comm_events: Some(world.comm_events()),
+                fault_plan: Some(sc.plan.to_string()),
+                scenario: Some(scenario_text.clone()),
+                ..Default::default()
+            };
+            match dump_bundle(&format!("chaos-{}", sc.name), &spec) {
+                Ok(p) => bundle = Some(p),
+                Err(e) => eprintln!("  [flightrec] fallback bundle for {} failed: {e}", sc.name),
+            }
+        }
+        if let Some(b) = &bundle {
+            // The driver doesn't know the campaign context; stamp it in.
+            let _ = std::fs::write(b.join("scenario.txt"), &scenario_text);
+        }
+
         let v = Verdict {
             name: sc.name.clone(),
             expect: sc.expect,
@@ -344,6 +388,7 @@ fn main() {
             shrinks: s.shrinks,
             degraded_ranks: s.degraded_ranks,
             wall_s: t0.elapsed().as_secs_f64(),
+            bundle,
         };
         println!(
             "  {} {:<28} expect={:<8} observed={:<10} {:.1}s  {}",
@@ -382,6 +427,13 @@ fn main() {
         row.set("shrinks", Json::UInt(v.shrinks as u64));
         row.set("degraded_ranks", Json::UInt(v.degraded_ranks as u64));
         row.set("wall_s", Json::Num(v.wall_s));
+        row.set(
+            "bundle",
+            match &v.bundle {
+                Some(p) => Json::Str(p.display().to_string()),
+                None => Json::Null,
+            },
+        );
         rows.push(row);
     }
     report.set("scenarios", Json::Arr(rows));

@@ -1,0 +1,84 @@
+//! Offline postmortem over a flight-recorder diagnostics bundle.
+//!
+//! Reads nothing but the bundle directory a crashed/stalled run left in
+//! `target/obs/bundle-<name>/`, merges the per-rank journals on the shared
+//! trace clock, and prints the blame report: the first-stalled rank, the
+//! sends its silence orphaned, and the receive timeouts that detected it.
+//! The same report is written back into the bundle as `postmortem.json`
+//! so CI can archive verdict and evidence together.
+//!
+//! ```sh
+//! cargo run --release --example postmortem -- target/obs/bundle-chaos-lose-ocean-rank
+//! cargo run --release --example postmortem -- --bundle DIR --expect-blame 1
+//! ```
+//!
+//! Exits nonzero when the bundle is unreadable or `--expect-blame` names
+//! a different rank than the analyzer does (the CI smoke contract).
+
+use ap3esm::obs::flightrec::analyze;
+use std::path::PathBuf;
+
+fn main() {
+    let mut bundle: Option<PathBuf> = None;
+    let mut expect_blame: Option<usize> = None;
+    let mut json_only = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--bundle" => bundle = Some(args.next().unwrap_or_else(|| usage()).into()),
+            "--expect-blame" => {
+                expect_blame = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                )
+            }
+            "--json" => json_only = true,
+            _ if !a.starts_with('-') && bundle.is_none() => bundle = Some(a.into()),
+            _ => usage(),
+        }
+    }
+    let Some(bundle) = bundle else { usage() };
+
+    let pm = match analyze(&bundle) {
+        Ok(pm) => pm,
+        Err(e) => {
+            eprintln!("postmortem: {}: {e}", bundle.display());
+            std::process::exit(2);
+        }
+    };
+
+    let report = pm.to_json().to_string();
+    if json_only {
+        println!("{report}");
+    } else {
+        print!("{}", pm.render_table());
+    }
+    // Verdict and evidence travel together in the bundle.
+    if let Err(e) = std::fs::write(bundle.join("postmortem.json"), &report) {
+        eprintln!("postmortem: cannot write postmortem.json: {e}");
+    }
+
+    if let Some(want) = expect_blame {
+        match pm.blamed {
+            Some(got) if got == want => {
+                eprintln!("postmortem: blamed rank {got} matches --expect-blame");
+            }
+            got => {
+                eprintln!(
+                    "postmortem: expected blame on rank {want}, analyzer says {:?}",
+                    got
+                );
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: postmortem [--bundle] DIR [--expect-blame RANK] [--json]\n\
+         analyze a target/obs/bundle-<name>/ diagnostics bundle"
+    );
+    std::process::exit(2);
+}
