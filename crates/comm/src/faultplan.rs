@@ -465,7 +465,9 @@ impl ScenarioExpectation {
         }
     }
 
-    fn parse(v: &str, line: usize) -> Result<Self, PlanParseError> {
+    /// Parse an `expect=` value, reporting `line` on failure. Public for
+    /// the scenario catalog, which shares this grammar.
+    pub fn parse(v: &str, line: usize) -> Result<Self, PlanParseError> {
         match v {
             "healthy" => Ok(ScenarioExpectation::Healthy),
             "degraded" => Ok(ScenarioExpectation::Degraded),
@@ -515,8 +517,11 @@ pub struct Campaign {
 }
 
 /// splitmix64 of the campaign seed and scenario index: reproducible but
-/// decorrelated per-scenario seeds.
-fn scenario_seed(campaign_seed: u64, index: usize) -> u64 {
+/// decorrelated per-scenario seeds. Public because the scenario catalog
+/// (`ap3esm-scenario`), whose grammar supersets this campaign format,
+/// derives member and scenario seeds with the same mix so a catalog and a
+/// hand-built [`Campaign`] agree position-by-position.
+pub fn scenario_seed(campaign_seed: u64, index: usize) -> u64 {
     let mut z = campaign_seed
         .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(index as u64 + 1));
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);

@@ -27,8 +27,8 @@ pub mod world;
 
 pub use events::{trace_epoch, trace_now_us, CommEvent, CommEventKind, CommEventLog};
 pub use faultplan::{
-    Campaign, ChaosScenario, FaultEvent, FaultInjector, FaultPlan, MsgFault, MsgSelector,
-    PlanParseError, ScenarioExpectation,
+    scenario_seed, Campaign, ChaosScenario, FaultEvent, FaultInjector, FaultPlan, MsgFault,
+    MsgSelector, PlanParseError, ScenarioExpectation,
 };
 pub use halo::{HaloExchange, HaloSpec};
 pub use stats::CommStats;

@@ -1,9 +1,34 @@
 //! AP3ESM configurations — the Table 1 presets and scaled-down test sizes.
 
+use std::fmt;
+
 use serde::{Deserialize, Serialize};
 
 use ap3esm_cpl::rearrange::RearrangeStrategy;
 use ap3esm_grid::icosahedral::GeodesicCounts;
+
+/// A structured configuration error: which field is wrong and why. The
+/// whole point of [`CoupledConfig::validate`] is that a bad setup names
+/// its field upfront instead of tripping an assert three layers down in
+/// the clock, the decomposition, or the world-size check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    /// The offending `CoupledConfig` field (or field pair).
+    pub field: &'static str,
+    pub message: String,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "CoupledConfig.{}: {}", self.field, self.message)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+fn err(field: &'static str, message: String) -> Result<(), ConfigError> {
+    Err(ConfigError { field, message })
+}
 
 /// The five paper configurations (atmosphere km vs ocean km).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -155,6 +180,94 @@ impl CoupledConfig {
             1 + self.ocn_px * self.ocn_py
         }
     }
+
+    /// Upfront consistency check, called by both [`run_coupled`]
+    /// (crate::coupled::run_coupled) and the scenario loader. Every rule
+    /// here corresponds to a failure that would otherwise surface deep in
+    /// the driver — an `Alarm` divisibility assert, a `BlockDecomp2d`
+    /// bounds assert, or the silent 1×1 override of the ocean mesh in the
+    /// sequential layout — and names the offending field instead.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.atm_glevel == 0 || self.atm_glevel > 12 {
+            return err(
+                "atm_glevel",
+                format!("must be 1..=12 (G12 ≈ 1 km), got {}", self.atm_glevel),
+            );
+        }
+        if self.atm_nlev < 2 {
+            return err(
+                "atm_nlev",
+                format!("needs at least 2 levels, got {}", self.atm_nlev),
+            );
+        }
+        if self.ocn_nlon < 4 || self.ocn_nlat < 4 {
+            return err(
+                "ocn_nlon/ocn_nlat",
+                format!(
+                    "ocean grid must be at least 4x4, got {}x{}",
+                    self.ocn_nlon, self.ocn_nlat
+                ),
+            );
+        }
+        if self.ocn_nlev < 2 {
+            return err(
+                "ocn_nlev",
+                format!("needs at least 2 levels, got {}", self.ocn_nlev),
+            );
+        }
+        if self.ocn_px < 1 || self.ocn_py < 1 {
+            return err(
+                "ocn_px/ocn_py",
+                format!(
+                    "process mesh must be at least 1x1, got {}x{}",
+                    self.ocn_px, self.ocn_py
+                ),
+            );
+        }
+        if self.ocn_px > self.ocn_nlon || self.ocn_py > self.ocn_nlat {
+            return err(
+                "ocn_px/ocn_py",
+                format!(
+                    "process mesh {}x{} exceeds the {}x{} ocean grid \
+                     (every rank needs at least one column)",
+                    self.ocn_px, self.ocn_py, self.ocn_nlon, self.ocn_nlat
+                ),
+            );
+        }
+        if self.single_domain && self.ocn_px * self.ocn_py != 1 {
+            return err(
+                "single_domain",
+                format!(
+                    "the sequential layout runs the ocean inline on rank 0; \
+                     set ocn_px=ocn_py=1 (got {}x{})",
+                    self.ocn_px, self.ocn_py
+                ),
+            );
+        }
+        const DAY: i64 = 86_400;
+        for (name, per_day) in [
+            ("couplings_per_day.0 (atm)", self.couplings_per_day.0),
+            ("couplings_per_day.1 (ocn)", self.couplings_per_day.1),
+            ("couplings_per_day.2 (ice)", self.couplings_per_day.2),
+        ] {
+            if per_day <= 0 {
+                return Err(ConfigError {
+                    field: "couplings_per_day",
+                    message: format!("{name} must be positive, got {per_day}"),
+                });
+            }
+            if DAY % per_day != 0 {
+                return Err(ConfigError {
+                    field: "couplings_per_day",
+                    message: format!(
+                        "{name} = {per_day} does not divide the {DAY} s day \
+                         evenly (the coupling clock needs whole-second periods)"
+                    ),
+                });
+            }
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -195,5 +308,51 @@ mod tests {
     fn test_config_world_size() {
         let c = CoupledConfig::test_tiny();
         assert_eq!(c.world_size(), 5);
+    }
+
+    #[test]
+    fn validate_accepts_the_shipped_presets() {
+        CoupledConfig::test_tiny().validate().unwrap();
+        CoupledConfig::demo_small().validate().unwrap();
+        // The chaos campaign's 3x1 mesh and the shrunken 2x1 reference.
+        let mut c = CoupledConfig::test_tiny();
+        (c.ocn_px, c.ocn_py) = (3, 1);
+        c.validate().unwrap();
+        (c.ocn_px, c.ocn_py) = (2, 1);
+        c.validate().unwrap();
+        // The sequential-layout ablation.
+        let mut s = CoupledConfig::test_tiny();
+        s.single_domain = true;
+        (s.ocn_px, s.ocn_py) = (1, 1);
+        s.validate().unwrap();
+    }
+
+    #[test]
+    fn validate_names_the_offending_field() {
+        let cases: Vec<(&str, Box<dyn Fn(&mut CoupledConfig)>)> = vec![
+            ("atm_glevel", Box::new(|c| c.atm_glevel = 0)),
+            ("atm_glevel", Box::new(|c| c.atm_glevel = 13)),
+            ("atm_nlev", Box::new(|c| c.atm_nlev = 1)),
+            ("ocn_nlon/ocn_nlat", Box::new(|c| c.ocn_nlat = 2)),
+            ("ocn_nlev", Box::new(|c| c.ocn_nlev = 0)),
+            ("ocn_px/ocn_py", Box::new(|c| c.ocn_px = 0)),
+            // Mesh wider than the grid: the BlockDecomp2d assert, upfront.
+            ("ocn_px/ocn_py", Box::new(|c| c.ocn_px = 37)),
+            ("ocn_px/ocn_py", Box::new(|c| c.ocn_py = 25)),
+            // Sequential layout with a >1 mesh was silently overridden.
+            ("single_domain", Box::new(|c| c.single_domain = true)),
+            // Non-divisor coupling cadence: the Alarm assert, upfront.
+            ("couplings_per_day", Box::new(|c| c.couplings_per_day.0 = 7)),
+            ("couplings_per_day", Box::new(|c| c.couplings_per_day.1 = 0)),
+            ("couplings_per_day", Box::new(|c| c.couplings_per_day.2 = -4)),
+        ];
+        for (field, mutate) in cases {
+            let mut c = CoupledConfig::test_tiny();
+            mutate(&mut c);
+            let e = c.validate().expect_err(field);
+            assert_eq!(e.field, field, "{e}");
+            // The Display form names the field for log grepping.
+            assert!(e.to_string().contains(field), "{e}");
+        }
     }
 }

@@ -147,6 +147,70 @@ fn build_ai_driver(nlev: usize) -> PhysicsDriver {
     }
 }
 
+/// Idealised initial-condition SST anomaly families, applied to the
+/// coupler's initial SST boundary state at t = 0 (the reforecast-style
+/// perturbation the scenario engine's ENSO catalog entries use). The
+/// anomaly enters the coupled system through the first atmosphere
+/// couplings' lower boundary condition; the ocean interior is untouched,
+/// so the pattern relaxes on the coupling timescale like a prescribed-SST
+/// nudge.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SstPattern {
+    /// ENSO-like anomaly: `amplitude` K (positive = warm event, negative =
+    /// cold) centred on an eastern-basin warm pool, Gaussian in latitude
+    /// (~15° e-folding) and longitude (~40°).
+    Enso { amplitude: f64 },
+}
+
+impl SstPattern {
+    /// Anomaly (K) at a point, `lat`/`lon` in radians.
+    pub fn anomaly(&self, lat: f64, lon: f64) -> f64 {
+        match self {
+            SstPattern::Enso { amplitude } => {
+                // Eastern-Pacific-like centre at 240°E.
+                let lon0 = 240f64.to_radians();
+                let mut dl = (lon - lon0) % std::f64::consts::TAU;
+                if dl > std::f64::consts::PI {
+                    dl -= std::f64::consts::TAU;
+                }
+                if dl < -std::f64::consts::PI {
+                    dl += std::f64::consts::TAU;
+                }
+                let meridional = (-(lat / 15f64.to_radians()).powi(2)).exp();
+                let zonal = (-(dl / 40f64.to_radians()).powi(2)).exp();
+                amplitude * meridional * zonal
+            }
+        }
+    }
+}
+
+/// Seeded white-noise perturbation of the initial potential temperature
+/// (ensemble-spread generator): every cell of every level gets a
+/// deterministic `±amplitude/2` offset hashed from `(seed, cell index)`,
+/// so two members with different seeds decorrelate while any one member
+/// stays bitwise reproducible.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Perturbation {
+    pub seed: u64,
+    /// Peak-to-peak noise amplitude (K).
+    pub amplitude: f64,
+}
+
+impl Perturbation {
+    /// Centred noise in `[-amplitude/2, amplitude/2]` for index `i`
+    /// (splitmix64 of the seed and index — no RNG state to carry).
+    pub fn noise(&self, i: usize) -> f64 {
+        let mut z = self
+            .seed
+            .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(i as u64 + 1));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        let u = (z >> 11) as f64 / (1u64 << 53) as f64; // [0, 1)
+        (u - 0.5) * self.amplitude
+    }
+}
+
 /// Run options.
 #[derive(Debug, Clone)]
 pub struct CoupledOptions {
@@ -154,6 +218,13 @@ pub struct CoupledOptions {
     pub days: f64,
     /// Seed this vortex into the atmosphere at t = 0 (forecast experiment).
     pub vortex: Option<VortexSpec>,
+    /// Further vortices seeded after `vortex` (multi-vortex basin
+    /// experiments); order matters only where cores overlap.
+    pub extra_vortices: Vec<VortexSpec>,
+    /// Idealised SST anomaly added to the initial coupler SST state.
+    pub sst_pattern: Option<SstPattern>,
+    /// Seeded noise added to the initial θ field (ensemble spread).
+    pub perturb: Option<Perturbation>,
     /// Track the vortex at every atmosphere coupling.
     pub record_track: bool,
     /// Emit a JSON run report named `run-<name>.json` under `target/obs/`.
@@ -207,6 +278,9 @@ impl Default for CoupledOptions {
         CoupledOptions {
             days: 1.0,
             vortex: None,
+            extra_vortices: Vec::new(),
+            sst_pattern: None,
+            perturb: None,
             record_track: false,
             report_name: None,
             trace: false,
@@ -719,6 +793,9 @@ fn commit_checkpoint(rank: &Rank, resil: &mut Resilience, id: u64) {
 
 /// Run the coupled model; every world rank calls this inside `World::run`.
 pub fn run_coupled(rank: &Rank, config: &CoupledConfig, opts: &CoupledOptions) -> CoupledStats {
+    if let Err(e) = config.validate() {
+        panic!("invalid configuration: {e}");
+    }
     assert_eq!(rank.size(), config.world_size(), "world size mismatch");
     // Physical rank 0 chairs the membership vote, so a shrink can never
     // evict it: root-ness is stable across generations even though
@@ -877,6 +954,14 @@ pub fn run_coupled(rank: &Rank, config: &CoupledConfig, opts: &CoupledOptions) -
             if let Some(spec) = &opts.vortex {
                 seed_vortex(&mut atm, spec);
             }
+            for spec in &opts.extra_vortices {
+                seed_vortex(&mut atm, spec);
+            }
+            if let Some(p) = &opts.perturb {
+                for (i, th) in atm.theta.iter_mut().enumerate() {
+                    *th += p.noise(i);
+                }
+            }
             let dycore = Dycore::new(
                 std::sync::Arc::clone(&grid),
                 fitted_atm_config(dx_km, atm_period),
@@ -925,8 +1010,13 @@ pub fn run_coupled(rank: &Rank, config: &CoupledConfig, opts: &CoupledOptions) -
             let mut sst_global: Vec<f64> = (0..ncols)
                 .map(|c| {
                     let j = c / config.ocn_nlon;
+                    let i = c % config.ocn_nlon;
                     let phi = ocn_grid.lat[j];
-                    2.0 + 26.0 * phi.cos().powi(2)
+                    let base = 2.0 + 26.0 * phi.cos().powi(2);
+                    match &opts.sst_pattern {
+                        Some(p) => base + p.anomaly(phi, ocn_grid.lon[i]),
+                        None => base,
+                    }
                 })
                 .collect();
             let mut ssu_global = vec![0.0; ncols];

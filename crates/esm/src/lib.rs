@@ -29,8 +29,8 @@ pub mod solar;
 pub mod timing;
 
 pub use component::{Component, ComponentPhase};
-pub use config::{CoupledConfig, Resolution};
-pub use coupled::{run_coupled, CoupledOptions, CoupledStats};
+pub use config::{ConfigError, CoupledConfig, Resolution};
+pub use coupled::{run_coupled, CoupledOptions, CoupledStats, Perturbation, SstPattern};
 pub use forecast::{run_forecast, run_forecast_with, ForecastResult};
 pub use resilience::{
     retry_delay, AtmGuard, CheckpointStore, GuardConfig, HealthVerdict, OcnGuard,

@@ -48,6 +48,7 @@
 pub mod alert;
 pub mod flightrec;
 pub mod json;
+pub mod leaderboard;
 pub mod metrics;
 pub mod openmetrics;
 pub mod perf;
@@ -64,6 +65,7 @@ pub use flightrec::{
     analyze, dump_bundle, dump_bundle_to, BundleSpec, FlightRecorder, FrEvent, FrKind,
     Postmortem, DEFAULT_FLIGHT_CAPACITY,
 };
+pub use leaderboard::{Leaderboard, LeaderboardRow, LEADERBOARD_SCHEMA};
 pub use metrics::{Counter, Gauge, Histogram, Metrics, MetricSnapshot};
 pub use openmetrics::MetricsServer;
 pub use perf::{BenchFile, BuildInfo, Direction, Stat};

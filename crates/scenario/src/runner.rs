@@ -1,0 +1,779 @@
+//! The campaign runner: fan a catalog's scenarios (× ensemble members)
+//! across a [`Threads`] pool, execute each unit in an isolated world,
+//! classify outcomes against the scenario contracts, and distil the
+//! campaign into per-scenario `ap3esm-tsdb/1` series snapshots plus one
+//! deterministic `ap3esm-leaderboard/1` ranking.
+//!
+//! Determinism contract: everything that lands in the leaderboard JSON —
+//! verdicts, conservation drift, ensemble spread, the cost-model SYPD
+//! proxy — is a pure function of (catalog, seed). Wall-clock measurements
+//! stay in the human table ([`CampaignReport::table`]) and stderr. Series
+//! snapshots are written post-join on one thread, in catalog order, so
+//! their bytes are deterministic too (the physics is bitwise reproducible;
+//! `ap3esm_obs::install` is thread-local, so parallel units cannot bleed
+//! metrics into each other).
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use ap3esm_comm::faultplan::{FaultInjector, ScenarioExpectation};
+use ap3esm_comm::World;
+use ap3esm_cpl::avect::{AttrVect, ATM_TO_OCN_FIELDS, ICE_TO_OCN_FIELDS, OCN_TO_ATM_FIELDS};
+use ap3esm_esm::{run_coupled, Perturbation, RecoveryConfig, SstPattern};
+use ap3esm_grid::decomp::BlockDecomp2d;
+use ap3esm_grid::mask::MaskGenerator;
+use ap3esm_grid::tripolar::TripolarGrid;
+use ap3esm_obs::flightrec::{dump_bundle, BundleSpec, FlightRecorder};
+use ap3esm_obs::leaderboard::{score, Leaderboard, LeaderboardRow};
+use ap3esm_obs::tsdb::{snapshot_to_json, SeriesStore};
+use ap3esm_ocn::model::OcnForcing;
+use ap3esm_pp::exec::{ExecSpace, Threads};
+
+use crate::compose::{fitted_ocn_config, AtmOnlyComponent, IceOnlyComponent, OcnOnlyComponent};
+use crate::dsl::{Catalog, ModelKind, Scenario};
+use ap3esm_esm::component::Component;
+
+/// Knobs of one campaign execution.
+#[derive(Debug, Clone)]
+pub struct CampaignOptions {
+    /// Worker threads the units fan across (0 = machine parallelism).
+    pub threads: usize,
+    /// Run only scenarios whose name contains this substring.
+    pub only: Option<String>,
+    /// Output directory for the leaderboard and series snapshots.
+    pub out_dir: PathBuf,
+    /// Write per-scenario `ap3esm-tsdb/1` snapshots.
+    pub write_series: bool,
+    /// Blocking-recv deadlock timeout inside member worlds.
+    pub recv_timeout: Duration,
+}
+
+impl Default for CampaignOptions {
+    fn default() -> Self {
+        CampaignOptions {
+            threads: 0,
+            only: None,
+            out_dir: ap3esm_obs::report::default_dir(),
+            write_series: true,
+            recv_timeout: Duration::from_millis(800),
+        }
+    }
+}
+
+/// What one (scenario, member) unit actually did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    Healthy,
+    Degraded,
+    Failure,
+    /// The unit panicked — never a contracted outcome.
+    Panic,
+    /// The unit finished but off its clock/contract (wrong simulated span,
+    /// missing cycle checkpoint, non-finite diagnostics …).
+    Divergence,
+}
+
+impl Verdict {
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Verdict::Healthy => "healthy",
+            Verdict::Degraded => "degraded",
+            Verdict::Failure => "failure",
+            Verdict::Panic => "PANIC",
+            Verdict::Divergence => "DIVERGENCE",
+        }
+    }
+
+    /// Does this outcome honour the scenario's contract?
+    pub fn matches(&self, expect: ScenarioExpectation) -> bool {
+        matches!(
+            (self, expect),
+            (Verdict::Healthy, ScenarioExpectation::Healthy)
+                | (Verdict::Degraded, ScenarioExpectation::Degraded)
+                | (Verdict::Failure, ScenarioExpectation::Failure)
+        )
+    }
+}
+
+/// One ensemble member's outcome.
+#[derive(Debug, Clone)]
+pub struct MemberOutcome {
+    pub member: usize,
+    pub verdict: Verdict,
+    pub detail: String,
+    /// Model-specific conservation drift (relative θ-mass drift, mean
+    /// free-surface anomaly, …; deterministic).
+    pub drift: f64,
+    /// Final primary diagnostic (mean θ / mean SST / ice cover) — the
+    /// ensemble-spread basis.
+    pub primary: f64,
+    pub simulated_seconds: f64,
+    pub wall_seconds: f64,
+    pub faults: usize,
+    pub recoveries: usize,
+    pub shrinks: usize,
+    /// Named diagnostic series, `(t seconds, value)` per coupling.
+    pub series: Vec<(String, Vec<(f64, f64)>)>,
+    /// Flight-recorder bundle, when the run ended in trouble.
+    pub bundle: Option<PathBuf>,
+}
+
+impl MemberOutcome {
+    fn new(member: usize) -> Self {
+        MemberOutcome {
+            member,
+            verdict: Verdict::Healthy,
+            detail: String::new(),
+            drift: 0.0,
+            primary: 0.0,
+            simulated_seconds: 0.0,
+            wall_seconds: 0.0,
+            faults: 0,
+            recoveries: 0,
+            shrinks: 0,
+            series: Vec::new(),
+            bundle: None,
+        }
+    }
+
+    fn fail(member: usize, verdict: Verdict, detail: String) -> Self {
+        MemberOutcome {
+            verdict,
+            detail,
+            ..MemberOutcome::new(member)
+        }
+    }
+}
+
+/// One scenario's aggregated outcome.
+#[derive(Debug, Clone)]
+pub struct ScenarioOutcome {
+    pub name: String,
+    pub model: ModelKind,
+    pub expect: ScenarioExpectation,
+    /// Worst member verdict (the first that broke the contract, or the
+    /// shared verdict when all honoured it).
+    pub verdict: Verdict,
+    pub ok: bool,
+    /// Worst-member drift.
+    pub drift: f64,
+    /// Max−min of the members' final primary diagnostic.
+    pub spread: f64,
+    pub simulated_seconds: f64,
+    pub wall_seconds: f64,
+    pub members: Vec<MemberOutcome>,
+    /// Series snapshot file name (relative to the output dir).
+    pub series_file: Option<String>,
+}
+
+impl ScenarioOutcome {
+    /// Measured SYPD of this scenario's members (wall clock; human table
+    /// only, never the leaderboard JSON).
+    pub fn sypd_wall(&self) -> f64 {
+        let sim: f64 = self.members.iter().map(|m| m.simulated_seconds).sum();
+        if self.wall_seconds > 0.0 {
+            sim / (365.0 * self.wall_seconds)
+        } else {
+            0.0
+        }
+    }
+}
+
+/// A finished campaign.
+#[derive(Debug, Clone)]
+pub struct CampaignReport {
+    pub outcomes: Vec<ScenarioOutcome>,
+    pub leaderboard: Leaderboard,
+    pub leaderboard_path: PathBuf,
+    /// Scenarios whose verdict broke their contract.
+    pub violations: usize,
+    /// The human-readable ranking table (includes wall-clock SYPD).
+    pub table: String,
+}
+
+/// Run `catalog` under `opts`. Call [`Catalog::validate`] first — the
+/// runner assumes a validated catalog and panics on inconsistencies the
+/// validator names politely.
+pub fn run_campaign(catalog: &Catalog, opts: &CampaignOptions) -> CampaignReport {
+    let selected: Vec<&Scenario> = catalog
+        .scenarios
+        .iter()
+        .filter(|sc| match &opts.only {
+            Some(pat) => sc.name.contains(pat.as_str()),
+            None => true,
+        })
+        .collect();
+
+    // Unit = (selected index, member). Results slot-addressed so the pool
+    // order cannot reorder anything.
+    let units: Vec<(usize, usize)> = selected
+        .iter()
+        .enumerate()
+        .flat_map(|(si, sc)| (0..sc.members).map(move |m| (si, m)))
+        .collect();
+    let results: Vec<Mutex<Option<MemberOutcome>>> =
+        units.iter().map(|_| Mutex::new(None)).collect();
+
+    let pool = if opts.threads == 0 {
+        Threads::auto()
+    } else {
+        Threads::new(opts.threads)
+    };
+    let work = |u: usize| {
+        let (si, member) = units[u];
+        let sc = selected[si];
+        let outcome = catch_unwind(AssertUnwindSafe(|| run_member(sc, member, opts)))
+            .unwrap_or_else(|payload| {
+                Verdict::Panic.into_outcome(member, panic_message(&payload))
+            });
+        *results[u].lock().expect("result slot") = Some(outcome);
+    };
+    pool.for_each(units.len(), &work);
+
+    // Post-join, single-threaded, catalog order: aggregate + emit.
+    let mut by_scenario: Vec<Vec<MemberOutcome>> = selected.iter().map(|_| Vec::new()).collect();
+    for (u, (si, _)) in units.iter().enumerate() {
+        let out = results[u]
+            .lock()
+            .expect("result slot")
+            .take()
+            .expect("every unit ran");
+        by_scenario[*si].push(out);
+    }
+
+    let mut outcomes = Vec::with_capacity(selected.len());
+    let mut rows = Vec::with_capacity(selected.len());
+    for (sc, mut members) in selected.iter().zip(by_scenario) {
+        members.sort_by_key(|m| m.member);
+        let verdict = members
+            .iter()
+            .map(|m| m.verdict)
+            .find(|v| !v.matches(sc.expect))
+            .unwrap_or_else(|| members[0].verdict);
+        let ok = members.iter().all(|m| m.verdict.matches(sc.expect));
+        let drift = members
+            .iter()
+            .map(|m| m.drift.abs())
+            .fold(0.0f64, f64::max);
+        let finite: Vec<f64> = members
+            .iter()
+            .map(|m| m.primary)
+            .filter(|p| p.is_finite())
+            .collect();
+        let spread = if finite.len() > 1 {
+            finite.iter().fold(f64::MIN, |a, &b| a.max(b))
+                - finite.iter().fold(f64::MAX, |a, &b| a.min(b))
+        } else {
+            0.0
+        };
+        let simulated_seconds = members
+            .iter()
+            .map(|m| m.simulated_seconds)
+            .fold(0.0f64, f64::max);
+        let wall_seconds: f64 = members.iter().map(|m| m.wall_seconds).sum();
+
+        let series_file = (opts.write_series && members.iter().any(|m| !m.series.is_empty()))
+            .then(|| format!("series-{}-{}.json", catalog.name, sc.name));
+        if let Some(file) = &series_file {
+            if let Err(e) = write_series_snapshot(&opts.out_dir.join(file), sc, &members) {
+                eprintln!("[campaign] series snapshot {file} failed: {e}");
+            }
+        }
+
+        let sypd_proxy = sc.sypd_proxy();
+        rows.push(LeaderboardRow {
+            name: sc.name.clone(),
+            model: sc.model.as_str().to_string(),
+            grid: sc.grid.as_str().to_string(),
+            days: sc.days,
+            members: sc.members as u64,
+            cycles: sc.cycles as u64,
+            expect: sc.expect.as_str().to_string(),
+            verdict: verdict.as_str().to_string(),
+            ok,
+            score: score(ok, sypd_proxy, drift),
+            sypd_proxy,
+            drift,
+            spread,
+            simulated_seconds,
+            faults: members.iter().map(|m| m.faults as u64).sum(),
+            recoveries: members.iter().map(|m| m.recoveries as u64).sum(),
+            shrinks: members.iter().map(|m| m.shrinks as u64).sum(),
+            series: series_file.clone(),
+        });
+        outcomes.push(ScenarioOutcome {
+            name: sc.name.clone(),
+            model: sc.model,
+            expect: sc.expect,
+            verdict,
+            ok,
+            drift,
+            spread,
+            simulated_seconds,
+            wall_seconds,
+            members,
+            series_file,
+        });
+    }
+
+    let leaderboard = Leaderboard::ranked(&catalog.name, catalog.seed, rows);
+    let leaderboard_path = leaderboard
+        .write(&opts.out_dir, &catalog.name)
+        .expect("write leaderboard");
+    let violations = leaderboard.rows.iter().filter(|r| !r.ok).count();
+    let table = render_table(&leaderboard, &outcomes);
+
+    CampaignReport {
+        outcomes,
+        leaderboard,
+        leaderboard_path,
+        violations,
+        table,
+    }
+}
+
+impl Verdict {
+    fn into_outcome(self, member: usize, detail: String) -> MemberOutcome {
+        MemberOutcome::fail(member, self, detail)
+    }
+}
+
+fn panic_message(payload: &Box<dyn std::any::Any + Send>) -> String {
+    payload
+        .downcast_ref::<String>()
+        .map(String::as_str)
+        .or_else(|| payload.downcast_ref::<&str>().copied())
+        .unwrap_or("opaque panic payload")
+        .to_string()
+}
+
+/// Execute one (scenario, member) unit.
+fn run_member(sc: &Scenario, member: usize, opts: &CampaignOptions) -> MemberOutcome {
+    let wall0 = Instant::now();
+    let mut out = match sc.model {
+        ModelKind::Full => run_full_member(sc, member, opts),
+        ModelKind::OceanOnly => run_ocean_member(sc, member, opts),
+        ModelKind::AtmOnly => run_atm_member(sc, member),
+        ModelKind::IceOnly => run_ice_member(sc, member),
+    };
+    out.wall_seconds = wall0.elapsed().as_secs_f64();
+    out
+}
+
+/// The coupled model: per-cycle worlds with checkpoint hand-off, fault
+/// injection from the scenario's plan, flight-recorder bundles on panics.
+fn run_full_member(sc: &Scenario, member: usize, opts: &CampaignOptions) -> MemberOutcome {
+    let config = sc.coupled_config();
+    let total_seconds = (sc.days * 86_400.0).round();
+    let have_faults = !sc.plan.events.is_empty();
+    let need_ckpt = sc.cycles > 1 || have_faults;
+    let tmp_root = std::env::temp_dir().join(format!(
+        "ap3esm-campaign-{}-{}-m{member}",
+        std::process::id(),
+        sc.name
+    ));
+    let _ = std::fs::remove_dir_all(&tmp_root);
+    // Whole couplings per cycle — guaranteed by the catalog parser.
+    let cycle_ocn = (sc.days * sc.couplings.1 as f64 / sc.cycles as f64).round() as usize;
+
+    let mut out = MemberOutcome::new(member);
+    let mut theta: Vec<(f64, f64)> = Vec::new();
+    let mut sst: Vec<(f64, f64)> = Vec::new();
+    let mut ke: Vec<(f64, f64)> = Vec::new();
+    let mut ice: Vec<(f64, f64)> = Vec::new();
+    let atm_period = 86_400.0 / sc.couplings.0 as f64;
+    let ocn_period = 86_400.0 / sc.couplings.1 as f64;
+    let ice_period = 86_400.0 / sc.couplings.2 as f64;
+
+    let mut resume: Option<PathBuf> = None;
+    'cycles: for cycle in 0..sc.cycles {
+        let ckpt_dir = need_ckpt.then(|| tmp_root.join(format!("cycle{cycle}")));
+        let mut copts = sc.coupled_options(member);
+        copts.days = sc.days * (cycle + 1) as f64 / sc.cycles as f64;
+        copts.checkpoint_dir = ckpt_dir.clone();
+        copts.recovery = RecoveryConfig {
+            // Fault scenarios checkpoint densely for cheap rollback;
+            // fault-free cycled reforecasts only at the cycle hand-off.
+            checkpoint_interval: if have_faults { 1 } else { cycle_ocn.max(1) },
+            keep_checkpoints: 4,
+            ..RecoveryConfig::default()
+        };
+        copts.resume_from = resume.take();
+        copts.bundle_name = Some(format!("campaign-{}-m{member}", sc.name));
+
+        let mut world = World::new(config.world_size()).with_recv_timeout(opts.recv_timeout);
+        if have_faults {
+            world = world.with_fault_injector(Arc::new(FaultInjector::new(sc.plan.clone())));
+        }
+        let world = Arc::new(world);
+        let run = catch_unwind(AssertUnwindSafe(|| {
+            world.run(|rank| run_coupled(rank, &config, &copts))
+        }));
+        let all = match run {
+            Ok(all) => all,
+            Err(payload) => {
+                out.verdict = Verdict::Panic;
+                out.detail = panic_message(&payload);
+                // The driver never reached its own dump — salvage the
+                // flight recorder from the shared world.
+                let slot = world.blackbox().get().cloned();
+                let spec = BundleSpec {
+                    reason: "panic",
+                    recorder: slot
+                        .as_ref()
+                        .and_then(|s| s.downcast_ref::<FlightRecorder>()),
+                    comm_events: Some(world.comm_events()),
+                    fault_plan: have_faults.then(|| sc.plan.to_string()),
+                    scenario: Some(format!("scenario {} member {member}", sc.name)),
+                    ..Default::default()
+                };
+                if let Ok(p) = dump_bundle(&format!("campaign-{}-m{member}", sc.name), &spec) {
+                    out.bundle = Some(p);
+                }
+                break 'cycles;
+            }
+        };
+
+        let root = &all[0];
+        out.faults += all.iter().map(|s| s.fault_events.len()).sum::<usize>();
+        out.recoveries += root.recoveries;
+        out.shrinks += root.shrinks;
+        out.simulated_seconds = root.simulated_seconds;
+        if root.bundle_path.is_some() {
+            out.bundle = root.bundle_path.clone();
+        }
+
+        // Stitch this cycle's series onto the member timeline, anchored at
+        // the cycle's end: entry i of an n-entry series is the coupling
+        // ending at T_end - (n-1-i) periods. A resumed cycle replays the
+        // couplings after its hand-off checkpoint (which lands shy of the
+        // cycle boundary), so the head of its series can overlap the
+        // previous cycle's tail — the replay is bitwise, drop it.
+        let t_end = total_seconds * (cycle + 1) as f64 / sc.cycles as f64;
+        for (dst, src, period) in [
+            (&mut theta, &root.theta_series, atm_period),
+            (&mut sst, &root.sst_series, ocn_period),
+            (&mut ke, &root.ke_series, ocn_period),
+            (&mut ice, &root.ice_series, ice_period),
+        ] {
+            let n = src.len();
+            let last_t = dst.last().map(|&(t, _)| t).unwrap_or(f64::NEG_INFINITY);
+            dst.extend(src.iter().enumerate().filter_map(|(i, &v)| {
+                let t = t_end - (n - 1 - i) as f64 * period;
+                (t > last_t + 1e-6).then_some((t, v))
+            }));
+        }
+
+        if let Some(f) = &root.failure {
+            out.verdict = Verdict::Failure;
+            out.detail = f.clone();
+            break 'cycles;
+        }
+        let expected = total_seconds * (cycle + 1) as f64 / sc.cycles as f64;
+        if (root.simulated_seconds - expected).abs() > 0.5 {
+            out.verdict = Verdict::Divergence;
+            out.detail = format!(
+                "cycle {cycle} simulated {} s, expected {expected} s",
+                root.simulated_seconds
+            );
+            break 'cycles;
+        }
+        if root.degraded_ranks > 0 || root.shrinks > 0 {
+            out.verdict = Verdict::Degraded;
+            out.detail = format!("finished on {} fewer rank(s)", root.degraded_ranks);
+        }
+
+        if cycle + 1 < sc.cycles {
+            let dir = ckpt_dir.expect("cycled runs checkpoint");
+            match latest_committed(&dir) {
+                Some(p) => resume = Some(p),
+                None => {
+                    out.verdict = Verdict::Divergence;
+                    out.detail =
+                        format!("no committed checkpoint in {} at cycle end", dir.display());
+                    break 'cycles;
+                }
+            }
+        }
+    }
+
+    // Conservation drift: relative θ trend over the stitched trajectory
+    // (bitwise-deterministic; a blown-up run shows as NaN → Divergence).
+    if theta.len() > 1 {
+        let (first, last) = (theta[0].1, theta[theta.len() - 1].1);
+        out.drift = if first != 0.0 { (last - first) / first } else { 0.0 };
+    }
+    out.primary = theta.last().map(|&(_, v)| v).unwrap_or(0.0);
+    if out.verdict == Verdict::Healthy
+        && (!out.drift.is_finite() || !out.primary.is_finite())
+    {
+        out.verdict = Verdict::Divergence;
+        out.detail = "non-finite diagnostics".into();
+    }
+    out.series = vec![
+        ("theta".into(), theta),
+        ("sst".into(), sst),
+        ("ke".into(), ke),
+        ("ice".into(), ice),
+    ];
+    let _ = std::fs::remove_dir_all(&tmp_root);
+    out
+}
+
+/// Newest committed checkpoint (`ckpt_<id>/COMMIT`) under `dir`.
+fn latest_committed(dir: &Path) -> Option<PathBuf> {
+    let mut best: Option<(u64, PathBuf)> = None;
+    for entry in std::fs::read_dir(dir).ok()?.flatten() {
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if let Some(id) = name.strip_prefix("ckpt_").and_then(|s| s.parse::<u64>().ok()) {
+            if entry.path().join("COMMIT").exists()
+                && best.as_ref().map(|(b, _)| id > *b).unwrap_or(true)
+            {
+                best = Some((id, entry.path()));
+            }
+        }
+    }
+    best.map(|(_, p)| p)
+}
+
+/// Standalone ocean spin-up: climatological forcing through the
+/// `Component` surface, single-rank world for the halo plumbing.
+fn run_ocean_member(sc: &Scenario, member: usize, opts: &CampaignOptions) -> MemberOutcome {
+    let cfg = sc.coupled_config();
+    let mask = MaskGenerator {
+        seed: cfg.mask_seed,
+        ..MaskGenerator::default()
+    };
+    let grid = TripolarGrid::new(cfg.ocn_nlon, cfg.ocn_nlat, cfg.ocn_nlev, mask);
+    let period = 86_400.0 / sc.couplings.1 as f64;
+    let ocn_config = fitted_ocn_config(&cfg, period);
+    let ncpl = (sc.days * sc.couplings.1 as f64).round() as usize;
+    let perturb = sc.perturb.map(|amplitude| Perturbation {
+        seed: sc.member_seed(member),
+        amplitude,
+    });
+    let decomp = BlockDecomp2d::new(cfg.ocn_nlon, cfg.ocn_nlat, 1, 1);
+    let clim = OcnForcing::climatology(&grid, &decomp, 0);
+
+    let world = World::new(1).with_recv_timeout(opts.recv_timeout);
+    let mut results = world.run(|rank| {
+        let mut comp =
+            OcnOnlyComponent::new(&grid, ocn_config.clone(), rank, sc.enso, perturb.as_ref());
+        comp.init();
+        let n = comp.model.state.ni * comp.model.state.nj;
+        let mut av_in = AttrVect::new(n, ATM_TO_OCN_FIELDS);
+        av_in.set("taux", &clim.taux);
+        av_in.set("qnet", &clim.qnet);
+        let mut av_out = AttrVect::new(n, OCN_TO_ATM_FIELDS);
+
+        let v0 = comp.volume_anomaly();
+        let (mut sst, mut ke, mut vol) = (Vec::new(), Vec::new(), Vec::new());
+        for k in 0..ncpl {
+            comp.import(&av_in);
+            comp.run(period);
+            comp.export(&mut av_out);
+            let t = (k + 1) as f64 * period;
+            sst.push((t, comp.mean_sst()));
+            ke.push((t, comp.model.state.kinetic_energy()));
+            vol.push((t, comp.volume_anomaly()));
+        }
+        comp.finalize();
+        let mut out = MemberOutcome::new(member);
+        out.simulated_seconds = ncpl as f64 * period;
+        out.drift = comp.volume_anomaly() - v0;
+        out.primary = comp.mean_sst();
+        let healthy = sst.iter().all(|&(_, v)| v.is_finite() && (-5.0..60.0).contains(&v))
+            && ke.iter().all(|&(_, v)| v.is_finite());
+        if !healthy {
+            out.verdict = Verdict::Divergence;
+            out.detail = "ocean diagnostics left the physical range".into();
+        }
+        out.series = vec![("sst".into(), sst), ("ke".into(), ke), ("vol".into(), vol)];
+        out
+    });
+    results.remove(0)
+}
+
+/// Standalone aqua-planet atmosphere over a zonal (optionally ENSO-warmed)
+/// SST, importing it through the `Component` surface each coupling.
+fn run_atm_member(sc: &Scenario, member: usize) -> MemberOutcome {
+    let period = 86_400.0 / sc.couplings.0 as f64;
+    let ncpl = (sc.days * sc.couplings.0 as f64).round() as usize;
+    let perturb = sc.perturb.map(|amplitude| Perturbation {
+        seed: sc.member_seed(member),
+        amplitude,
+    });
+    let vortices: Vec<_> = sc.vortices.iter().map(|v| v.to_spec()).collect();
+    let mut comp = AtmOnlyComponent::new(
+        sc.grid.atm_glevel(),
+        sc.grid.atm_nlev(),
+        period,
+        &vortices,
+        perturb.as_ref(),
+    );
+    comp.init();
+    let n = comp.grid.ncells();
+    // Aqua planet: zonal SST (K), ENSO anomaly applied to the *surface the
+    // atmosphere feels* (there is no ocean to warm).
+    let mut sst_k = vec![0.0; n];
+    for (i, cell) in comp.grid.cells.iter().enumerate() {
+        let phi = cell.lat();
+        let mut sst_c = 2.0 + 26.0 * phi.cos().powi(2);
+        if let Some(amp) = sc.enso {
+            sst_c += SstPattern::Enso { amplitude: amp }.anomaly(phi, cell.lon());
+        }
+        sst_k[i] = 273.15 + sst_c.max(-1.8);
+    }
+    let mut av_in = AttrVect::new(n, &["sst"]);
+    av_in.set("sst", &sst_k);
+    let mut av_out = AttrVect::new(n, ATM_TO_OCN_FIELDS);
+
+    let mass0 = comp.state.total_mass();
+    let (mut theta, mut mass) = (Vec::new(), Vec::new());
+    for k in 0..ncpl {
+        comp.import(&av_in);
+        comp.run(period);
+        comp.export(&mut av_out);
+        let t = (k + 1) as f64 * period;
+        theta.push((t, comp.state.mean_theta()));
+        mass.push((t, comp.state.total_mass() / mass0));
+    }
+    comp.finalize();
+
+    let mut out = MemberOutcome::new(member);
+    out.simulated_seconds = ncpl as f64 * period;
+    out.drift = mass.last().map(|&(_, m)| m - 1.0).unwrap_or(0.0);
+    out.primary = theta.last().map(|&(_, v)| v).unwrap_or(0.0);
+    let healthy = theta
+        .iter()
+        .all(|&(_, v)| v.is_finite() && (150.0..400.0).contains(&v))
+        && out.drift.is_finite();
+    if !healthy {
+        out.verdict = Verdict::Divergence;
+        out.detail = "atmosphere diagnostics left the physical range".into();
+    }
+    out.series = vec![("theta".into(), theta), ("mass".into(), mass)];
+    out
+}
+
+/// Standalone thermodynamic sea ice under a seasonal air-temperature swing.
+fn run_ice_member(sc: &Scenario, member: usize) -> MemberOutcome {
+    let cfg = sc.coupled_config();
+    let mask = MaskGenerator {
+        seed: cfg.mask_seed,
+        ..MaskGenerator::default()
+    };
+    let grid = TripolarGrid::new(cfg.ocn_nlon, cfg.ocn_nlat, cfg.ocn_nlev, mask);
+    let period = 86_400.0 / sc.couplings.2 as f64;
+    let ncpl = (sc.days * sc.couplings.2 as f64).round() as usize;
+    let mut comp = IceOnlyComponent::new(&grid, period);
+    comp.init();
+    let n = grid.nlon * grid.nlat;
+    let sst_c = -1.5 + 0.1 * sc.enso.unwrap_or(0.0);
+    let mut av_in = AttrVect::new(n, &["tair", "sst"]);
+    av_in.set("sst", &vec![sst_c; n]);
+    let mut av_out = AttrVect::new(n, ICE_TO_OCN_FIELDS);
+
+    let (mut cover, mut volume) = (Vec::new(), Vec::new());
+    for k in 0..ncpl {
+        let t = (k + 1) as f64 * period;
+        // Seasonal swing about a sub-freezing mean (late-July epoch).
+        let tair = -12.0 + 10.0 * (std::f64::consts::TAU * t / (365.0 * 86_400.0)).sin();
+        av_in.set("tair", &vec![tair; n]);
+        comp.import(&av_in);
+        comp.run(period);
+        comp.export(&mut av_out);
+        cover.push((t, comp.model.ice_cover()));
+        volume.push((t, comp.model.total_volume()));
+    }
+    comp.finalize();
+
+    let mut out = MemberOutcome::new(member);
+    out.simulated_seconds = ncpl as f64 * period;
+    // Thermodynamic ice has no conserved invariant to drift against; the
+    // health check is the physical range of the cover fraction.
+    out.drift = 0.0;
+    out.primary = cover.last().map(|&(_, v)| v).unwrap_or(0.0);
+    let healthy = cover
+        .iter()
+        .all(|&(_, v)| v.is_finite() && (0.0..=1.0).contains(&v))
+        && volume.iter().all(|&(_, v)| v.is_finite() && v >= 0.0);
+    if !healthy {
+        out.verdict = Verdict::Divergence;
+        out.detail = "ice diagnostics left the physical range".into();
+    }
+    out.series = vec![("cover".into(), cover), ("volume".into(), volume)];
+    out
+    // `member` is carried for symmetry: ice-only scenarios cannot perturb,
+    // so every member is identical and validate caps them at 1.
+}
+
+/// Write one scenario's member series as an `ap3esm-tsdb/1` snapshot.
+fn write_series_snapshot(
+    path: &Path,
+    sc: &Scenario,
+    members: &[MemberOutcome],
+) -> std::io::Result<()> {
+    let max_len = members
+        .iter()
+        .flat_map(|m| m.series.iter().map(|(_, pts)| pts.len()))
+        .max()
+        .unwrap_or(0);
+    let store = SeriesStore::new(max_len.next_power_of_two().max(64));
+    for m in members {
+        for (name, pts) in &m.series {
+            let full = if sc.members == 1 {
+                name.clone()
+            } else {
+                format!("m{}.{name}", m.member)
+            };
+            for &(t, v) in pts {
+                store.record_at(&full, t, v);
+            }
+        }
+    }
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    std::fs::write(path, snapshot_to_json(&store.snapshot()) + "\n")
+}
+
+/// Render the human ranking table (the only place wall-clock shows up).
+fn render_table(lb: &Leaderboard, outcomes: &[ScenarioOutcome]) -> String {
+    let mut t = String::new();
+    t.push_str(&format!(
+        "{:>4}  {:<24} {:<10} {:<6} {:>6} {:>4} {:>4}  {:<9} {:<10} {:>10} {:>9} {:>8} {:>9} {:>8}\n",
+        "rank", "scenario", "model", "grid", "days", "mem", "cyc", "expect", "verdict",
+        "score", "sypd*", "drift", "SYPD", "wall_s"
+    ));
+    for (i, r) in lb.rows.iter().enumerate() {
+        let o = outcomes.iter().find(|o| o.name == r.name);
+        let (sypd_wall, wall) = o
+            .map(|o| (o.sypd_wall(), o.wall_seconds))
+            .unwrap_or((0.0, 0.0));
+        t.push_str(&format!(
+            "{:>4}  {:<24} {:<10} {:<6} {:>6} {:>4} {:>4}  {:<9} {:<10} {:>10.3} {:>9.2} {:>8.1e} {:>9.2} {:>8.1}{}\n",
+            i + 1,
+            r.name,
+            r.model,
+            r.grid,
+            r.days,
+            r.members,
+            r.cycles,
+            r.expect,
+            r.verdict,
+            r.score,
+            r.sypd_proxy,
+            r.drift,
+            sypd_wall,
+            wall,
+            if r.ok { "" } else { "   <- CONTRACT BROKEN" },
+        ));
+    }
+    t.push_str("\n  sypd* = deterministic cost-model projection (ranks the leaderboard);\n");
+    t.push_str("  SYPD  = measured on this machine (never in the JSON).\n");
+    t
+}

@@ -18,16 +18,23 @@
 //! to stdout, a machine-readable report to `target/obs/chaos-report.json`,
 //! and the process exits nonzero if any scenario violated its contract.
 //!
+//! The campaign is written in the scenario-catalog grammar
+//! (`ap3esm::scenario::dsl`), which is a strict superset of the old chaos
+//! campaign format — `--catalog` loads any catalog file (e.g.
+//! `scenarios/chaos.scn`, the shipped copy of the embedded ladder).
+//!
 //! ```sh
 //! cargo run --release --example chaos_campaign
 //! cargo run --release --example chaos_campaign -- --seed 7 --only lose
+//! cargo run --release --example chaos_campaign -- --catalog scenarios/chaos.scn
 //! ```
 
-use ap3esm::comm::{Campaign, FaultInjector, ScenarioExpectation};
+use ap3esm::comm::{FaultInjector, ScenarioExpectation};
 use ap3esm::esm::RecoveryConfig;
 use ap3esm::obs::flightrec::{dump_bundle, BundleSpec, FlightRecorder};
 use ap3esm::obs::json::Json;
 use ap3esm::prelude::*;
+use ap3esm::scenario::dsl::Catalog;
 use std::path::PathBuf;
 use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
@@ -43,10 +50,16 @@ const WATCHDOG: Duration = Duration::from_secs(180);
 /// Wire tag of the ocean→coupler gather stream (p2p strategy, user tag 22).
 const GATHER_P2P_TAG: u64 = 0x5240_0000 + 22;
 
-/// The campaign: every rung of the recovery escalation ladder, in order.
-/// `{seed}` and `{gather}` are substituted before parsing.
+/// The campaign in the scenario-catalog grammar: every rung of the
+/// recovery escalation ladder on the 4-rank 3x1-ocean chaos world (losing
+/// one ocean rank shrinks to the 2x1 reference layout). `{seed}` and
+/// `{gather}` are substituted before parsing.
 const CAMPAIGN_TEXT: &str = "\
+name chaos
 seed {seed}
+grid tiny
+mesh 3x1
+days 1
 scenario baseline expect=healthy
 scenario transient-drop expect=healthy
 drop src=1 dst=0 tag={gather} nth=4
@@ -66,18 +79,9 @@ scenario die-before-first-checkpoint expect=failure
 die rank=2 step=1
 ";
 
-/// The chaos world: 4 ranks, ocean on a 3x1 mesh, so losing one ocean
-/// rank shrinks to the 2x1 reference layout.
-fn campaign_config() -> CoupledConfig {
-    let mut config = CoupledConfig::test_tiny();
-    config.ocn_px = 3;
-    config.ocn_py = 1;
-    config
-}
-
-fn campaign_options(ckpt: PathBuf) -> CoupledOptions {
+fn campaign_options(ckpt: PathBuf, days: f64) -> CoupledOptions {
     CoupledOptions {
-        days: 1.0,
+        days,
         checkpoint_dir: Some(ckpt),
         recovery: RecoveryConfig {
             checkpoint_interval: 1,
@@ -167,6 +171,7 @@ fn bitwise_tail_matches(name: &str, full: &[f64], tail: &[f64]) -> Result<(), St
 /// demand a bitwise-identical tail. Returns the violation, if any.
 fn check_degraded_reference(
     config: &CoupledConfig,
+    days: f64,
     root: &CoupledStats,
     ckpt: &std::path::Path,
 ) -> Result<(), String> {
@@ -175,12 +180,11 @@ fn check_degraded_reference(
         return Err(format!("hand-off dir {} missing", shrunk.display()));
     }
     let mut ref_config = config.clone();
-    // The shrink-to-fit layout for one lost ocean rank (3x1 → 2x1); must
-    // mirror the driver's `BlockDecomp2d::auto` re-fit.
-    ref_config.ocn_px = 2;
-    ref_config.ocn_py = 1;
+    // The shrink-to-fit layout for the lost ocean rank(s) on a 1-row mesh
+    // (3x1 → 2x1); must mirror the driver's `BlockDecomp2d::auto` re-fit.
+    ref_config.ocn_px = config.ocn_px - root.degraded_ranks;
     let ref_ckpt = tmpdir("reference");
-    let mut ref_opts = campaign_options(ref_ckpt.clone());
+    let mut ref_opts = campaign_options(ref_ckpt.clone(), days);
     ref_opts.resume_from = Some(shrunk);
     ref_opts.bundle_name = Some("chaos-reference".to_string());
     let ref_world = World::new(ref_config.world_size()).with_recv_timeout(RECV_TIMEOUT);
@@ -207,6 +211,7 @@ fn check_degraded_reference(
 /// Classify a finished (non-hung, non-panicked) scenario run.
 fn classify(
     config: &CoupledConfig,
+    days: f64,
     all: &[CoupledStats],
     ckpt: &std::path::Path,
 ) -> (Observed, String) {
@@ -223,7 +228,7 @@ fn classify(
             }
         }
     }
-    let expected_s = 86_400.0;
+    let expected_s = days * 86_400.0;
     if root.simulated_seconds != expected_s {
         return (
             Observed::Divergence,
@@ -234,7 +239,7 @@ fn classify(
         );
     }
     if root.shrinks > 0 {
-        match check_degraded_reference(config, root, ckpt) {
+        match check_degraded_reference(config, days, root, ckpt) {
             Ok(()) => (
                 Observed::Degraded,
                 format!(
@@ -256,6 +261,7 @@ fn classify(
 fn main() {
     let mut seed: u64 = 20260808;
     let mut only: Option<String> = None;
+    let mut catalog_path: Option<PathBuf> = None;
     let mut report_path = PathBuf::from("target/obs/chaos-report.json");
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -267,21 +273,26 @@ fn main() {
                     .unwrap_or_else(|| usage())
             }
             "--only" => only = Some(args.next().unwrap_or_else(|| usage())),
+            "--catalog" => catalog_path = Some(args.next().unwrap_or_else(|| usage()).into()),
             "--report" => report_path = args.next().unwrap_or_else(|| usage()).into(),
             _ => usage(),
         }
     }
 
-    let text = CAMPAIGN_TEXT
-        .replace("{seed}", &seed.to_string())
-        .replace("{gather}", &GATHER_P2P_TAG.to_string());
-    let campaign = Campaign::parse(&text).unwrap_or_else(|e| panic!("campaign text: {e}"));
-    let config = campaign_config();
-    campaign
-        .validate(config.world_size())
-        .unwrap_or_else(|e| panic!("campaign invalid for this world: {e}"));
+    let text = match &catalog_path {
+        Some(p) => std::fs::read_to_string(p)
+            .unwrap_or_else(|e| panic!("cannot read {}: {e}", p.display())),
+        None => CAMPAIGN_TEXT
+            .replace("{seed}", &seed.to_string())
+            .replace("{gather}", &GATHER_P2P_TAG.to_string()),
+    };
+    let catalog = Catalog::parse(&text).unwrap_or_else(|e| panic!("campaign text: {e}"));
+    catalog
+        .validate()
+        .unwrap_or_else(|e| panic!("campaign invalid: {e}"));
+    let seed = catalog.seed;
 
-    let scenarios: Vec<_> = campaign
+    let scenarios: Vec<_> = catalog
         .scenarios
         .iter()
         .filter(|s| only.as_deref().is_none_or(|f| s.name.contains(f)))
@@ -292,16 +303,15 @@ fn main() {
         std::process::exit(2);
     }
     println!(
-        "chaos campaign: {} scenario(s), seed {seed}, world {} (ocean {}x{})",
+        "chaos campaign: {} scenario(s), seed {seed}",
         scenarios.len(),
-        config.world_size(),
-        config.ocn_px,
-        config.ocn_py
     );
 
     let mut verdicts: Vec<Verdict> = Vec::new();
     for sc in &scenarios {
         let t0 = Instant::now();
+        let config = sc.coupled_config();
+        let days = sc.days;
         let ckpt = tmpdir(&sc.name);
         let (tx, rx) = mpsc::channel();
         let (run_config, run_ckpt, plan) = (config.clone(), ckpt.clone(), sc.plan.clone());
@@ -318,7 +328,7 @@ fn main() {
         // clock, so a deadlocked scenario cannot take the campaign down.
         std::thread::spawn(move || {
             let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                let mut opts = campaign_options(run_ckpt);
+                let mut opts = campaign_options(run_ckpt, days);
                 opts.bundle_name = Some(format!("chaos-{run_name}"));
                 run_world.run(|rank| run_coupled(rank, &run_config, &opts))
             }));
@@ -327,7 +337,7 @@ fn main() {
 
         let (observed, detail, stats) = match rx.recv_timeout(WATCHDOG) {
             Ok(Ok(all)) => {
-                let (obs, detail) = classify(&config, &all, &ckpt);
+                let (obs, detail) = classify(&config, days, &all, &ckpt);
                 (obs, detail, Some(all[0].clone()))
             }
             Ok(Err(payload)) => {
@@ -413,7 +423,7 @@ fn main() {
 
     let mut report = Json::obj();
     report.set("seed", Json::UInt(seed));
-    report.set("world_size", Json::UInt(config.world_size() as u64));
+    report.set("campaign", Json::Str(catalog.name.clone()));
     report.set("violations", Json::UInt(violations as u64));
     let mut rows = Vec::new();
     for v in &verdicts {

@@ -33,6 +33,7 @@ pub use ap3esm_ocn as ocn;
 pub use ap3esm_physics as physics;
 pub use ap3esm_pp as pp;
 pub use ap3esm_precision as precision;
+pub use ap3esm_scenario as scenario;
 pub use ap3esm_serve as serve;
 
 /// The most commonly used items in one import.
@@ -45,6 +46,8 @@ pub mod prelude {
     pub use ap3esm_grid::{GeodesicGrid, TripolarGrid};
     pub use ap3esm_machine::topology::MachineSpec;
     pub use ap3esm_pp::{ExecSpace, Serial, SimulatedCpe, Threads};
+    pub use ap3esm_scenario::dsl::Catalog;
+    pub use ap3esm_scenario::runner::{run_campaign, CampaignOptions};
     pub use ap3esm_serve::{
         ForecastScheduler, ModelRegistry, ProductKey, ServeConfig, ServeError, Service,
     };
