@@ -212,6 +212,10 @@ fn kernel_suite(iters: usize, file: &mut BenchFile) {
 
 fn coupled_suite(days: f64, report_name: &str, file: &mut BenchFile) {
     let config = CoupledConfig::test_tiny();
+    // Untraced, so the gated SYPD stays comparable across the trajectory
+    // (tracing costs real wall time at test_tiny scale). The report is
+    // still on: the per-section walls are cross-rank maxima, so sections
+    // that never run on rank 0 (ocn_run) reach the point too.
     let opts = CoupledOptions {
         days,
         report_name: Some(format!("{report_name}-sim")),
@@ -239,6 +243,36 @@ fn coupled_suite(days: f64, report_name: &str, file: &mut BenchFile) {
         "perf.sim.allocs",
         Stat::single(allocs as f64, "count", Direction::Informational),
     );
+
+    // A second, traced run contributes the `perf.sim.critpath.*`
+    // attribution (informational, never gated): where the critical path
+    // spends its time and what halving the top section would buy. Kept
+    // separate so the instrumentation cost cannot touch the gated SYPD.
+    let traced_opts = CoupledOptions {
+        days,
+        report_name: Some(format!("{report_name}-critpath")),
+        trace: true,
+        ..Default::default()
+    };
+    let traced = {
+        let world = World::new(config.world_size());
+        world.run(|rank| run_coupled(rank, &config, &traced_opts))
+    };
+    let troot = &traced[0];
+    if let Some(a) = &troot.critpath {
+        println!(
+            "  critpath (traced twin): compute {:.1}% comm {:.1}% wait {:.1}%, top {}",
+            100.0 * a.compute_frac(),
+            100.0 * a.comm_frac(),
+            100.0 * a.wait_frac(),
+            a.top_section,
+        );
+    }
+    for (name, stat) in troot.perf_metrics() {
+        if name.starts_with("perf.sim.critpath.") {
+            file.push(&name, stat);
+        }
+    }
 }
 
 // --- serving latency ----------------------------------------------------
@@ -310,7 +344,7 @@ fn column(nlev: usize, phase: f64) -> ap3esm_ai::modules::ColumnState {
 // --- reporting / gating -------------------------------------------------
 
 /// Mirror the BENCH point into the live-observability vocabulary: every
-/// metric as a `perf.*` gauge in a run report (`ap3esm-obs/4`, carrying
+/// metric as a `perf.*` gauge in a run report (`ap3esm-obs/5`, carrying
 /// the same build stamp) and as a one-point tsdb series snapshot.
 fn mirror_to_obs(file: &BenchFile, report_name: &str, gate_json: Option<ap3esm_obs::json::Json>) {
     let obs = Arc::new(ap3esm_obs::Obs::new());

@@ -34,6 +34,56 @@ pub fn alltoall_wire_tag(tag: u64) -> u64 {
     TAG_ALLTOALL + tag
 }
 
+/// True when `tag` sits in the reserved collective namespace — the wire
+/// tags the P2P legs of bcast/gather/allreduce/… travel under. Wait-state
+/// analyzers use this to classify a blocking receive as *collective wait*
+/// (the rank is parked at a reduction/barrier) rather than a plain
+/// point-to-point stall.
+pub fn is_collective_tag(tag: u64) -> bool {
+    tag >= TAG_BASE
+}
+
+/// Which collective family a reserved wire tag belongs to, or `None` for
+/// user (point-to-point) tags. Best-effort: the user tag is *added* to the
+/// block base, so a user tag larger than a block (≥ 0x1000) can spill into
+/// the next family's label — fine for display, don't branch on it. The
+/// sub-barrier of a shrunk world reports as `"barrier"`; the two-stage
+/// wire tags of `allreduce`/`allgather` (both blocks stacked, tag above
+/// `2 * TAG_BASE`) report as their composite family.
+pub fn collective_kind(tag: u64) -> Option<&'static str> {
+    if !is_collective_tag(tag) {
+        return None;
+    }
+    if tag >= 2 * TAG_BASE {
+        // Composed legs: allreduce's gather leg sits at block 0x6000 and
+        // its bcast leg at 0x5800; allgather's bcast leg at 0x4000.
+        return Some(if tag - 2 * TAG_BASE >= 0x4800 {
+            "allreduce"
+        } else {
+            "allgather"
+        });
+    }
+    const BLOCKS: [(u64, &str); 8] = [
+        (0x1000, "bcast"),
+        (0x2000, "gather"),
+        (0x3000, "allgather"),
+        (0x4000, "allreduce"),
+        (0x5000, "alltoall"),
+        (0x6000, "split"),
+        (0x7000, "barrier"),
+        (0x8000, "scatter"),
+    ];
+    let off = tag - TAG_BASE;
+    Some(
+        BLOCKS
+            .iter()
+            .rev()
+            .find(|(base, _)| off >= *base)
+            .map(|(_, name)| *name)
+            .unwrap_or("collective"),
+    )
+}
+
 /// Broadcast `data` from `root` to every rank; each rank returns the value.
 pub fn bcast<T: Send + Clone + 'static>(
     rank: &Rank,

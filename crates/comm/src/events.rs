@@ -155,6 +155,37 @@ impl CommEventLog {
         )
     }
 
+    /// Drain every rank's ring in one pass: `result[rank]` is that rank's
+    /// retained events in arrival order, with the summed eviction count.
+    /// The end-of-run exporters (chrome trace, critical-path analyzer)
+    /// share one drain through this, so whichever runs first cannot starve
+    /// the other.
+    pub fn take_all(&self) -> (Vec<Vec<CommEvent>>, u64) {
+        let mut dropped = 0;
+        let rings = (0..self.rings.len())
+            .map(|r| {
+                let (events, d) = self.take(r);
+                dropped += d;
+                events
+            })
+            .collect();
+        (rings, dropped)
+    }
+
+    /// Clone every rank's retained events without draining (postmortem
+    /// snapshots; see [`CommEventLog::snapshot`]).
+    pub fn snapshot_all(&self) -> (Vec<Vec<CommEvent>>, u64) {
+        let mut dropped = 0;
+        let rings = (0..self.rings.len())
+            .map(|r| {
+                let (events, d) = self.snapshot(r);
+                dropped += d;
+                events
+            })
+            .collect();
+        (rings, dropped)
+    }
+
     /// Events currently buffered for `rank` (test/diagnostic helper).
     pub fn len(&self, rank: usize) -> usize {
         self.rings[rank].lock().len()

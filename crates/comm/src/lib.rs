@@ -25,6 +25,7 @@ pub mod halo;
 pub mod stats;
 pub mod world;
 
+pub use collectives::{collective_kind, is_collective_tag};
 pub use events::{trace_epoch, trace_now_us, CommEvent, CommEventKind, CommEventLog};
 pub use faultplan::{
     scenario_seed, Campaign, ChaosScenario, FaultEvent, FaultInjector, FaultPlan, MsgFault,

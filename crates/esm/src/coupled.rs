@@ -364,6 +364,10 @@ pub struct CoupledStats {
     pub report_path: Option<std::path::PathBuf>,
     /// Where the chrome-trace file was written (rank 0, when tracing).
     pub trace_path: Option<std::path::PathBuf>,
+    /// Critical-path analysis of the traced run: per-interval path,
+    /// wait-state classification and what-if projection (rank 0, when
+    /// tracing with a report name).
+    pub critpath: Option<ap3esm_obs::critpath::Analysis>,
     /// Where the collapsed-stack file was written (rank 0, when tracing).
     pub folded_path: Option<std::path::PathBuf>,
     /// Rollbacks performed by the recovery layer.
@@ -421,6 +425,41 @@ impl CoupledStats {
                 format!("perf.sim.section.{name}.wall_s"),
                 Stat::single(*secs, "s", Direction::Informational),
             ));
+        }
+        // Critical-path attribution (traced runs): where the wall time on
+        // the longest cross-rank chain actually went, plus the projected
+        // payoff of halving the top-blamed section. Informational — the
+        // fractions are attribution, not speed, and jitter run to run.
+        if let Some(a) = &self.critpath {
+            for (name, v) in [
+                ("compute_frac", a.compute_frac()),
+                ("comm_frac", a.comm_frac()),
+                ("wait_frac", a.wait_frac()),
+            ] {
+                out.push((
+                    format!("perf.sim.critpath.{name}"),
+                    Stat::single(v, "frac", Direction::Informational),
+                ));
+            }
+            for s in &a.sections {
+                if s.name == ap3esm_obs::critpath::UNTRACKED {
+                    continue;
+                }
+                out.push((
+                    format!("perf.sim.critpath.section.{}.on_path_s", s.name),
+                    Stat::single(
+                        s.on_path_us() as f64 / 1e6,
+                        "s",
+                        Direction::Informational,
+                    ),
+                ));
+            }
+            if let Some(w) = &a.what_if_half_top {
+                out.push((
+                    "perf.sim.critpath.what_if_half_top_gain_pct".to_string(),
+                    Stat::single(w.gain_pct, "%", Direction::Informational),
+                ));
+            }
         }
         if let Some(json) = &self.report_json {
             if let Ok(report) = ap3esm_obs::json::Json::parse(json) {
@@ -1153,7 +1192,19 @@ pub fn run_coupled(rank: &Rank, config: &CoupledConfig, opts: &CoupledOptions) -
                         dycore.step_model_dynamics(&mut atm);
                         pdc.apply(&mut atm, &forcing, dycore.config.dt_model);
                     }
-                    // Land step from the atmosphere's surface fields.
+                    stats.theta_series.push(atm.mean_theta());
+                    if opts.record_track && opts.vortex.is_some() {
+                        let p = track_vortex(&atm, prev_track, 1_500_000.0);
+                        prev_track = Some((p.lat_deg, p.lon_deg));
+                        stats.track.push(p);
+                    }
+                    timers.stop("atm_run");
+
+                    // Land step from the atmosphere's surface fields, timed
+                    // as its own top-level section so the critical-path
+                    // analyzer and the per-section trajectory see the land
+                    // model's share separately from the dycore's.
+                    timers.start("lnd_run");
                     let winds = atm.surface_wind();
                     let precip_rate: Vec<f64> = atm
                         .precip_accum
@@ -1173,13 +1224,7 @@ pub fn run_coupled(rank: &Rank, config: &CoupledConfig, opts: &CoupledOptions) -
                         wind: winds.iter().map(|&(u, v)| (u * u + v * v).sqrt()).collect(),
                     };
                     lnd.step(&lnd_forcing, atm_period);
-                    stats.theta_series.push(atm.mean_theta());
-                    if opts.record_track && opts.vortex.is_some() {
-                        let p = track_vortex(&atm, prev_track, 1_500_000.0);
-                        prev_track = Some((p.lat_deg, p.lon_deg));
-                        stats.track.push(p);
-                    }
-                    timers.stop("atm_run");
+                    timers.stop("lnd_run");
                 }
 
                 if event.ice {
@@ -1596,7 +1641,7 @@ pub fn run_coupled(rank: &Rank, config: &CoupledConfig, opts: &CoupledOptions) -
                             };
                             let dw = dw.max(1e-9);
                             let split: Vec<String> =
-                                ["atm_run", "ocn_run", "ice_run", "cpl_rearrange"]
+                                ["atm_run", "lnd_run", "ocn_run", "ice_run", "cpl_rearrange"]
                                     .iter()
                                     .filter(|s| timers.count(s) > 0)
                                     .map(|s| format!("{s} {:.2}s", timers.seconds(s)))
@@ -2051,6 +2096,22 @@ pub fn run_coupled(rank: &Rank, config: &CoupledConfig, opts: &CoupledOptions) -
                 Vec::new()
             }
         };
+        // Paper §6.2: the trajectory's per-section walls are cross-rank
+        // maxima, not rank 0's local timers — otherwise sections that only
+        // run on other ranks (ocn_run on the ocean task domain) vanish
+        // from the BENCH point. Sorted by name so the metric set is
+        // independent of rank layout.
+        if is_root && !sections.is_empty() {
+            let mut merged = stats.per_section_seconds.clone();
+            for s in sections.iter().filter(|s| !s.path.contains('/')) {
+                match merged.iter_mut().find(|(n, _)| *n == s.path) {
+                    Some(entry) => entry.1 = s.max_s,
+                    None => merged.push((s.path.clone(), s.max_s)),
+                }
+            }
+            merged.sort_by(|a, b| a.0.cmp(&b.0));
+            stats.per_section_seconds = merged;
+        }
         // Every rank's tree (bounded) lands in the report, not just rank 0's.
         let trees = match ap3esm_obs::gather_span_trees(rank, 0x0B74, &spans, 16, 512) {
             Ok(t) => t,
@@ -2090,23 +2151,40 @@ pub fn run_coupled(rank: &Rank, config: &CoupledConfig, opts: &CoupledOptions) -
         }
         if is_root {
             if let Some(per_rank) = trace_events {
+                // Drain every rank's comm ring exactly once; the same
+                // events feed the chrome trace and the critical-path
+                // analyzer below.
+                let (all_comm, comm_dropped) = rank.comm_events().take_all();
+                if comm_dropped > 0 {
+                    eprintln!("[trace] {comm_dropped} comm events evicted (rings full)");
+                }
                 let mut ct = ap3esm_obs::ChromeTrace::new();
                 for (r, events) in per_rank.iter().enumerate() {
                     ct.add_process(r, &format!("rank {r}"));
                     ct.add_span_events(r, events);
-                    let (comm_events, comm_dropped) = rank.comm_events().take(r);
-                    if comm_dropped > 0 {
-                        eprintln!(
-                            "[trace] rank {r}: {comm_dropped} comm events evicted (ring full)"
-                        );
+                    if let Some(comm_events) = all_comm.get(r) {
+                        ct.add_comm_events(r, comm_events);
                     }
-                    ct.add_comm_events(r, &comm_events);
                 }
                 stats.trace_path = ct.write(name).ok();
                 if let Some(trees) = &trees {
                     let folded = ap3esm_obs::trace::folded_stacks(trees);
                     stats.folded_path = ap3esm_obs::trace::write_folded(name, &folded).ok();
                 }
+                // End-of-run critical-path analysis over the same
+                // timelines: where did the SYPD go, and what would
+                // halving the top section buy?
+                let timelines: Vec<ap3esm_obs::RankTimeline> = per_rank
+                    .iter()
+                    .enumerate()
+                    .map(|(r, events)| ap3esm_obs::RankTimeline {
+                        rank: r,
+                        spans: events.clone(),
+                        comms: all_comm.get(r).cloned().unwrap_or_default(),
+                    })
+                    .collect();
+                let analyzer = ap3esm_obs::Analyzer::new(&timelines).with_sypd(stats.sypd);
+                stats.critpath = Some(analyzer.analyze());
             }
             let comm = rank.stats();
             let stream = |label: &str, tags: [u64; 2]| {
@@ -2116,7 +2194,7 @@ pub fn run_coupled(rank: &Rank, config: &CoupledConfig, opts: &CoupledOptions) -
                 });
                 (label.to_string(), m, b)
             };
-            let report = ap3esm_obs::ReportBuilder::new(name)
+            let mut report = ap3esm_obs::ReportBuilder::new(name)
                 .meta("world_size", rank.size())
                 .meta("launched_world_size", rank.world_size())
                 .meta("generation", rank.generation())
@@ -2150,7 +2228,11 @@ pub fn run_coupled(rank: &Rank, config: &CoupledConfig, opts: &CoupledOptions) -
                 .alerts(alert_events)
                 .sections(sections)
                 .rank_trees(trees.unwrap_or_default())
-                .metrics(obs.metrics.snapshot())
+                .metrics(obs.metrics.snapshot());
+            if let Some(a) = &stats.critpath {
+                report = report.critpath(a.to_json());
+            }
+            let report = report
                 .comm(ap3esm_obs::CommSummary {
                     total_messages: comm.total_messages(),
                     total_bytes: comm.total_bytes(),
@@ -2217,7 +2299,7 @@ mod tests {
         // Only rank 0 writes; ocean ranks still participated in aggregation.
         assert!(all[1..].iter().all(|s| s.report_json.is_none()));
         let json = root.report_json.as_ref().expect("rank 0 report");
-        assert!(json.starts_with(r#"{"schema":"ap3esm-obs/4","name":"esm-report-test""#));
+        assert!(json.starts_with(r#"{"schema":"ap3esm-obs/5","name":"esm-report-test""#));
 
         // The sink wrote the same bytes to target/obs/.
         let path = root.report_path.as_ref().expect("report written");

@@ -32,7 +32,7 @@
 //! the two halves are merged at dump time, where both sides' shared
 //! trace clock makes the interleave causally meaningful.
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::VecDeque;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Mutex;
@@ -41,6 +41,7 @@ use ap3esm_comm::events::{trace_now_us, CommEvent, CommEventLog};
 
 use crate::alert::AlertEvent;
 use crate::json::Json;
+use crate::msgflow::{pair_fifo, FlowEvent, FlowKind};
 use crate::perf::BuildInfo;
 use crate::report::alert_event_json;
 
@@ -398,14 +399,9 @@ pub struct RankActivity {
     pub last_event: Option<JournalRow>,
 }
 
-/// A send with no matching receive on its FIFO channel.
-#[derive(Debug, Clone, PartialEq)]
-pub struct UnpairedSend {
-    pub src: usize,
-    pub dst: usize,
-    pub tag: u64,
-    pub ts_us: u64,
-}
+/// A send with no matching receive on its FIFO channel (the shared
+/// pairing's leftover tail — see [`crate::msgflow::pair_fifo`]).
+pub use crate::msgflow::UnpairedSend;
 
 /// A blocking receive that timed out into a `Deadlock`.
 #[derive(Debug, Clone, PartialEq)]
@@ -545,20 +541,30 @@ pub fn analyze_rows(
 
     // FIFO channel pairing: the k-th send on (src, dst, tag) matches the
     // k-th recv on the same channel; the excess tail of sends is unpaired.
-    let mut sends: BTreeMap<(usize, usize, u64), Vec<u64>> = BTreeMap::new();
-    let mut recv_counts: BTreeMap<(usize, usize, u64), usize> = BTreeMap::new();
+    // The pairing itself is the shared msgflow implementation, so the
+    // postmortem and the chrome-trace flow arrows can never disagree.
+    let mut flow_events = Vec::new();
     let mut timeouts = Vec::new();
     for row in &rows {
         match row.kind.as_str() {
-            "send" => sends
-                .entry((row.rank, row.peer as usize, row.tag))
-                .or_default()
-                .push(row.ts_us),
-            "recv" => {
-                *recv_counts
-                    .entry((row.peer as usize, row.rank, row.tag))
-                    .or_default() += 1;
-            }
+            "send" => flow_events.push(FlowEvent {
+                rank: row.rank,
+                kind: FlowKind::Send,
+                ts_us: row.ts_us,
+                dur_us: row.dur_us,
+                peer: row.peer as usize,
+                tag: row.tag,
+                bytes: row.n,
+            }),
+            "recv" => flow_events.push(FlowEvent {
+                rank: row.rank,
+                kind: FlowKind::Recv,
+                ts_us: row.ts_us,
+                dur_us: row.dur_us,
+                peer: row.peer as usize,
+                tag: row.tag,
+                bytes: row.n,
+            }),
             "timeout" => timeouts.push(TimeoutRecord {
                 rank: row.rank,
                 peer: row.peer as usize,
@@ -569,18 +575,7 @@ pub fn analyze_rows(
             _ => {}
         }
     }
-    let mut unpaired_sends = Vec::new();
-    for ((src, dst, tag), times) in &sends {
-        let received = recv_counts.get(&(*src, *dst, *tag)).copied().unwrap_or(0);
-        for &ts_us in times.iter().skip(received) {
-            unpaired_sends.push(UnpairedSend {
-                src: *src,
-                dst: *dst,
-                tag: *tag,
-                ts_us,
-            });
-        }
-    }
+    let mut unpaired_sends = pair_fifo(&flow_events).unpaired_sends;
     // Sends into (or out of) the blamed rank first — those are the
     // messages the silence orphaned — then chronological.
     unpaired_sends.sort_by_key(|u| {

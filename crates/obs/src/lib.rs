@@ -31,6 +31,16 @@
 //!   deviation, rate-of-change) evaluated on the sampled series; firings
 //!   land on stderr, in the chrome trace as instants, and in the run
 //!   report's `"alerts"` array.
+//! * [`msgflow`] — the shared FIFO send/recv pairing used by the trace
+//!   exporter's flow arrows, the flight recorder's unpaired-send analysis
+//!   and the critical-path analyzer: the k-th send on a `(src, dst, tag)`
+//!   channel matches the k-th recv, deterministically.
+//! * [`critpath`] — the "where is my SYPD going?" analyzer: replays
+//!   per-rank span timelines and comm-event rings into a cross-rank
+//!   activity graph, extracts the critical path, classifies off-path waits
+//!   Scalasca-style (late-sender, late-receiver, collective, timeout),
+//!   costs sections against the [`ap3esm_machine`] α–β model, and projects
+//!   what-if SYPD gains from shrinking a named section.
 //! * [`perf`] — the performance observatory: the schema-versioned
 //!   `ap3esm-bench/1` BENCH-file format (`BENCH_<n>.json` at the repo
 //!   root, one point per PR), shared build/machine stamping
@@ -46,10 +56,12 @@
 //! on — timing is observed, never consulted.
 
 pub mod alert;
+pub mod critpath;
 pub mod flightrec;
 pub mod json;
 pub mod leaderboard;
 pub mod metrics;
+pub mod msgflow;
 pub mod openmetrics;
 pub mod perf;
 pub mod rankagg;
@@ -61,12 +73,16 @@ pub mod tsdb;
 pub use alert::{
     parse_rules, serve_rules, sim_rules, AlertEngine, AlertEvent, Rule, RuleKind, RuleStatus,
 };
+pub use critpath::{Analysis, Analyzer, RankTimeline, WaitClass};
 pub use flightrec::{
     analyze, dump_bundle, dump_bundle_to, BundleSpec, FlightRecorder, FrEvent, FrKind,
     Postmortem, DEFAULT_FLIGHT_CAPACITY,
 };
 pub use leaderboard::{Leaderboard, LeaderboardRow, LEADERBOARD_SCHEMA};
 pub use metrics::{Counter, Gauge, Histogram, Metrics, MetricSnapshot};
+pub use msgflow::{
+    pair_fifo, pair_rings, FlowEvent, FlowKind, FlowPairing, PairedMessage, UnpairedSend,
+};
 pub use openmetrics::MetricsServer;
 pub use perf::{BenchFile, BuildInfo, Direction, Stat};
 pub use rankagg::{aggregate_sections, gather_span_trees, RankTree, SectionStats};

@@ -25,7 +25,7 @@ pub const BENCH_SCHEMA: &str = "ap3esm-bench/1";
 // --- build / machine metadata ------------------------------------------
 
 /// Build and machine metadata shared by BENCH files, run reports
-/// (`ap3esm-obs/4`) and chrome-trace exports, so any artifact can be
+/// (`ap3esm-obs/5`) and chrome-trace exports, so any artifact can be
 /// cross-referenced to the exact code and host that produced it.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BuildInfo {

@@ -23,7 +23,11 @@ use crate::span::SpanSnapshot;
 /// `/4`: build/machine metadata (`build` object after `name`, shared with
 /// `ap3esm-bench/1` BENCH files so reports and trajectory points are
 /// cross-referencable by git SHA and host).
-pub const SCHEMA: &str = "ap3esm-obs/4";
+/// `/5`: critical-path analysis (`critpath` object between `alerts` and
+/// `comm`, schema `ap3esm-critpath/1`), and comm `X` rows in the chrome
+/// trace carry `args` (`kind`/`peer`/`tag`/`bytes`) so traces round-trip
+/// through the offline analyzer.
+pub const SCHEMA: &str = "ap3esm-obs/5";
 
 /// Communication traffic digest (fed from `ap3esm_comm::CommStats`).
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -48,6 +52,7 @@ pub struct ReportBuilder {
     rank_trees: Vec<RankTree>,
     metrics: Vec<(String, MetricSnapshot)>,
     alerts: Vec<AlertEvent>,
+    critpath: Option<Json>,
     comm: Option<CommSummary>,
 }
 
@@ -102,6 +107,13 @@ impl ReportBuilder {
         self
     }
 
+    /// Attach the critical-path analysis (the `ap3esm-critpath/1` object
+    /// produced by [`crate::critpath::Analysis::to_json`]).
+    pub fn critpath(mut self, critpath: Json) -> Self {
+        self.critpath = Some(critpath);
+        self
+    }
+
     /// Attach the communication summary.
     pub fn comm(mut self, comm: CommSummary) -> Self {
         self.comm = Some(comm);
@@ -118,6 +130,7 @@ impl ReportBuilder {
             rank_trees: self.rank_trees,
             metrics: self.metrics,
             alerts: self.alerts,
+            critpath: self.critpath,
             comm: self.comm,
         }
     }
@@ -133,6 +146,7 @@ pub struct RunReport {
     rank_trees: Vec<RankTree>,
     metrics: Vec<(String, MetricSnapshot)>,
     alerts: Vec<AlertEvent>,
+    critpath: Option<Json>,
     comm: Option<CommSummary>,
 }
 
@@ -210,6 +224,11 @@ impl RunReport {
         root.set(
             "alerts",
             Json::Arr(self.alerts.iter().map(alert_event_json).collect()),
+        );
+
+        root.set(
+            "critpath",
+            self.critpath.clone().unwrap_or(Json::Null),
         );
 
         if let Some(comm) = &self.comm {
@@ -442,7 +461,7 @@ mod tests {
     fn json_matches_golden_schema() {
         let got = fixed_report().to_json();
         let want = concat!(
-            r#"{"schema":"ap3esm-obs/4","name":"golden","#,
+            r#"{"schema":"ap3esm-obs/5","name":"golden","#,
             r#""build":{"git_sha":"0123456789ab","rustc":"rustc 1.0.0-test","#,
             r#""host":"testhost","threads":8,"os":"linux/x86_64"},"#,
             r#""meta":{"world_size":3,"sypd":0.54},"#,
@@ -456,6 +475,7 @@ mod tests {
             r#""rearrange.ns":{"count":10,"min":100,"max":900,"mean":500,"p50":496,"p95":880}},"#,
             r#""alerts":[{"rule":"sypd-collapse","series":"sim.sypd","t_s":12.5,"#,
             r#""value":0.2,"message":"sypd-collapse: sim.sypd breached"}],"#,
+            r#""critpath":null,"#,
             r#""comm":{"total_messages":42,"total_bytes":1000000,"#,
             r#""top_pairs":[{"src":0,"dst":1,"bytes":700000},{"src":1,"dst":0,"bytes":300000}],"#,
             r#""streams":[{"label":"cpl_scatter","messages":30,"bytes":700000}]}}"#,

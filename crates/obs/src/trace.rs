@@ -18,7 +18,6 @@
 //! [`trace_epoch`](ap3esm_comm::events::trace_epoch), so every rank (each
 //! an OS thread of one process) lands on one aligned timeline.
 
-use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
@@ -26,6 +25,7 @@ use std::sync::Mutex;
 use ap3esm_comm::events::{trace_now_us, CommEvent, CommEventKind};
 
 use crate::json::Json;
+use crate::msgflow::{pair_fifo, FlowEvent};
 use crate::rankagg::RankTree;
 
 /// Chrome-trace phase of a recorded event.
@@ -213,6 +213,11 @@ struct Row {
     name: String,
     /// Flow-binding id for `s`/`f` rows.
     flow: Option<u64>,
+    /// For comm-track `X` rows: `(kind label, peer, tag, bytes)`, emitted
+    /// as an `args` object so offline analyzers (the critical-path CLI on
+    /// a bare trace file) can rebuild the event without parsing the
+    /// human-facing row name.
+    comm: Option<(&'static str, usize, u64, u64)>,
 }
 
 /// Builds one Chrome Trace Event Format file from per-rank span events and
@@ -248,6 +253,7 @@ impl ChromeTrace {
                 },
                 name: e.name.clone(),
                 flow: None,
+                comm: None,
             });
         }
     }
@@ -274,6 +280,7 @@ impl ChromeTrace {
                 ph: 'X',
                 name,
                 flow: None,
+                comm: Some((e.kind.label(), e.peer, e.tag, e.bytes)),
             });
             self.comms.push((pid as u64, e.clone()));
         }
@@ -281,54 +288,40 @@ impl ChromeTrace {
 
     /// Pair the k-th send on `(src, dst, tag)` with the k-th recv on the
     /// same channel (the mailbox is FIFO per channel, so arrival order is
-    /// pairing order) and emit `s`/`f` flow rows joining the two tracks.
+    /// pairing order — see [`crate::msgflow::pair_fifo`], the shared
+    /// implementation) and emit `s`/`f` flow rows joining the two tracks.
     fn build_flows(&mut self) {
-        let mut sends: BTreeMap<(u64, usize, u64), Vec<(u64, u64)>> = BTreeMap::new();
-        let mut recvs: BTreeMap<(u64, usize, u64), Vec<(u64, u64)>> = BTreeMap::new();
-        for (pid, e) in &self.comms {
-            match e.kind {
-                // Channel key: (sender pid, receiver pid as usize, tag).
-                CommEventKind::Send => sends
-                    .entry((*pid, e.peer, e.tag))
-                    .or_default()
-                    .push((e.ts_us, e.dur_us)),
-                CommEventKind::Recv => recvs
-                    .entry((e.peer as u64, *pid as usize, e.tag))
-                    .or_default()
-                    .push((e.ts_us, e.dur_us)),
-                // Timed-out waits never consumed a message and stale
-                // discards never delivered one — neither joins a flow.
-                CommEventKind::Timeout | CommEventKind::Stale => {}
-            }
-        }
-        let mut flow_id = 1u64;
-        for (key, ss) in &sends {
-            let Some(rr) = recvs.get(key) else { continue };
-            let (src, dst, tag) = *key;
-            for ((s_ts, _), (r_ts, r_dur)) in ss.iter().zip(rr.iter()) {
-                let name = format!("msg tag {tag:#x}");
-                self.rows.push(Row {
-                    pid: src,
-                    tid: COMM_TID,
-                    ts: *s_ts,
-                    dur: 0,
-                    ph: 's',
-                    name: name.clone(),
-                    flow: Some(flow_id),
-                });
-                self.rows.push(Row {
-                    pid: dst as u64,
-                    tid: COMM_TID,
-                    // Bind the arrow to the end of the blocking window, the
-                    // moment the message was consumed.
-                    ts: r_ts + r_dur,
-                    dur: 0,
-                    ph: 'f',
-                    name,
-                    flow: Some(flow_id),
-                });
-                flow_id += 1;
-            }
+        let events: Vec<FlowEvent> = self
+            .comms
+            .iter()
+            .filter_map(|(pid, e)| FlowEvent::from_comm(*pid as usize, e))
+            .collect();
+        let pairing = pair_fifo(&events);
+        for (i, p) in pairing.pairs.iter().enumerate() {
+            let flow_id = i as u64 + 1;
+            let name = format!("msg tag {:#x}", p.tag);
+            self.rows.push(Row {
+                pid: p.src as u64,
+                tid: COMM_TID,
+                ts: p.send_ts_us,
+                dur: 0,
+                ph: 's',
+                name: name.clone(),
+                flow: Some(flow_id),
+                comm: None,
+            });
+            self.rows.push(Row {
+                pid: p.dst as u64,
+                tid: COMM_TID,
+                // Bind the arrow to the end of the blocking window, the
+                // moment the message was consumed.
+                ts: p.delivered_us(),
+                dur: 0,
+                ph: 'f',
+                name,
+                flow: Some(flow_id),
+                comm: None,
+            });
         }
         self.comms.clear();
     }
@@ -363,6 +356,14 @@ impl ChromeTrace {
             match row.ph {
                 'X' => {
                     o.set("dur", row.dur.into());
+                    if let Some((kind, peer, tag, bytes)) = row.comm {
+                        let mut args = Json::obj();
+                        args.set("kind", kind.into())
+                            .set("peer", peer.into())
+                            .set("tag", tag.into())
+                            .set("bytes", bytes.into());
+                        o.set("args", args);
+                    }
                 }
                 'i' => {
                     o.set("s", "t".into()); // thread-scoped instant
@@ -381,7 +382,7 @@ impl ChromeTrace {
         let mut root = Json::obj();
         root.set("traceEvents", Json::Arr(events));
         root.set("displayTimeUnit", "ms".into());
-        // Build/run stamp (`ap3esm-obs/4` reports carry the same object),
+        // Build/run stamp (`ap3esm-obs/5` reports carry the same object),
         // so a Perfetto timeline can be traced back to its exact build.
         root.set("metadata", crate::perf::BuildInfo::current().to_json());
         root.to_string()

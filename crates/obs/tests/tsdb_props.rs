@@ -19,7 +19,7 @@ fn sample_stream(seed: u64, n: usize, scale: f64) -> Vec<f64> {
             s ^= s << 17;
             let noise = (s >> 11) as f64 / (1u64 << 53) as f64 - 0.5;
             let drift = (i as f64 * 0.05).sin();
-            scale * (drift + if s % 7 == 0 { 5.0 * noise } else { noise })
+            scale * (drift + if s.is_multiple_of(7) { 5.0 * noise } else { noise })
         })
         .collect()
 }

@@ -169,17 +169,11 @@ fn main() {
     println!("\ncoupler traffic: {} messages, {:.2} MB",
         world.stats().total_messages(),
         world.stats().total_bytes() as f64 / 1e6);
-    println!("\nper-section wall time (rank 0):");
+    // Cross-rank maxima when a report aggregated them (ocn_run runs on
+    // the ocean task domain, never on rank 0's local timers).
+    println!("\nper-section wall time (max across ranks):");
     for (name, secs) in &root.per_section_seconds {
         println!("  {name:<16} {secs:.3}s");
-    }
-    'ocn: for stats in &all[1..] {
-        for (name, secs) in &stats.per_section_seconds {
-            if name == "ocn_run" {
-                println!("  {name:<16} {secs:.3}s (an ocean rank)");
-                break 'ocn;
-            }
-        }
     }
 
     if root.recoveries > 0 || !root.fault_events.is_empty() {

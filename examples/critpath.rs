@@ -1,0 +1,238 @@
+//! "Where is my SYPD going?" — offline critical-path analysis.
+//!
+//! Replays a chrome trace written by a traced coupled run
+//! (`target/obs/trace-<name>.json`) into the cross-rank activity graph,
+//! extracts the critical path, classifies every off-path wait
+//! (late-sender / late-receiver / collective / timeout), and prints the
+//! ranked optimization-targets table. `--what-if NAME:FACTOR` re-solves
+//! the graph with that section's work scaled and reports the projected
+//! speedup; `--report` instead pulls the analysis a run already embedded
+//! in its `run-<name>.json`.
+//!
+//! ```sh
+//! cargo run --release --example coupled_esm -- --days 1 --trace
+//! cargo run --release --example critpath -- target/obs/trace-coupled-esm.json
+//! cargo run --release --example critpath -- --trace target/obs/trace-coupled-esm.json \
+//!     --what-if atm_run:0.5 --check --out target/obs/critpath.json
+//! cargo run --release --example critpath -- --report target/obs/run-coupled-esm.json --json
+//! ```
+//!
+//! Exits 2 when the input is unreadable (or has no analysis), 1 when
+//! `--check` fails: the on-path compute+comm+wait fractions must sum to
+//! 1.0 ±1% and every requested what-if must project a strictly positive
+//! gain.
+
+use ap3esm::obs::critpath::Analyzer;
+use ap3esm::obs::json::Json;
+use std::path::PathBuf;
+
+struct Cli {
+    trace: Option<PathBuf>,
+    report: Option<PathBuf>,
+    what_ifs: Vec<(String, f64)>,
+    sypd: Option<f64>,
+    json_only: bool,
+    check: bool,
+    out: Option<PathBuf>,
+}
+
+fn parse_cli() -> Cli {
+    let mut cli = Cli {
+        trace: None,
+        report: None,
+        what_ifs: Vec::new(),
+        sypd: None,
+        json_only: false,
+        check: false,
+        out: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--trace" => cli.trace = Some(args.next().unwrap_or_else(|| usage()).into()),
+            "--report" => cli.report = Some(args.next().unwrap_or_else(|| usage()).into()),
+            "--what-if" => {
+                let spec = args.next().unwrap_or_else(|| usage());
+                cli.what_ifs.push(parse_what_if(&spec));
+            }
+            "--sypd" => {
+                cli.sypd = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                )
+            }
+            "--json" => cli.json_only = true,
+            "--check" => cli.check = true,
+            "--out" => cli.out = Some(args.next().unwrap_or_else(|| usage()).into()),
+            _ if !a.starts_with('-') && cli.trace.is_none() && cli.report.is_none() => {
+                cli.trace = Some(a.into())
+            }
+            _ => usage(),
+        }
+    }
+    if cli.trace.is_none() && cli.report.is_none() {
+        usage()
+    }
+    cli
+}
+
+/// `NAME:FACTOR` with an optional `section=` prefix (both
+/// `--what-if atm_run:0.5` and `--what-if section=atm_run:0.5` work).
+fn parse_what_if(spec: &str) -> (String, f64) {
+    let spec = spec.strip_prefix("section=").unwrap_or(spec);
+    let Some((name, factor)) = spec.split_once(':') else {
+        usage()
+    };
+    let factor: f64 = factor.parse().unwrap_or_else(|_| usage());
+    if name.is_empty() || !factor.is_finite() || factor <= 0.0 {
+        usage()
+    }
+    (name.to_string(), factor)
+}
+
+fn load_json(path: &PathBuf) -> Json {
+    let body = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("critpath: {}: {e}", path.display());
+        std::process::exit(2);
+    });
+    Json::parse(&body).unwrap_or_else(|e| {
+        eprintln!("critpath: {}: bad JSON: {e}", path.display());
+        std::process::exit(2);
+    })
+}
+
+fn main() {
+    let cli = parse_cli();
+
+    // --report: the run already embedded its analysis; extract and judge it.
+    if let Some(path) = &cli.report {
+        if !cli.what_ifs.is_empty() {
+            eprintln!("critpath: --what-if needs the full graph; use --trace");
+            std::process::exit(2);
+        }
+        let doc = load_json(path);
+        let Some(cp) = doc.get("critpath").filter(|c| !matches!(**c, Json::Null)) else {
+            eprintln!(
+                "critpath: {}: report carries no critpath analysis (re-run with --trace)",
+                path.display()
+            );
+            std::process::exit(2);
+        };
+        println!("{cp}");
+        if let Some(out) = &cli.out {
+            write_out(out, &cp.to_string());
+        }
+        if cli.check && !fractions_ok(cp) {
+            eprintln!("critpath: CHECK FAILED: fractions do not sum to 1.0 +/- 1%");
+            std::process::exit(1);
+        }
+        if cli.check {
+            eprintln!("critpath: check passed");
+        }
+        return;
+    }
+
+    // --trace: rebuild the activity graph from the chrome trace.
+    let path = cli.trace.as_ref().expect("trace path");
+    let doc = load_json(path);
+    let mut analyzer = Analyzer::from_chrome_trace(&doc).unwrap_or_else(|e| {
+        eprintln!("critpath: {}: {e}", path.display());
+        std::process::exit(2);
+    });
+    if let Some(sypd) = cli.sypd {
+        analyzer = analyzer.with_sypd(sypd);
+    }
+    let analysis = analyzer.analyze();
+    let what_ifs: Vec<_> = cli
+        .what_ifs
+        .iter()
+        .map(|(name, factor)| analyzer.what_if(name, *factor))
+        .collect();
+
+    let mut json = analysis.to_json();
+    if !what_ifs.is_empty() {
+        json.set(
+            "what_if_requested",
+            Json::Arr(what_ifs.iter().map(|w| w.to_json()).collect()),
+        );
+    }
+    if cli.json_only {
+        println!("{json}");
+    } else {
+        print!("{}", analysis.render_table());
+        for w in &what_ifs {
+            println!(
+                "what-if {} x{:.2}: {:.1}us -> {:.1}us, {:+.1}% speedup{}",
+                w.section,
+                w.factor,
+                w.baseline_us,
+                w.projected_us,
+                w.gain_pct,
+                if w.projected_sypd > 0.0 {
+                    format!(" (projected SYPD {:.2})", w.projected_sypd)
+                } else {
+                    String::new()
+                },
+            );
+        }
+    }
+    if let Some(out) = &cli.out {
+        write_out(out, &json.to_string());
+    }
+
+    if cli.check {
+        let sum = analysis.compute_frac() + analysis.comm_frac() + analysis.wait_frac();
+        let mut failed = Vec::new();
+        if (sum - 1.0).abs() > 0.01 {
+            failed.push(format!("fractions sum to {sum:.4}, want 1.0 +/- 1%"));
+        }
+        for w in &what_ifs {
+            if w.gain_pct <= 0.0 {
+                failed.push(format!(
+                    "what-if {} x{:.2} projects {:+.2}%, want > 0",
+                    w.section, w.factor, w.gain_pct
+                ));
+            }
+        }
+        if !failed.is_empty() {
+            for f in &failed {
+                eprintln!("critpath: CHECK FAILED: {f}");
+            }
+            std::process::exit(1);
+        }
+        eprintln!("critpath: check passed");
+    }
+}
+
+fn fractions_ok(cp: &Json) -> bool {
+    let frac = |k: &str| {
+        cp.get("fractions")
+            .and_then(|f| f.get(k))
+            .and_then(|v| v.as_f64())
+            .unwrap_or(f64::NAN)
+    };
+    let sum = frac("compute") + frac("comm") + frac("wait");
+    (sum - 1.0).abs() <= 0.01
+}
+
+fn write_out(path: &PathBuf, body: &str) {
+    if let Some(dir) = path.parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    if let Err(e) = std::fs::write(path, format!("{body}\n")) {
+        eprintln!("critpath: cannot write {}: {e}", path.display());
+        std::process::exit(2);
+    }
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: critpath [--trace] TRACE.json [--what-if [section=]NAME:FACTOR]...\n\
+         \x20               [--sypd SYPD] [--json] [--check] [--out PATH]\n\
+         \x20      critpath --report RUN.json [--json] [--check] [--out PATH]\n\
+         analyze a traced coupled run's critical path: compute/comm/wait\n\
+         fractions, wait-state blame, and what-if SYPD projections"
+    );
+    std::process::exit(2);
+}

@@ -259,7 +259,7 @@ fn main() {
             .map(|m| {
                 sched.request(ProductKey {
                     region: "wnp".into(),
-                    init_time: 2023_07_21,
+                    init_time: 20230721,
                     member: m,
                 })
             })

@@ -1,0 +1,245 @@
+//! Tier-1 integration tests for the critical-path analyzer (ISSUE PR 10).
+//!
+//! Two layers: a real 2-rank coupled run with an injected message delay
+//! (the analyzer must classify the resulting wait as *late-sender* and
+//! blame the delayed rank, the on-path fractions must sum to 1, and the
+//! precomputed what-if must project a positive gain), and a scripted
+//! low-level run asserting the chrome-trace flow arrows and the
+//! flight-recorder postmortem agree event-for-event with the shared
+//! `msgflow` FIFO pairing.
+
+use ap3esm::comm::{FaultInjector, FaultPlan, World};
+use ap3esm::cpl::rearrange::Rearranger;
+use ap3esm::obs::critpath::WaitClass;
+use ap3esm::obs::json::Json;
+use ap3esm::obs::trace::ChromeTrace;
+use ap3esm::obs::{flightrec, msgflow};
+use ap3esm::prelude::*;
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+/// A delayed point-to-point message must surface as a late-sender wait
+/// blamed on the delayed rank, ride into the run report's `critpath`
+/// object, and leave the on-path accounting exact.
+#[test]
+fn delay_fault_classifies_late_sender_blamed_on_delayed_rank() {
+    // Two ranks: rank 0 = coupler+ATM+ICE+LND, rank 1 = the single ocean
+    // domain. 2 days at test_tiny cadence = 8 ocean couplings.
+    let mut config = CoupledConfig::test_tiny();
+    config.ocn_px = 1;
+    config.ocn_py = 1;
+    assert_eq!(config.world_size(), 2);
+
+    // Stall rank 1's cpl_gather send (ocean fields back to the coupler) at
+    // couplings 3 and 4. The delay lands on the *point-to-point* wire tag —
+    // a collective tag would classify as `Collective` instead — and the
+    // injector sleeps the sender before posting, so the send timestamp is
+    // late and the receiver's blocking window is the sender's fault.
+    let [_, gather_p2p] = Rearranger::wire_tags_for(22);
+    let plan = FaultPlan::parse(&format!(
+        "delay src=1 dst=0 tag={gather_p2p} nth=3 ms=800\n\
+         delay src=1 dst=0 tag={gather_p2p} nth=4 ms=800\n"
+    ))
+    .unwrap();
+
+    let name = format!("critpath-it-{}", std::process::id());
+    let opts = CoupledOptions {
+        days: 2.0,
+        report_name: Some(name),
+        trace: true,
+        ..Default::default()
+    };
+    let world = World::new(config.world_size())
+        .with_fault_injector(Arc::new(FaultInjector::new(plan)));
+    let all = world.run(|rank| run_coupled(rank, &config, &opts));
+    let root = &all[0];
+    assert!(root.failure.is_none(), "run failed: {:?}", root.failure);
+    assert!(
+        root.fault_events.iter().any(|e| e.contains("Delay")),
+        "injected delays not recorded: {:?}",
+        root.fault_events
+    );
+
+    let analysis = root.critpath.as_ref().expect("traced run must analyze");
+    assert_eq!(analysis.n_ranks, 2);
+
+    // ---- Every on-path microsecond is exactly one of compute/comm/wait. --
+    let sum = analysis.compute_frac() + analysis.comm_frac() + analysis.wait_frac();
+    assert!(
+        (sum - 1.0).abs() <= 0.01,
+        "fractions sum to {sum}, want 1.0 +/- 1%"
+    );
+
+    // ---- The injected delay is a late-sender wait blamed on rank 1. ------
+    let injected = analysis
+        .waits
+        .iter()
+        .find(|w| w.class == WaitClass::LateSender && w.rank == 0 && w.dur_us >= 600_000)
+        .unwrap_or_else(|| panic!("no >=600ms late-sender wait on rank 0: {:?}", analysis.waits));
+    assert_eq!(injected.peer, 1);
+    assert_eq!(injected.blamed, 1, "late-sender blame goes to the sender");
+    assert_eq!(injected.tag, gather_p2p);
+
+    // Attribution, not just classification: the delayed rank owns the
+    // late-sender blame column (>= the two 800 ms injections), and owns
+    // more of it than the undelayed rank.
+    let late_blame = |rank: usize| -> u64 {
+        analysis
+            .blame
+            .iter()
+            .filter(|b| b.class == WaitClass::LateSender && b.rank == rank)
+            .map(|b| b.total_us)
+            .sum()
+    };
+    assert!(
+        late_blame(1) >= 1_200_000,
+        "rank 1 late-sender blame {}us < injected 1.6s",
+        late_blame(1)
+    );
+    assert!(late_blame(1) > late_blame(0));
+
+    // ---- The precomputed what-if projects a real gain. -------------------
+    let what_if = analysis.what_if_half_top.as_ref().expect("what-if");
+    assert_eq!(what_if.section, analysis.top_section);
+    assert!(
+        what_if.gain_pct > 0.0,
+        "halving {} projects {:+.2}%",
+        what_if.section,
+        what_if.gain_pct
+    );
+
+    // ---- The analysis rides inside the run report. -----------------------
+    let report = Json::parse(root.report_json.as_deref().expect("report")).unwrap();
+    let cp = report.get("critpath").expect("report critpath object");
+    assert_eq!(
+        cp.get("schema").and_then(Json::as_str),
+        Some("ap3esm-critpath/1")
+    );
+    let frac = |k: &str| {
+        cp.get("fractions")
+            .and_then(|f| f.get(k))
+            .and_then(Json::as_f64)
+            .unwrap_or(f64::NAN)
+    };
+    let json_sum = frac("compute") + frac("comm") + frac("wait");
+    assert!((json_sum - 1.0).abs() <= 0.01, "report fractions: {json_sum}");
+
+    // ---- Satellite: every coupled section reaches the stats, including
+    //      the ocean's (previously dropped on the coupler rank). -----------
+    for want in ["atm_run", "ocn_run", "lnd_run", "ice_run"] {
+        let s = root
+            .per_section_seconds
+            .iter()
+            .find(|(n, _)| n == want)
+            .unwrap_or_else(|| panic!("{want} missing from {:?}", root.per_section_seconds));
+        assert!(s.1 > 0.0, "{want} has zero wall time");
+    }
+}
+
+/// The chrome-trace flow arrows and the flight-recorder postmortem both
+/// derive from [`msgflow::pair_fifo`]; on one recorded run they must agree
+/// with it (and hence with each other) event-for-event.
+#[test]
+fn exporters_share_one_fifo_pairing() {
+    let world = World::new(2);
+    world.comm_events().set_enabled(true);
+    world.run(|rank| {
+        if rank.id() == 0 {
+            // Two paired sends on one channel, one cross recv, and one
+            // deliberately unpaired send (tag 11 is never received).
+            rank.send(1, 7, vec![1u8; 64]);
+            rank.send(1, 7, vec![2u8; 128]);
+            let _ = rank.recv::<u8>(1, 9).unwrap();
+            rank.send(1, 11, vec![3u8; 32]);
+        } else {
+            let _ = rank.recv::<u8>(0, 7).unwrap();
+            let _ = rank.recv::<u8>(0, 7).unwrap();
+            rank.send(0, 9, vec![4u8; 256]);
+        }
+        rank.barrier();
+    });
+    let (rings, dropped) = world.comm_events().snapshot_all();
+    assert_eq!(dropped, 0, "ring eviction would skew the pairing");
+
+    // ---- Ground truth: the shared FIFO pairing over the raw rings. -------
+    let pairing = msgflow::pair_rings(&rings);
+    assert!(pairing.pairs.len() >= 3, "3 scripted pairs at minimum");
+    let unpaired: BTreeSet<(usize, usize, u64, u64)> = pairing
+        .unpaired_sends
+        .iter()
+        .map(|u| (u.src, u.dst, u.tag, u.ts_us))
+        .collect();
+    assert!(
+        unpaired.iter().any(|&(src, dst, tag, _)| (src, dst, tag) == (0, 1, 11)),
+        "scripted unpaired send missing: {unpaired:?}"
+    );
+
+    // ---- Exporter 1: chrome-trace flow arrows. ---------------------------
+    let mut trace = ChromeTrace::new();
+    for (pid, ring) in rings.iter().enumerate() {
+        trace.add_comm_events(pid, ring);
+    }
+    let doc = Json::parse(&trace.to_json()).unwrap();
+    let mut starts: BTreeMap<u64, (u64, u64)> = BTreeMap::new(); // id -> (pid, ts)
+    let mut finishes: BTreeMap<u64, (u64, u64)> = BTreeMap::new();
+    for e in doc.get("traceEvents").and_then(Json::as_arr).unwrap() {
+        let row = |e: &Json| {
+            (
+                e.get("id").and_then(Json::as_u64).expect("flow id"),
+                e.get("pid").and_then(Json::as_u64).unwrap(),
+                e.get("ts").and_then(Json::as_u64).unwrap(),
+            )
+        };
+        match e.get("ph").and_then(Json::as_str) {
+            Some("s") => {
+                let (id, pid, ts) = row(e);
+                starts.insert(id, (pid, ts));
+            }
+            Some("f") => {
+                let (id, pid, ts) = row(e);
+                finishes.insert(id, (pid, ts));
+            }
+            _ => {}
+        }
+    }
+    assert_eq!(starts.len(), pairing.pairs.len(), "one arrow per pair");
+    assert_eq!(finishes.len(), pairing.pairs.len());
+    for (i, p) in pairing.pairs.iter().enumerate() {
+        let id = i as u64 + 1; // flow ids are emitted in pairing order
+        assert_eq!(starts[&id], (p.src as u64, p.send_ts_us), "pair {i} start");
+        assert_eq!(
+            finishes[&id],
+            (p.dst as u64, p.delivered_us()),
+            "pair {i} finish"
+        );
+    }
+
+    // ---- Exporter 2: flight-recorder postmortem. -------------------------
+    let dir = std::env::temp_dir().join(format!("ap3esm-critpath-it-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let bundle = flightrec::dump_bundle_to(
+        &dir,
+        "pairing",
+        &flightrec::BundleSpec {
+            reason: "pairing-regression",
+            recorder: None,
+            comm_events: Some(world.comm_events()),
+            series_json: None,
+            alerts: &[],
+            fault_plan: None,
+            scenario: None,
+            trace_json: None,
+        },
+    )
+    .unwrap();
+    let postmortem = flightrec::analyze(&bundle).unwrap();
+    // The postmortem re-sorts blamed-rank-first, so compare as sets.
+    let pm_unpaired: BTreeSet<(usize, usize, u64, u64)> = postmortem
+        .unpaired_sends
+        .iter()
+        .map(|u| (u.src, u.dst, u.tag, u.ts_us))
+        .collect();
+    assert_eq!(pm_unpaired, unpaired, "postmortem disagrees with msgflow");
+    let _ = std::fs::remove_dir_all(&dir);
+}

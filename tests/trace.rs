@@ -57,7 +57,7 @@ fn traced_faulted_run_emits_both_ranks_and_resilience_markers() {
         Json::parse(root.report_json.as_deref().expect("report requested")).expect("report JSON");
     assert_eq!(
         report.get("schema").and_then(Json::as_str),
-        Some("ap3esm-obs/4")
+        Some("ap3esm-obs/5")
     );
     let trees = report
         .get("rank_trees")
